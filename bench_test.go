@@ -1,0 +1,220 @@
+package semblock_test
+
+// One benchmark per table and figure of the paper's evaluation section
+// (§6), dispatching through the experiment registry, plus ablation benches
+// for the design choices called out in DESIGN.md §4.
+//
+// The experiment benches use reduced dataset sizes so `go test -bench=.`
+// completes in minutes; run `go run ./cmd/experiments -run all` (optionally
+// with -full) for paper-scale output. Each bench reports the headline
+// metric of its artifact via b.ReportMetric so regressions in *quality*
+// (not only speed) are visible in bench diffs.
+
+import (
+	"strconv"
+	"testing"
+
+	"semblock"
+	"semblock/internal/datagen"
+	"semblock/internal/experiments"
+	"semblock/internal/lsh"
+)
+
+// benchConfig mirrors experiments.DefaultConfig at bench-friendly scale.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		CoraRecords:   1000,
+		VoterRecords:  4000,
+		TimingRecords: 2000,
+		ScaleSizes:    []int{4000, 8000},
+		Repetitions:   2,
+		Seed:          1,
+	}
+}
+
+// runExperiment is the common bench body: run the driver b.N times.
+func runExperiment(b *testing.B, id string) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "tab1") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "tab3") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+
+// --- Core-operation micro-benchmarks -----------------------------------
+
+// coraFixture builds the shared Cora-scale blocking fixture once.
+func coraFixture(b *testing.B) (*semblock.Dataset, *semblock.Schema) {
+	b.Helper()
+	d := datagen.Cora(datagen.DefaultCoraConfig())
+	fn, err := semblock.NewCoraSemantics(semblock.BibliographicTaxonomy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := semblock.BuildSchema(fn, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, schema
+}
+
+// BenchmarkBlockLSH measures plain LSH blocking over the full Cora-like
+// dataset at the published parameters (k=4, l=63, q=4).
+func BenchmarkBlockLSH(b *testing.B) {
+	d, _ := coraFixture(b)
+	blk, err := semblock.New(semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Block(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockSALSH measures SA-LSH blocking at the same parameters,
+// quantifying the semantic augmentation's overhead.
+func BenchmarkBlockSALSH(b *testing.B) {
+	d, schema := coraFixture(b)
+	blk, err := semblock.New(semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Block(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemhashSignatures measures Algorithm 1 signature generation
+// over the full dataset.
+func BenchmarkSemhashSignatures(b *testing.B) {
+	d, schema := coraFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = schema.SignatureMatrix(d)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ------------------------------------
+
+// BenchmarkAblationSemPlacement compares the paper's per-table random
+// semantic-function choice with a single global choice reused by every
+// table. The quality difference is reported as pc/pq metrics.
+func BenchmarkAblationSemPlacement(b *testing.B) {
+	d, schema := coraFixture(b)
+	for _, global := range []bool{false, true} {
+		name := "per-table"
+		if global {
+			name = "global"
+		}
+		b.Run(name, func(b *testing.B) {
+			blk, err := semblock.New(semblock.Config{
+				Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+				Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR, GlobalBits: global},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var pc, pq float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := blk.Block(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := semblock.Evaluate(res, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pc, pq = m.PC, m.PQ
+			}
+			b.ReportMetric(pc, "pc")
+			b.ReportMetric(pq, "pq")
+		})
+	}
+}
+
+// BenchmarkAblationORStrategy compares the two OR implementations
+// (bucket-per-bit vs post-filter), which produce identical pairs at
+// different constant factors.
+func BenchmarkAblationORStrategy(b *testing.B) {
+	d, schema := coraFixture(b)
+	for _, strat := range []lsh.ORStrategy{lsh.BucketPerBit, lsh.PostFilter} {
+		name := "bucket-per-bit"
+		if strat == lsh.PostFilter {
+			name = "post-filter"
+		}
+		b.Run(name, func(b *testing.B) {
+			blk, err := semblock.New(semblock.Config{
+				Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+				Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR, ORStrategy: strat},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.Block(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShingleQ measures how the shingle size interacts with
+// blocking cost (signature computation dominates; larger q means fewer,
+// longer grams).
+func BenchmarkAblationShingleQ(b *testing.B) {
+	d, _ := coraFixture(b)
+	for _, q := range []int{2, 3, 4} {
+		b.Run("q="+strconv.Itoa(q), func(b *testing.B) {
+			blk, err := semblock.New(semblock.Config{
+				Attrs: []string{"authors", "title"}, Q: q, K: 4, L: 63, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.Block(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic datasets.
+//
+// Usage:
+//
+//	experiments -run fig9              # one experiment
+//	experiments -run all               # everything, in paper order
+//	experiments -list                  # show available experiment ids
+//	experiments -run fig13 -full       # paper-scale scalability sweep
+//
+// Sizes can be reduced for quick runs with -cora / -voter / -timing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semblock/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		cora   = flag.Int("cora", 0, "override Cora dataset size (default 1879)")
+		voter  = flag.Int("voter", 0, "override Voter quality-dataset size (default 30000)")
+		timing = flag.Int("timing", 0, "override Voter timing-dataset size (default 3000)")
+		reps   = flag.Int("reps", 0, "override Table 2 repetition count (default 5)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		full   = flag.Bool("full", false, "use the paper's full Fig. 13 scale sweep (up to 292,892 records)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	if *cora > 0 {
+		cfg.CoraRecords = *cora
+	}
+	if *voter > 0 {
+		cfg.VoterRecords = *voter
+	}
+	if *timing > 0 {
+		cfg.TimingRecords = *timing
+	}
+	if *reps > 0 {
+		cfg.Repetitions = *reps
+	}
+	if *full {
+		cfg.ScaleSizes = []int{10000, 50000, 100000, 150000, 200000, 240000, 292892}
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,86 @@
+package semblock_test
+
+import (
+	"fmt"
+
+	"semblock"
+)
+
+// Example demonstrates the paper's core behaviour on its own running
+// example: two records with identical titles — a conference article and a
+// technical report — are never co-blocked by SA-LSH, while the true
+// duplicate pair is.
+func Example() {
+	d := semblock.NewDataset("pubs")
+	d.Append(0, map[string]string{"title": "the cascade correlation learning architecture", "booktitle": "nips"})
+	d.Append(0, map[string]string{"title": "cascade correlation learning architecture", "booktitle": "nips"})
+	d.Append(1, map[string]string{"title": "the cascade correlation learning architecture", "institution": "cmu"})
+
+	fn, _ := semblock.NewCoraSemantics(semblock.BibliographicTaxonomy())
+	schema, _ := semblock.BuildSchema(fn, d)
+	b, _ := semblock.New(semblock.Config{
+		Attrs: []string{"title"}, Q: 2, K: 2, L: 8, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 1, Mode: semblock.ModeOR},
+	})
+	res, _ := b.Block(d)
+	fmt.Println("duplicates co-blocked:", res.Covers(0, 1))
+	fmt.Println("conference/TR co-blocked:", res.Covers(0, 2))
+	// Output:
+	// duplicates co-blocked: true
+	// conference/TR co-blocked: false
+}
+
+// ExampleChooseKL reproduces the paper's §6.1 parameter derivation: the
+// Cora constraints solve to the published banding parameters.
+func ExampleChooseKL() {
+	p, _ := semblock.ChooseKL(0.3, 0.2, 0.4, 0.1, 10)
+	fmt.Printf("k=%d l=%d\n", p.K, p.L)
+	// Output:
+	// k=4 l=63
+}
+
+// ExampleCollisionProbability shows the banding S-curve the framework is
+// tuned on.
+func ExampleCollisionProbability() {
+	for _, s := range []float64{0.2, 0.3, 0.5} {
+		fmt.Printf("s=%.1f -> %.2f\n", s, semblock.CollisionProbability(s, 4, 63))
+	}
+	// Output:
+	// s=0.2 -> 0.10
+	// s=0.3 -> 0.40
+	// s=0.5 -> 0.98
+}
+
+// ExampleTaxonomy_SimConcepts computes the paper's Example 4.4 values on
+// the bibliographic taxonomy.
+func ExampleTaxonomy_SimConcepts() {
+	tax := semblock.BibliographicTaxonomy()
+	c0 := tax.MustConcept("C0")
+	c1 := tax.MustConcept("C1")
+	c2 := tax.MustConcept("C2")
+	fmt.Printf("simS(c0,c1) = %.4f\n", tax.SimConcepts(c0, c1))
+	fmt.Printf("simS(c1,c2) = %.4f\n", tax.SimConcepts(c1, c2))
+	// Output:
+	// simS(c0,c1) = 0.8333
+	// simS(c1,c2) = 0.6000
+}
+
+// ExampleNewMatcher runs the downstream resolution step over blocking
+// output.
+func ExampleNewMatcher() {
+	d := semblock.NewDataset("people")
+	d.Append(0, map[string]string{"name": "robert smith"})
+	d.Append(0, map[string]string{"name": "robert smyth"})
+	d.Append(1, map[string]string{"name": "mary johnson"})
+
+	b, _ := semblock.New(semblock.Config{Attrs: []string{"name"}, Q: 2, K: 2, L: 6, Seed: 1})
+	blocks, _ := b.Block(d)
+
+	m, _ := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "name", Weight: 1, Sim: "jaro_winkler"},
+	}, 0.9)
+	res := semblock.Resolve(d, blocks, m)
+	fmt.Println("clusters:", res.NumClusters)
+	// Output:
+	// clusters: 2
+}

@@ -1,0 +1,83 @@
+// Resolution: the complete entity-resolution pipeline the paper situates
+// blocking in — SA-LSH blocking, pairwise matching over the candidates,
+// transitive clustering — and a comparison of how blocking quality
+// propagates into final resolution quality (F1) and cost (comparisons).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semblock"
+	"semblock/internal/datagen"
+)
+
+func main() {
+	d := datagen.Cora(datagen.DefaultCoraConfig())
+	fmt.Printf("dataset: %d records, %d entities\n\n", d.Len(), d.EntityCount())
+
+	// The downstream matcher is identical in every pipeline; only the
+	// blocking in front of it changes.
+	matcher, err := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "title", Weight: 2, Sim: "jaccard_q2"},
+		{Attr: "authors", Weight: 1, Sim: "jaro_winkler"},
+		{Attr: "year", Weight: 0.5, Sim: "edit_dist"},
+	}, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fn, err := semblock.NewCoraSemantics(semblock.BibliographicTaxonomy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := semblock.BuildSchema(fn, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	attrs := []string{"authors", "title"}
+	pipelines := []struct {
+		name  string
+		build func() (semblock.GenericBlocker, error)
+	}{
+		{"LSH k=4 l=63", func() (semblock.GenericBlocker, error) {
+			return semblock.New(semblock.Config{Attrs: attrs, Q: 4, K: 4, L: 63, Seed: 1})
+		}},
+		{"SA-LSH k=4 l=63 w=5 or", func() (semblock.GenericBlocker, error) {
+			return semblock.New(semblock.Config{Attrs: attrs, Q: 4, K: 4, L: 63, Seed: 1,
+				Semantic: &semblock.SemanticOption{Schema: schema, W: 5, Mode: semblock.ModeOR}})
+		}},
+		{"LSH-Forest l=6 kmax=12", func() (semblock.GenericBlocker, error) {
+			return semblock.NewForest(semblock.ForestConfig{Attrs: attrs, Q: 4, L: 6, KMax: 12, MaxBlock: 60, Seed: 1})
+		}},
+		{"Multi-probe k=4 l=16 p=2", func() (semblock.GenericBlocker, error) {
+			return semblock.NewMultiProbe(semblock.MultiProbeConfig{Attrs: attrs, Q: 4, K: 4, L: 16, Probes: 2, Seed: 1})
+		}},
+	}
+
+	fmt.Println("pipeline                   comparisons   blocks   P       R       F1")
+	fmt.Println("-------------------------  -----------   ------   -----   -----   -----")
+	for _, p := range pipelines {
+		blocker, err := p.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocks, err := blocker.Block(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := semblock.Resolve(d, blocks, matcher)
+		q, err := res.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-25s  %11d   %6d   %.3f   %.3f   %.3f\n",
+			p.name, res.Compared, blocks.NumBlocks(), q.Precision, q.Recall, q.F1)
+	}
+
+	fmt.Printf("\n(all-pairs comparison count would be %d)\n", d.TotalPairs())
+	fmt.Println("\nSA-LSH feeds the matcher fewer, cleaner candidates: comparable")
+	fmt.Println("F1 at a fraction of the comparisons, because semantically")
+	fmt.Println("impossible pairs never reach the scorer.")
+}

@@ -1,0 +1,190 @@
+package semblock_test
+
+// Cross-module integration tests: properties that span datagen, semantic,
+// lsh and eval, asserted on realistically generated data.
+
+import (
+	"bytes"
+	"testing"
+
+	"semblock"
+	"semblock/internal/datagen"
+)
+
+func integrationCora(t *testing.T, n int) (*semblock.Dataset, *semblock.Schema) {
+	t.Helper()
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = n
+	d := datagen.Cora(cfg)
+	fn, err := semblock.NewCoraSemantics(semblock.BibliographicTaxonomy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semblock.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, schema
+}
+
+// TestSALSHCandidatesSubsetOfLSH asserts the structural containment at the
+// heart of the framework: for any (w, µ) and any seed, the semantic
+// augmentation can only *remove* candidate pairs — SA-LSH's candidate set
+// is a subset of plain LSH's at the same banding parameters and seed.
+func TestSALSHCandidatesSubsetOfLSH(t *testing.T) {
+	d, schema := integrationCora(t, 300)
+	for _, seed := range []int64{1, 7, 42} {
+		base := semblock.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 8, Seed: seed}
+		plain, err := semblock.New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resPlain, err := plain.Block(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainPairs := resPlain.CandidatePairs()
+		for _, mode := range []semblock.Mode{semblock.ModeAND, semblock.ModeOR} {
+			for _, w := range []int{1, 3, 5} {
+				cfg := base
+				cfg.Semantic = &semblock.SemanticOption{Schema: schema, W: w, Mode: mode}
+				sa, err := semblock.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resSA, err := sa.Block(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				saPairs := resSA.CandidatePairs()
+				if saPairs.Intersect(plainPairs) != saPairs.Len() {
+					t.Fatalf("seed=%d mode=%v w=%d: SA-LSH pairs not a subset of LSH pairs", seed, mode, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSALSHQualityDirections asserts the paper's Fig. 9 directions on
+// freshly generated data: at the published Cora parameters, SA-LSH (full-
+// width OR) improves PQ and RR and loses only bounded PC versus LSH.
+func TestSALSHQualityDirections(t *testing.T) {
+	d, schema := integrationCora(t, 800)
+	base := semblock.Config{Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 5}
+	plain, err := semblock.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Semantic = &semblock.SemanticOption{Schema: schema, W: schema.Bits(), Mode: semblock.ModeOR}
+	sa, err := semblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := plain.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSA, err := sa.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := semblock.Evaluate(resPlain, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := semblock.Evaluate(resSA, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.PQ <= mp.PQ {
+		t.Errorf("SA-LSH PQ %v should exceed LSH PQ %v", ms.PQ, mp.PQ)
+	}
+	if ms.RR < mp.RR {
+		t.Errorf("SA-LSH RR %v should be at least LSH RR %v", ms.RR, mp.RR)
+	}
+	if ms.PC < mp.PC-0.15 {
+		t.Errorf("SA-LSH PC %v dropped more than 15pp below LSH PC %v", ms.PC, mp.PC)
+	}
+}
+
+// TestVoterPCIdentical asserts the paper's Fig. 9(d) finding end to end:
+// with uncertain-but-not-noisy semantics, the full-width OR filter never
+// splits a voter true match, so PC is bitwise identical.
+func TestVoterPCIdentical(t *testing.T) {
+	gen := datagen.DefaultVoterConfig()
+	gen.Records = 4000
+	d := datagen.Voter(gen)
+	fn, err := semblock.NewVoterSemantics(semblock.VoterTaxonomy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semblock.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := semblock.Config{Attrs: []string{"first_name", "last_name"}, Q: 2, K: 9, L: 15, Seed: 3}
+	plain, err := semblock.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Semantic = &semblock.SemanticOption{Schema: schema, W: schema.Bits(), Mode: semblock.ModeOR}
+	sa, err := semblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := plain.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSA, err := sa.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := semblock.Evaluate(resPlain, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := semblock.Evaluate(resSA, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.PC != ms.PC {
+		t.Errorf("voter PC differs: LSH %v vs SA-LSH %v", mp.PC, ms.PC)
+	}
+	if ms.CandidatePairs > mp.CandidatePairs {
+		t.Errorf("SA-LSH candidates (%d) exceed LSH (%d)", ms.CandidatePairs, mp.CandidatePairs)
+	}
+}
+
+// TestCSVRoundTripThroughBlocking exercises persistence + blocking: a
+// generated dataset written to CSV and read back blocks identically.
+func TestCSVRoundTripThroughBlocking(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 120
+	d := datagen.Cora(cfg)
+
+	var buf bytes.Buffer
+	if err := semblock.WriteCSV(&buf, d, datagen.CoraAttrs()); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := semblock.ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ds *semblock.Dataset) int {
+		b, err := semblock.New(semblock.Config{Attrs: []string{"title"}, Q: 2, K: 2, L: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Block(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CandidatePairs().Len()
+	}
+	if a, b := mk(d), mk(d2); a != b {
+		t.Errorf("blocking after CSV round trip differs: %d vs %d pairs", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"fmt"
+
+	"semblock/internal/blocking"
+	"semblock/internal/textual"
+)
+
+// Setting couples a configured blocker with a human-readable description
+// of its parameters for experiment reports.
+type Setting struct {
+	Blocker blocking.Blocker
+	Params  string
+}
+
+// ParameterGrid enumerates the survey's full parameter grid (§6.3.4) for a
+// given blocking key: 163 settings across the twelve techniques —
+//
+//	TBlo 1, SorA 5, SorII 5, ASor 8, QGr 4, CaTh 8, CaNN 8,
+//	StMT 32, StMNN 32, SuA 6, SuAS 6, RSuA 48.
+//
+// The returned map is keyed by technique name; iteration order of settings
+// within a technique is deterministic.
+func ParameterGrid(key KeySpec, seed int64) map[string][]Setting {
+	grid := make(map[string][]Setting)
+	add := func(name string, b blocking.Blocker, params string, args ...any) {
+		grid[name] = append(grid[name], Setting{Blocker: b, Params: fmt.Sprintf(params, args...)})
+	}
+
+	windows := []int{2, 3, 5, 7, 10}
+	simFuncs := textual.BaselineSimFuncs()
+	thresholds := []float64{0.8, 0.9}
+	qs := []int{2, 3}
+
+	add("TBlo", &TBlo{Key: soundexKey(key)}, "soundex key")
+
+	for _, w := range windows {
+		add("SorA", &SorA{Key: key, W: w}, "w=%d", w)
+		add("SorII", &SorII{Key: key, W: w}, "w=%d", w)
+	}
+	for _, sf := range simFuncs {
+		for _, th := range thresholds {
+			add("ASor", &ASor{Key: key, Sim: sf, Phi: th}, "sim=%s phi=%.1f", sf, th)
+		}
+	}
+	for _, q := range qs {
+		for _, th := range thresholds {
+			add("QGr", &QGr{Key: key, Q: q, T: th}, "q=%d t=%.1f", q, th)
+		}
+	}
+	canopyThr := [][2]float64{{0.8, 0.9}, {0.7, 0.8}} // loose/tight
+	for _, simKind := range []CanopySim{CanopyTFIDF, CanopyJaccard} {
+		for _, q := range qs {
+			for _, th := range canopyThr {
+				add("CaTh", &CaTh{Key: key, Sim: simKind, Q: q, Loose: th[0], Tight: th[1], Seed: seed},
+					"sim=%d q=%d loose=%.1f tight=%.1f", simKind, q, th[0], th[1])
+			}
+		}
+	}
+	canopyNN := [][2]int{{10, 5}, {20, 10}} // n1/n2
+	for _, simKind := range []CanopySim{CanopyTFIDF, CanopyJaccard} {
+		for _, q := range qs {
+			for _, nn := range canopyNN {
+				add("CaNN", &CaNN{Key: key, Sim: simKind, Q: q, N1: nn[0], N2: nn[1], Seed: seed},
+					"sim=%d q=%d n1=%d n2=%d", simKind, q, nn[0], nn[1])
+			}
+		}
+	}
+	stmThr := [][2]float64{{0.85, 0.95}, {0.8, 0.9}} // loose/tight
+	gridSizes := []int{100, 1000}
+	dims := []int{15, 20}
+	for _, sf := range simFuncs {
+		for _, th := range stmThr {
+			for _, gs := range gridSizes {
+				for _, dm := range dims {
+					add("StMT", &StMT{Key: key, Sim: sf, Loose: th[0], Tight: th[1], GridSize: gs, Dims: dm, Seed: seed},
+						"sim=%s loose=%.2f tight=%.2f grid=%d dim=%d", sf, th[0], th[1], gs, dm)
+				}
+			}
+		}
+	}
+	stmNN := [][2]int{{10, 5}, {20, 10}}
+	for _, sf := range simFuncs {
+		for _, nn := range stmNN {
+			for _, gs := range gridSizes {
+				for _, dm := range dims {
+					add("StMNN", &StMNN{Key: key, Sim: sf, N1: nn[0], N2: nn[1], GridSize: gs, Dims: dm, Seed: seed},
+						"sim=%s n1=%d n2=%d grid=%d dim=%d", sf, nn[0], nn[1], gs, dm)
+				}
+			}
+		}
+	}
+	suffixLens := []int{3, 5}
+	maxBlocks := []int{5, 10, 20}
+	for _, ml := range suffixLens {
+		for _, mb := range maxBlocks {
+			add("SuA", &SuA{Key: key, MinLen: ml, MaxBlock: mb}, "minlen=%d maxblock=%d", ml, mb)
+			add("SuAS", &SuAS{Key: key, MinLen: ml, MaxBlock: mb}, "minlen=%d maxblock=%d", ml, mb)
+		}
+	}
+	for _, ml := range suffixLens {
+		for _, mb := range maxBlocks {
+			for _, sf := range simFuncs {
+				for _, th := range thresholds {
+					add("RSuA", &RSuA{Key: key, MinLen: ml, MaxBlock: mb, Sim: sf, Phi: th},
+						"minlen=%d maxblock=%d sim=%s phi=%.1f", ml, mb, sf, th)
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// soundexKey derives the phonetic variant of a key spec for TBlo.
+func soundexKey(key KeySpec) KeySpec {
+	return KeySpec{Attrs: key.Attrs, Encode: EncodeSoundex}
+}
+
+// TechniqueOrder lists the techniques in the paper's Table 3 order.
+func TechniqueOrder() []string {
+	return []string{"TBlo", "SorA", "SorII", "ASor", "QGr", "CaTh", "CaNN", "StMT", "StMNN", "SuA", "SuAS", "RSuA"}
+}
+
+// GridSize returns the total number of settings in a grid.
+func GridSize(grid map[string][]Setting) int {
+	n := 0
+	for _, ss := range grid {
+		n += len(ss)
+	}
+	return n
+}

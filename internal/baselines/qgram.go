@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// QGr is q-gram indexing (Baxter et al.): each record's key value is
+// shingled into q-grams, and the record is indexed under every sub-list of
+// its gram list with length ≥ ceil(len · T). Records sharing any indexed
+// sub-list land in the same block, which tolerates typographic
+// differences at the cost of combinatorial index growth.
+type QGr struct {
+	Key KeySpec
+	// Q is the gram size.
+	Q int
+	// T is the sub-list length threshold in (0,1].
+	T float64
+	// MaxGrams caps the gram-list length before sub-list expansion; 0
+	// applies the default of 12. The cap bounds the combinatorial
+	// explosion on long keys (the survey notes q-gram indexing scales
+	// poorly; this guard keeps worst-case index size manageable while
+	// preserving behaviour on realistic key lengths).
+	MaxGrams int
+}
+
+// Name implements blocking.Blocker.
+func (b *QGr) Name() string { return "QGr" }
+
+// Block indexes every record under its gram sub-lists.
+func (b *QGr) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := b.Key.validate(b.Name()); err != nil {
+		return nil, err
+	}
+	if b.Q < 1 {
+		return nil, fmt.Errorf("baselines: QGr gram size must be ≥ 1, got %d", b.Q)
+	}
+	if b.T <= 0 || b.T > 1 {
+		return nil, fmt.Errorf("baselines: QGr threshold must be in (0,1], got %v", b.T)
+	}
+	maxGrams := b.MaxGrams
+	if maxGrams <= 0 {
+		maxGrams = 12
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		grams := textual.PaddedQGrams(b.Key.Key(r), b.Q)
+		if len(grams) > maxGrams {
+			grams = grams[:maxGrams]
+		}
+		minLen := int(float64(len(grams))*b.T + 0.999999) // ceil
+		if minLen < 1 {
+			minLen = 1
+		}
+		for _, sub := range subLists(grams, minLen) {
+			idx.Add(sub, r.ID)
+		}
+	}
+	return idx.Result(b.Name(), 0), nil
+}
+
+// subLists enumerates the distinct order-preserving sub-lists of grams
+// with length ≥ minLen, serialised with a separator. The recursion
+// removes one gram at a time (the standard construction), memoising on
+// the serialised form to avoid duplicates.
+func subLists(grams []string, minLen int) []string {
+	seen := make(map[string]struct{})
+	var rec func(cur []string)
+	rec = func(cur []string) {
+		key := strings.Join(cur, "\x1f")
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		if len(cur) <= minLen {
+			return
+		}
+		for i := range cur {
+			next := make([]string, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			rec(next)
+		}
+	}
+	rec(grams)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// SorA is the classic array-based sorted neighbourhood method: records are
+// sorted by their key value and a fixed window of size W slides over the
+// sorted array; each window position yields one block.
+type SorA struct {
+	Key KeySpec
+	// W is the window size (≥ 2).
+	W int
+}
+
+// Name implements blocking.Blocker.
+func (s *SorA) Name() string { return "SorA" }
+
+// Block slides the window over key-sorted records.
+func (s *SorA) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.W < 2 {
+		return nil, fmt.Errorf("baselines: SorA window must be ≥ 2, got %d", s.W)
+	}
+	ids := sortedByKey(d, s.Key)
+	var blocks [][]record.ID
+	for i := 0; i+s.W <= len(ids); i++ {
+		win := make([]record.ID, s.W)
+		copy(win, ids[i:i+s.W])
+		blocks = append(blocks, win)
+	}
+	// Datasets smaller than the window form a single block.
+	if len(blocks) == 0 && len(ids) >= 2 {
+		blocks = append(blocks, ids)
+	}
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// SorII is the inverted-index variant of sorted neighbourhood: the window
+// slides over the *distinct, sorted key values*; each position's block is
+// the union of the record lists of the covered keys. This fixes SorA's
+// weakness that many records with equal keys saturate a window.
+type SorII struct {
+	Key KeySpec
+	W   int
+}
+
+// Name implements blocking.Blocker.
+func (s *SorII) Name() string { return "SorII" }
+
+// Block slides the window over the sorted distinct keys.
+func (s *SorII) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.W < 2 {
+		return nil, fmt.Errorf("baselines: SorII window must be ≥ 2, got %d", s.W)
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		idx.Add(s.Key.Key(r), r.ID)
+	}
+	keys := idx.Keys()
+	var blocks [][]record.ID
+	if len(keys) < s.W {
+		if all := unionBuckets(idx, keys); len(all) >= 2 {
+			blocks = append(blocks, all)
+		}
+		return blocking.NewResult(s.Name(), blocks), nil
+	}
+	for i := 0; i+s.W <= len(keys); i++ {
+		blocks = append(blocks, unionBuckets(idx, keys[i:i+s.W]))
+	}
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// ASor is the adaptive sorted neighbourhood method (Yan et al.): instead
+// of a fixed window, the sorted distinct keys are cut into blocks at
+// positions where adjacent keys' string similarity drops below a
+// threshold φ, so block boundaries follow the data.
+type ASor struct {
+	Key KeySpec
+	// Sim is the name of the key-to-key similarity function (see
+	// textual.ByName).
+	Sim string
+	// Phi is the boundary threshold in (0,1].
+	Phi float64
+}
+
+// Name implements blocking.Blocker.
+func (s *ASor) Name() string { return "ASor" }
+
+// Block accumulates runs of mutually similar adjacent keys.
+func (s *ASor) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.Phi <= 0 || s.Phi > 1 {
+		return nil, fmt.Errorf("baselines: ASor threshold must be in (0,1], got %v", s.Phi)
+	}
+	sim, err := textual.ByName(s.Sim)
+	if err != nil {
+		return nil, err
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		idx.Add(s.Key.Key(r), r.ID)
+	}
+	keys := idx.Keys()
+	var blocks [][]record.ID
+	var run []string
+	flush := func() {
+		if len(run) > 0 {
+			blocks = append(blocks, unionBuckets(idx, run))
+			run = run[:0]
+		}
+	}
+	for i, k := range keys {
+		if i > 0 && sim(keys[i-1], k) < s.Phi {
+			flush()
+		}
+		run = append(run, k)
+	}
+	flush()
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// sortedByKey returns record IDs ordered by key value (ties broken by ID
+// for determinism).
+func sortedByKey(d *record.Dataset, spec KeySpec) []record.ID {
+	type kv struct {
+		key string
+		id  record.ID
+	}
+	pairs := make([]kv, d.Len())
+	for i, r := range d.Records() {
+		pairs[i] = kv{spec.Key(r), r.ID}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key != pairs[j].key {
+			return pairs[i].key < pairs[j].key
+		}
+		return pairs[i].id < pairs[j].id
+	})
+	ids := make([]record.ID, len(pairs))
+	for i, p := range pairs {
+		ids[i] = p.id
+	}
+	return ids
+}
+
+func unionBuckets(idx *blocking.KeyIndex, keys []string) []record.ID {
+	var out []record.ID
+	for _, k := range keys {
+		out = append(out, idx.Bucket(k)...)
+	}
+	return out
+}

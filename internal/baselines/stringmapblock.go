@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+	"semblock/internal/stringmap"
+	"semblock/internal/textual"
+)
+
+// StMT is threshold-based string-map blocking (Jin, Li & Mehrotra): the
+// distinct key values are embedded into a Euclidean space with FastMap
+// (base distance = 1 − Sim), a uniform grid groups nearby embedded keys,
+// and within each grid cell every key collects the cellmate keys whose
+// *string* similarity reaches Loose into one block.
+type StMT struct {
+	Key KeySpec
+	// Sim names the base similarity function for the embedding and the
+	// in-cell threshold test.
+	Sim string
+	// Loose and Tight are the survey's threshold pair; Loose admits a key
+	// into the block, Tight stops it from seeding further blocks.
+	Loose, Tight float64
+	// GridSize is the number of grid cells per dimension.
+	GridSize int
+	// Dims is the embedding dimensionality.
+	Dims int
+	// GridDims caps how many embedding dimensions form the cell key; 0
+	// applies the default of 3 (higher values shatter the grid into
+	// singleton cells — this is exactly how two of the survey's StMT
+	// settings "failed to generate any blocking results").
+	GridDims int
+	// Seed drives FastMap's pivot randomisation.
+	Seed int64
+}
+
+// Name implements blocking.Blocker.
+func (s *StMT) Name() string { return "StMT" }
+
+// Block embeds, grids and threshold-groups the keys.
+func (s *StMT) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.Loose <= 0 || s.Tight < s.Loose || s.Tight > 1 {
+		return nil, fmt.Errorf("baselines: StMT needs 0 < loose ≤ tight ≤ 1, got %v/%v", s.Loose, s.Tight)
+	}
+	if s.GridSize < 1 || s.Dims < 1 {
+		return nil, fmt.Errorf("baselines: StMT needs positive grid size and dims, got %d/%d", s.GridSize, s.Dims)
+	}
+	sim, err := textual.ByName(s.Sim)
+	if err != nil {
+		return nil, err
+	}
+	keys, byKey := distinctKeys(d, s.Key)
+	emb, err := stringmap.FastMap(keys, s.Dims, func(a, b string) float64 { return 1 - sim(a, b) }, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gridDims := s.GridDims
+	if gridDims <= 0 {
+		gridDims = 3
+	}
+	grid := stringmap.NewGrid(emb, s.GridSize, gridDims)
+	var blocks [][]record.ID
+	consumed := make([]bool, len(keys))
+	for i := range keys {
+		if consumed[i] {
+			continue
+		}
+		cands := grid.NeighborMates(i)
+		sort.Ints(cands)
+		group := []int{i}
+		for _, j := range cands {
+			if j == i || consumed[j] {
+				continue
+			}
+			if v := sim(keys[i], keys[j]); v >= s.Loose {
+				group = append(group, j)
+				if v >= s.Tight {
+					consumed[j] = true
+				}
+			}
+		}
+		consumed[i] = true
+		if ids := keysToRecords(group, keys, byKey); len(ids) >= 2 {
+			blocks = append(blocks, ids)
+		}
+	}
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// StMNN is nearest-neighbour string-map blocking (Adly's double-embedding
+// scheme, simplified to a single embedding): each key forms a block with
+// its N1 nearest cellmates in the embedded space; the nearest N2 are
+// consumed and seed no further blocks.
+type StMNN struct {
+	Key      KeySpec
+	Sim      string
+	N1, N2   int
+	GridSize int
+	Dims     int
+	GridDims int
+	Seed     int64
+}
+
+// Name implements blocking.Blocker.
+func (s *StMNN) Name() string { return "StMNN" }
+
+// Block embeds, grids and nearest-neighbour-groups the keys.
+func (s *StMNN) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.N1 < 1 || s.N2 < 1 || s.N2 > s.N1 {
+		return nil, fmt.Errorf("baselines: StMNN needs 1 ≤ n2 ≤ n1, got n1=%d n2=%d", s.N1, s.N2)
+	}
+	if s.GridSize < 1 || s.Dims < 1 {
+		return nil, fmt.Errorf("baselines: StMNN needs positive grid size and dims, got %d/%d", s.GridSize, s.Dims)
+	}
+	sim, err := textual.ByName(s.Sim)
+	if err != nil {
+		return nil, err
+	}
+	keys, byKey := distinctKeys(d, s.Key)
+	emb, err := stringmap.FastMap(keys, s.Dims, func(a, b string) float64 { return 1 - sim(a, b) }, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gridDims := s.GridDims
+	if gridDims <= 0 {
+		gridDims = 3
+	}
+	grid := stringmap.NewGrid(emb, s.GridSize, gridDims)
+	var blocks [][]record.ID
+	consumed := make([]bool, len(keys))
+	for i := range keys {
+		if consumed[i] {
+			continue
+		}
+		type nb struct {
+			j int
+			d float64
+		}
+		var nbs []nb
+		for _, j := range grid.NeighborMates(i) {
+			if j != i && !consumed[j] {
+				nbs = append(nbs, nb{j, emb.Distance(i, j)})
+			}
+		}
+		sort.Slice(nbs, func(a, b int) bool {
+			if nbs[a].d != nbs[b].d {
+				return nbs[a].d < nbs[b].d
+			}
+			return nbs[a].j < nbs[b].j
+		})
+		group := []int{i}
+		for r, x := range nbs {
+			if r >= s.N1 {
+				break
+			}
+			group = append(group, x.j)
+			if r < s.N2 {
+				consumed[x.j] = true
+			}
+		}
+		consumed[i] = true
+		if ids := keysToRecords(group, keys, byKey); len(ids) >= 2 {
+			blocks = append(blocks, ids)
+		}
+	}
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// distinctKeys extracts the sorted distinct key values and the records
+// carrying each.
+func distinctKeys(d *record.Dataset, spec KeySpec) ([]string, map[string][]record.ID) {
+	byKey := make(map[string][]record.ID)
+	for _, r := range d.Records() {
+		k := spec.Key(r)
+		byKey[k] = append(byKey[k], r.ID)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, byKey
+}
+
+func keysToRecords(group []int, keys []string, byKey map[string][]record.ID) []record.ID {
+	var ids []record.ID
+	for _, g := range group {
+		ids = append(ids, byKey[keys[g]]...)
+	}
+	return ids
+}

@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"fmt"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// SuA is suffix-array blocking (Aizawa & Oyama): every record is indexed
+// under each suffix of its key value with length ≥ MinLen (plus the full
+// key); suffix buckets larger than MaxBlock are discarded as too common to
+// be discriminative.
+type SuA struct {
+	Key KeySpec
+	// MinLen is the minimum suffix length.
+	MinLen int
+	// MaxBlock discards buckets larger than this (0 = unlimited).
+	MaxBlock int
+}
+
+// Name implements blocking.Blocker.
+func (s *SuA) Name() string { return "SuA" }
+
+// Block indexes records under their key suffixes.
+func (s *SuA) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.MinLen < 1 {
+		return nil, fmt.Errorf("baselines: SuA minimum suffix length must be ≥ 1, got %d", s.MinLen)
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		for _, suf := range suffixes(s.Key.Key(r), s.MinLen) {
+			idx.Add(suf, r.ID)
+		}
+	}
+	return idx.Result(s.Name(), s.MaxBlock), nil
+}
+
+// SuAS is the all-substrings variant of suffix-array blocking: records are
+// indexed under every substring of length ≥ MinLen, trading a much larger
+// index for robustness against errors at the end of the key.
+type SuAS struct {
+	Key      KeySpec
+	MinLen   int
+	MaxBlock int
+	// MaxKeyLen truncates keys before substring expansion; 0 applies the
+	// default of 24 (substring count grows quadratically with key length).
+	MaxKeyLen int
+}
+
+// Name implements blocking.Blocker.
+func (s *SuAS) Name() string { return "SuAS" }
+
+// Block indexes records under all substrings of their keys.
+func (s *SuAS) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.MinLen < 1 {
+		return nil, fmt.Errorf("baselines: SuAS minimum substring length must be ≥ 1, got %d", s.MinLen)
+	}
+	maxKey := s.MaxKeyLen
+	if maxKey <= 0 {
+		maxKey = 24
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		key := s.Key.Key(r)
+		if len(key) > maxKey {
+			key = key[:maxKey]
+		}
+		runes := []rune(key)
+		seen := make(map[string]struct{})
+		for i := 0; i < len(runes); i++ {
+			for j := i + s.MinLen; j <= len(runes); j++ {
+				sub := string(runes[i:j])
+				if _, ok := seen[sub]; ok {
+					continue
+				}
+				seen[sub] = struct{}{}
+				idx.Add(sub, r.ID)
+			}
+		}
+	}
+	return idx.Result(s.Name(), s.MaxBlock), nil
+}
+
+// RSuA is robust suffix-array blocking (de Vries et al.): after building
+// the suffix index, *adjacent suffixes in sorted order* whose string
+// similarity reaches Phi have their buckets merged, so small typographic
+// differences between suffixes no longer split blocks.
+type RSuA struct {
+	Key      KeySpec
+	MinLen   int
+	MaxBlock int
+	// Sim names the suffix-to-suffix similarity function.
+	Sim string
+	// Phi is the merge threshold in (0,1].
+	Phi float64
+}
+
+// Name implements blocking.Blocker.
+func (s *RSuA) Name() string { return "RSuA" }
+
+// Block merges similar adjacent suffix buckets.
+func (s *RSuA) Block(d *record.Dataset) (*blocking.Result, error) {
+	if err := s.Key.validate(s.Name()); err != nil {
+		return nil, err
+	}
+	if s.MinLen < 1 {
+		return nil, fmt.Errorf("baselines: RSuA minimum suffix length must be ≥ 1, got %d", s.MinLen)
+	}
+	if s.Phi <= 0 || s.Phi > 1 {
+		return nil, fmt.Errorf("baselines: RSuA threshold must be in (0,1], got %v", s.Phi)
+	}
+	sim, err := textual.ByName(s.Sim)
+	if err != nil {
+		return nil, err
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		for _, suf := range suffixes(s.Key.Key(r), s.MinLen) {
+			idx.Add(suf, r.ID)
+		}
+	}
+	keys := idx.Keys() // sorted
+	var blocks [][]record.ID
+	var run []string
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		ids := unionBuckets(idx, run)
+		if len(ids) >= 2 && (s.MaxBlock == 0 || len(ids) <= s.MaxBlock) {
+			blocks = append(blocks, ids)
+		}
+		run = run[:0]
+	}
+	for i, k := range keys {
+		if i > 0 && sim(keys[i-1], k) < s.Phi {
+			flush()
+		}
+		run = append(run, k)
+	}
+	flush()
+	return blocking.NewResult(s.Name(), blocks), nil
+}
+
+// suffixes returns the suffixes of key with length ≥ minLen, longest
+// first (including the whole key). Keys shorter than minLen yield the key
+// itself so short values still block.
+func suffixes(key string, minLen int) []string {
+	runes := []rune(key)
+	if len(runes) <= minLen {
+		return []string{key}
+	}
+	out := make([]string, 0, len(runes)-minLen+1)
+	for i := 0; i+minLen <= len(runes); i++ {
+		out = append(out, string(runes[i:]))
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"semblock/internal/record"
+)
+
+// PubType is the ground-truth publication type of a synthetic entity; it
+// drives which of the journal/booktitle/institution attributes are filled,
+// which in turn drives the Table 1 missing-value patterns.
+type PubType int
+
+// Publication types, weighted roughly like Cora's mix.
+const (
+	PubJournal PubType = iota
+	PubConference
+	PubBook
+	PubTechReport
+	PubThesis
+)
+
+// String names the type for reports.
+func (p PubType) String() string {
+	switch p {
+	case PubJournal:
+		return "journal"
+	case PubConference:
+		return "conference"
+	case PubBook:
+		return "book"
+	case PubTechReport:
+		return "techreport"
+	case PubThesis:
+		return "thesis"
+	default:
+		return "unknown"
+	}
+}
+
+// CoraConfig parameterises the Cora-like generator.
+type CoraConfig struct {
+	// Records is the total number of records (the real Cora has 1,879).
+	Records int
+	// Seed drives all randomness.
+	Seed int64
+	// TypoRate is the per-field probability of a typographic edit on a
+	// duplicate record.
+	TypoRate float64
+	// PatternNoise is the probability that a record's semantic fields are
+	// perturbed (a field dropped or a spurious one added), making its
+	// missing-value pattern — and hence its semantic features — *noisy*,
+	// as the paper observes for the real Cora.
+	PatternNoise float64
+	// TitleReuse is the probability that a new entity reuses (a lightly
+	// edited copy of) an earlier entity's title under a different
+	// publication type — the paper's motivating confound: "two publication
+	// records may have the exactly same title but are semantically
+	// different because one is a conference article and the other is a
+	// technical report" (§1).
+	TitleReuse float64
+}
+
+// DefaultCoraConfig mirrors the real dataset's scale and dirtiness.
+func DefaultCoraConfig() CoraConfig {
+	return CoraConfig{Records: 1879, Seed: 1, TypoRate: 0.55, PatternNoise: 0.10, TitleReuse: 0.22}
+}
+
+// coraEntity is the ground truth for one distinct publication.
+type coraEntity struct {
+	title   string
+	authors []author // (first, last) pairs
+	venue   string
+	inst    string
+	year    int
+	typ     PubType
+}
+
+type author struct{ first, last string }
+
+// Cora generates the Cora-like bibliographic dataset: a heavily duplicated
+// citation collection with a skewed cluster-size distribution, typographic
+// noise, author-format variation and pattern-level semantic noise.
+func Cora(cfg CoraConfig) *record.Dataset {
+	if cfg.Records <= 0 {
+		cfg.Records = DefaultCoraConfig().Records
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := NewCorruptor(rng)
+	d := record.NewDataset("cora")
+
+	entity := record.EntityID(0)
+	var previous []*coraEntity
+	for d.Len() < cfg.Records {
+		e := newCoraEntity(rng, c)
+		// Title-reuse confound: a distinct entity of a *different* type
+		// borrows an earlier title (e.g. the TR version of a conference
+		// paper), producing textually similar but semantically different
+		// non-matches.
+		if len(previous) > 0 && c.Chance(cfg.TitleReuse) {
+			src := previous[rng.Intn(len(previous))]
+			e.title = c.MaybeTypo(src.title, 0.3)
+			if e.typ == src.typ {
+				e.typ, e.venue, e.inst = reuseType(src.typ, c)
+			}
+			// Half the time the borrowed work shares the author list too
+			// (preprint/TR of the same group's paper).
+			if c.Chance(0.5) {
+				e.authors = src.authors
+			}
+		}
+		previous = append(previous, e)
+		size := clusterSize(rng)
+		if remaining := cfg.Records - d.Len(); size > remaining {
+			size = remaining
+		}
+		for i := 0; i < size; i++ {
+			d.Append(entity, coraRecord(e, i == 0, cfg, c))
+		}
+		entity++
+	}
+	return d
+}
+
+// reuseType picks a publication type different from typ, with matching
+// venue/institution fields.
+func reuseType(typ PubType, c *Corruptor) (PubType, string, string) {
+	if typ == PubTechReport || typ == PubThesis {
+		if c.Chance(0.6) {
+			return PubConference, c.Pick(conferences), ""
+		}
+		return PubJournal, c.Pick(journals), ""
+	}
+	if c.Chance(0.7) {
+		return PubTechReport, "", c.Pick(universities)
+	}
+	return PubThesis, "", c.Pick(universities)
+}
+
+// newCoraEntity draws a distinct ground-truth publication.
+func newCoraEntity(rng *rand.Rand, c *Corruptor) *coraEntity {
+	e := &coraEntity{year: 1985 + rng.Intn(15)}
+	// Title: 4-8 vocabulary words with occasional connectors.
+	n := 4 + rng.Intn(5)
+	words := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && i < n-1 && c.Chance(0.25) {
+			words = append(words, c.Pick(titleConnectors))
+		}
+		words = append(words, c.Pick(titleVocab))
+	}
+	e.title = strings.Join(words, " ")
+	// 1-3 authors.
+	na := 1 + rng.Intn(3)
+	for i := 0; i < na; i++ {
+		pool := firstNamesMale
+		if c.Chance(0.5) {
+			pool = firstNamesFemale
+		}
+		e.authors = append(e.authors, author{first: c.Pick(pool), last: c.Pick(lastNames)})
+	}
+	// Type mix roughly like Cora: conference-heavy.
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		e.typ = PubConference
+		e.venue = c.Pick(conferences)
+	case r < 0.65:
+		e.typ = PubJournal
+		e.venue = c.Pick(journals)
+	case r < 0.85:
+		e.typ = PubTechReport
+		e.inst = c.Pick(universities)
+	case r < 0.95:
+		e.typ = PubThesis
+		e.inst = c.Pick(universities)
+	default:
+		e.typ = PubBook
+		e.venue = c.Pick(publishers)
+	}
+	return e
+}
+
+// clusterSize draws a skewed duplicate-cluster size: many small clusters,
+// a few very large ones (Cora's signature shape).
+func clusterSize(rng *rand.Rand) int {
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		return 1 + rng.Intn(3) // 1-3
+	case r < 0.85:
+		return 4 + rng.Intn(7) // 4-10
+	case r < 0.97:
+		return 11 + rng.Intn(20) // 11-30
+	default:
+		return 31 + rng.Intn(60) // 31-90
+	}
+}
+
+// coraRecord materialises one (possibly corrupted) citation of an entity.
+// The first record of a cluster is kept clean, later ones accumulate noise.
+func coraRecord(e *coraEntity, clean bool, cfg CoraConfig, c *Corruptor) map[string]string {
+	title := e.title
+	authors := formatAuthors(e.authors, 0, c)
+	if !clean {
+		authors = formatAuthors(e.authors, c.rng.Intn(4), c)
+		title = c.MaybeTypo(title, cfg.TypoRate)
+		if c.Chance(cfg.TypoRate / 2) {
+			title = c.MaybeTypo(title, 1)
+		}
+		if c.Chance(0.10) {
+			title = c.DropWord(title)
+		}
+		if c.Chance(0.08) {
+			title = c.TruncateWord(title)
+		}
+		if c.Chance(0.05) {
+			title = c.SwapWords(title)
+		}
+	}
+	attrs := map[string]string{
+		"title":   title,
+		"authors": authors,
+		"year":    strconv.Itoa(e.year),
+	}
+	// Semantic fields per publication type (Table 1 ground truth).
+	switch e.typ {
+	case PubJournal:
+		attrs["journal"] = e.venue
+	case PubConference:
+		attrs["booktitle"] = e.venue
+	case PubBook:
+		attrs["publisher"] = e.venue // none of journal/booktitle/institution
+	case PubTechReport, PubThesis:
+		attrs["institution"] = e.inst
+	}
+	if !clean {
+		if v := attrs["journal"]; v != "" {
+			attrs["journal"] = c.MaybeTypo(v, cfg.TypoRate/2)
+		}
+		if v := attrs["booktitle"]; v != "" {
+			attrs["booktitle"] = c.MaybeTypo(v, cfg.TypoRate/2)
+		}
+		perturbPattern(attrs, cfg.PatternNoise, c)
+	}
+	return attrs
+}
+
+// perturbPattern injects semantic noise through three channels: dropping a
+// present semantic field, adding a spurious one, or *flipping* the field
+// entirely (a conference paper mis-catalogued as a journal article). Flips
+// are the harshest: they move the record to a sibling concept, making the
+// duplicate pair semantically disjoint — the source of the paper's PC loss
+// on noisy Cora.
+func perturbPattern(attrs map[string]string, p float64, c *Corruptor) {
+	if !c.Chance(p) {
+		return
+	}
+	semFields := []string{"journal", "booktitle", "institution"}
+	var present, absent []string
+	for _, f := range semFields {
+		if attrs[f] != "" {
+			present = append(present, f)
+		} else {
+			absent = append(absent, f)
+		}
+	}
+	fill := func(f string) {
+		switch f {
+		case "journal":
+			attrs[f] = c.Pick(journals)
+		case "booktitle":
+			attrs[f] = c.Pick(conferences)
+		default:
+			attrs[f] = c.Pick(universities)
+		}
+	}
+	switch r := c.rng.Float64(); {
+	case r < 0.2 && len(present) > 0 && len(absent) > 0:
+		// Flip: replace one present field with a different one.
+		delete(attrs, c.Pick(present))
+		fill(c.Pick(absent))
+	case r < 0.55 && len(present) > 0:
+		// Drop a present field.
+		delete(attrs, c.Pick(present))
+	case len(absent) > 0:
+		// Add a spurious field.
+		fill(c.Pick(absent))
+	}
+}
+
+// formatAuthors renders the author list in one of several citation styles,
+// reproducing variants like "E. Fahlman and C. Lebiere" vs
+// "Fahlman, S., & Lebiere, C.".
+func formatAuthors(as []author, style int, c *Corruptor) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		switch style {
+		case 0: // F. Last
+			parts[i] = fmt.Sprintf("%c. %s", a.first[0], a.last)
+		case 1: // Last, F.
+			parts[i] = fmt.Sprintf("%s, %c.", a.last, a.first[0])
+		case 2: // First Last
+			parts[i] = fmt.Sprintf("%s %s", a.first, a.last)
+		default: // Last, First
+			parts[i] = fmt.Sprintf("%s, %s", a.last, a.first)
+		}
+	}
+	sep := " and "
+	if style == 1 && c.Chance(0.5) {
+		sep = ", & "
+	}
+	if c.Chance(0.2) {
+		sep = " & "
+	}
+	return strings.Join(parts, sep)
+}
+
+// CoraAttrs lists the attributes the Cora experiments block on and report.
+func CoraAttrs() []string {
+	return []string{"title", "authors", "year", "journal", "booktitle", "institution", "publisher"}
+}

@@ -1,0 +1,323 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+	"semblock/internal/textual"
+)
+
+func TestCoraSizeAndLabels(t *testing.T) {
+	cfg := DefaultCoraConfig()
+	cfg.Records = 500
+	d := Cora(cfg)
+	if d.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", d.Len())
+	}
+	if !d.Labeled() {
+		t.Fatal("cora must be fully labeled")
+	}
+	if d.EntityCount() < 20 || d.EntityCount() >= 500 {
+		t.Errorf("EntityCount = %d; expected heavy duplication", d.EntityCount())
+	}
+	if len(d.TrueMatches()) == 0 {
+		t.Error("no true matches generated")
+	}
+}
+
+func TestCoraDeterministic(t *testing.T) {
+	cfg := DefaultCoraConfig()
+	cfg.Records = 200
+	a, b := Cora(cfg), Cora(cfg)
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Record(record.ID(i)), b.Record(record.ID(i))
+		if ra.Entity != rb.Entity || ra.Value("title") != rb.Value("title") || ra.Value("authors") != rb.Value("authors") {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	cfg.Seed = 99
+	c := Cora(cfg)
+	diff := false
+	for i := 0; i < a.Len() && !diff; i++ {
+		if a.Record(record.ID(i)).Value("title") != c.Record(record.ID(i)).Value("title") {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should generate different data")
+	}
+}
+
+// TestCoraTrueMatchesAreTextuallySimilar validates the generator's central
+// property: duplicates remain recognisably similar (most true matches above
+// 0.3 q-gram Jaccard on title+authors, the paper's s_h for Cora).
+func TestCoraTrueMatchesAreTextuallySimilar(t *testing.T) {
+	cfg := DefaultCoraConfig()
+	cfg.Records = 600
+	d := Cora(cfg)
+	tm := d.TrueMatches()
+	if len(tm) < 100 {
+		t.Fatalf("too few true matches: %d", len(tm))
+	}
+	above := 0
+	for _, p := range tm {
+		a := d.Record(p.Left()).Key("title", "authors")
+		b := d.Record(p.Right()).Key("title", "authors")
+		if textual.QGramJaccard(a, b, 4) > 0.3 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(len(tm))
+	if frac < 0.7 {
+		t.Errorf("only %.2f of true matches exceed 0.3 similarity; generator too noisy", frac)
+	}
+}
+
+// TestCoraPatternsAreNoisy checks that pattern noise actually perturbs the
+// semantic interpretation of some duplicates (the paper's observation that
+// Cora's semantic features are noisy).
+func TestCoraPatternsAreNoisy(t *testing.T) {
+	cfg := DefaultCoraConfig()
+	cfg.Records = 800
+	d := Cora(cfg)
+	fn, err := semantic.NewCoraFunction(taxonomy.Bibliographic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count true-match pairs with differing interpretations.
+	tax := taxonomy.Bibliographic()
+	noisy := 0
+	tm := d.TrueMatches()
+	for _, p := range tm {
+		za := fn.Interpret(d.Record(p.Left()))
+		zb := fn.Interpret(d.Record(p.Right()))
+		if tax.SimRecords(za, zb) < 1 {
+			noisy++
+		}
+	}
+	if noisy == 0 {
+		t.Error("expected some semantic noise among duplicates")
+	}
+	if noisy == len(tm) {
+		t.Error("all duplicates semantically differ; noise rate too high")
+	}
+}
+
+func TestCoraRespectsPubTypeFields(t *testing.T) {
+	cfg := DefaultCoraConfig()
+	cfg.Records = 300
+	cfg.PatternNoise = 0 // disable noise to observe ground-truth patterns
+	d := Cora(cfg)
+	sawJournal, sawConf, sawInst := false, false, false
+	for _, r := range d.Records() {
+		if r.Has("journal") {
+			sawJournal = true
+		}
+		if r.Has("booktitle") {
+			sawConf = true
+		}
+		if r.Has("institution") {
+			sawInst = true
+		}
+		if r.Value("title") == "" {
+			t.Fatalf("record %d missing title", r.ID)
+		}
+	}
+	if !sawJournal || !sawConf || !sawInst {
+		t.Error("expected a mix of journal/booktitle/institution records")
+	}
+}
+
+func TestPubTypeString(t *testing.T) {
+	names := map[PubType]string{
+		PubJournal: "journal", PubConference: "conference", PubBook: "book",
+		PubTechReport: "techreport", PubThesis: "thesis", PubType(99): "unknown",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestVoterSizeAndDuplication(t *testing.T) {
+	cfg := DefaultVoterConfig()
+	cfg.Records = 5000
+	d := Voter(cfg)
+	if d.Len() != 5000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if !d.Labeled() {
+		t.Fatal("voter must be labeled")
+	}
+	tm := len(d.TrueMatches())
+	if tm == 0 {
+		t.Fatal("no duplicates generated")
+	}
+	// Light duplication: far fewer matches than records.
+	if tm > d.Len() {
+		t.Errorf("true matches (%d) suspiciously high", tm)
+	}
+}
+
+func TestVoterUncertainCodes(t *testing.T) {
+	cfg := DefaultVoterConfig()
+	cfg.Records = 4000
+	d := Voter(cfg)
+	uncertain := 0
+	for _, r := range d.Records() {
+		g := r.Value("gender")
+		if g != "M" && g != "F" && g != "U" {
+			t.Fatalf("unexpected gender code %q", g)
+		}
+		if g == "U" {
+			uncertain++
+		}
+	}
+	frac := float64(uncertain) / float64(d.Len())
+	if frac < 0.05 || frac > 0.35 {
+		t.Errorf("uncertain gender fraction = %.3f, expected near config rate", frac)
+	}
+}
+
+// TestVoterSemanticsNotNoisy verifies the "uncertain but not noisy"
+// property: two duplicate records never carry *conflicting* concrete
+// demographic codes.
+func TestVoterSemanticsNotNoisy(t *testing.T) {
+	cfg := DefaultVoterConfig()
+	cfg.Records = 6000
+	d := Voter(cfg)
+	for _, p := range d.TrueMatches() {
+		a, b := d.Record(p.Left()), d.Record(p.Right())
+		for _, attr := range []string{"gender", "race"} {
+			va, vb := a.Value(attr), b.Value(attr)
+			if va != "U" && vb != "U" && va != vb {
+				t.Fatalf("conflicting %s codes %q vs %q for entity %d", attr, va, vb, a.Entity)
+			}
+		}
+	}
+}
+
+func TestVoterTrueMatchesSimilar(t *testing.T) {
+	cfg := DefaultVoterConfig()
+	cfg.Records = 5000
+	d := Voter(cfg)
+	tm := d.TrueMatches()
+	above := 0
+	for _, p := range tm {
+		a := d.Record(p.Left()).Key("first_name", "last_name")
+		b := d.Record(p.Right()).Key("first_name", "last_name")
+		if textual.QGramJaccard(a, b, 2) > 0.5 {
+			above++
+		}
+	}
+	if frac := float64(above) / float64(len(tm)); frac < 0.6 {
+		t.Errorf("only %.2f of voter matches exceed 0.5 bigram similarity", frac)
+	}
+}
+
+func TestVoterDeterministic(t *testing.T) {
+	cfg := DefaultVoterConfig()
+	cfg.Records = 1000
+	a, b := Voter(cfg), Voter(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.Record(record.ID(i)).Value("first_name") != b.Record(record.ID(i)).Value("first_name") {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestCorruptorTypoChangesString(t *testing.T) {
+	c := NewCorruptor(rand.New(rand.NewSource(1)))
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if c.Typo("cascade correlation", 1) != "cascade correlation" {
+			changed++
+		}
+	}
+	// Transposing identical adjacent characters can be a no-op, but the
+	// vast majority of single edits must change the string.
+	if changed < 80 {
+		t.Errorf("only %d/100 typos changed the string", changed)
+	}
+	if got := c.Typo("", 3); got != "" {
+		t.Errorf("typo on empty string = %q", got)
+	}
+}
+
+func TestCorruptorWordOps(t *testing.T) {
+	c := NewCorruptor(rand.New(rand.NewSource(2)))
+	if got := c.DropWord("single"); got != "single" {
+		t.Errorf("DropWord on one word = %q", got)
+	}
+	dropped := c.DropWord("alpha beta gamma")
+	if len(strings.Fields(dropped)) != 2 {
+		t.Errorf("DropWord = %q, want two words", dropped)
+	}
+	if got := c.SwapWords("single"); got != "single" {
+		t.Errorf("SwapWords on one word = %q", got)
+	}
+	swapped := c.SwapWords("alpha beta")
+	if swapped != "beta alpha" {
+		t.Errorf("SwapWords = %q", swapped)
+	}
+	if got := c.TruncateWord("a bb cc"); got != "a bb cc" {
+		t.Errorf("TruncateWord with no long words = %q", got)
+	}
+	trunc := c.TruncateWord("backpropagation")
+	if len(trunc) >= len("backpropagation") {
+		t.Errorf("TruncateWord = %q, want shorter", trunc)
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[weightedPick(rng, raceCodes, raceWeights)]++
+	}
+	if counts["W"] < counts["A"] {
+		t.Error("weighted pick should favour W over A")
+	}
+	for _, code := range raceCodes {
+		if counts[code] == 0 && raceWeights[0] > 0 {
+			// Low-weight codes may legitimately be rare; only W/B must appear.
+			continue
+		}
+	}
+	if counts["W"] == 0 || counts["B"] == 0 {
+		t.Error("common codes missing from weighted picks")
+	}
+}
+
+func TestAttrLists(t *testing.T) {
+	if len(CoraAttrs()) == 0 || len(VoterAttrs()) == 0 {
+		t.Fatal("attr lists must be non-empty")
+	}
+	for _, a := range []string{"title", "authors", "journal", "booktitle", "institution"} {
+		found := false
+		for _, x := range CoraAttrs() {
+			if x == a {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CoraAttrs missing %q", a)
+		}
+	}
+}
+
+func TestDefaultsClampZeroRecords(t *testing.T) {
+	d := Cora(CoraConfig{Seed: 1})
+	if d.Len() != DefaultCoraConfig().Records {
+		t.Errorf("zero-record config should default to %d, got %d", DefaultCoraConfig().Records, d.Len())
+	}
+	v := Voter(VoterConfig{Seed: 1})
+	if v.Len() != DefaultVoterConfig().Records {
+		t.Errorf("zero-record voter config should default to %d, got %d", DefaultVoterConfig().Records, v.Len())
+	}
+}

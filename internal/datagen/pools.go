@@ -1,0 +1,189 @@
+package datagen
+
+// Word pools for the synthetic generators. The bibliographic vocabulary is
+// themed on machine learning so titles look like Cora's; the person pools
+// are common US names, matching NC Voter's domain.
+
+// titleVocab feeds synthetic publication titles.
+var titleVocab = []string{
+	"learning", "neural", "network", "networks", "cascade", "correlation",
+	"architecture", "genetic", "algorithm", "algorithms", "adaptive",
+	"training", "classification", "recognition", "models", "model",
+	"bayesian", "inference", "reinforcement", "markov", "hidden",
+	"decision", "trees", "tree", "boosting", "bagging", "ensemble",
+	"gradient", "descent", "backpropagation", "perceptron", "multilayer",
+	"feature", "selection", "extraction", "clustering", "unsupervised",
+	"supervised", "regression", "linear", "nonlinear", "kernel", "support",
+	"vector", "machines", "optimization", "stochastic", "convergence",
+	"analysis", "theory", "empirical", "evaluation", "comparison", "study",
+	"approach", "framework", "system", "systems", "application",
+	"applications", "pattern", "patterns", "probabilistic", "statistical",
+	"temporal", "sequence", "prediction", "forecasting", "control",
+	"robotics", "vision", "speech", "language", "knowledge", "reasoning",
+	"search", "heuristic", "planning", "scheduling", "constraint",
+	"propagation", "pruning", "generalization", "regularization",
+	"dimensionality", "reduction", "sampling", "estimation", "mixture",
+	"gaussian", "density", "belief", "propagation", "variational",
+	"approximate", "exact", "efficient", "fast", "scalable", "parallel",
+	"distributed", "incremental", "online", "active", "transfer",
+}
+
+// titleConnectors glue title words into plausible phrases.
+var titleConnectors = []string{"for", "of", "with", "in", "using", "via", "and", "on", "by"}
+
+// firstNamesMale / firstNamesFemale feed author and voter names.
+var firstNamesMale = []string{
+	"james", "john", "robert", "michael", "william", "david", "richard",
+	"joseph", "thomas", "charles", "christopher", "daniel", "matthew",
+	"anthony", "mark", "donald", "steven", "paul", "andrew", "joshua",
+	"kenneth", "kevin", "brian", "george", "edward", "ronald", "timothy",
+	"jason", "jeffrey", "ryan", "jacob", "gary", "nicholas", "eric",
+	"jonathan", "stephen", "larry", "justin", "scott", "brandon",
+	"benjamin", "samuel", "gregory", "frank", "alexander", "raymond",
+	"patrick", "jack", "dennis", "jerry", "tyler", "aaron", "jose",
+	"adam", "henry", "nathan", "douglas", "zachary", "peter", "kyle",
+	"walter", "ethan", "jeremy", "harold", "keith", "christian", "roger",
+	"noah", "gerald", "carl", "terry", "sean", "austin", "arthur",
+	"lawrence", "jesse", "dylan", "bryan", "joe", "jordan", "billy",
+	"bruce", "albert", "willie", "gabriel", "logan", "alan", "juan",
+	"wayne", "roy", "ralph", "randy", "eugene", "vincent", "russell",
+	"elijah", "louis", "bobby", "philip", "johnny",
+}
+
+var firstNamesFemale = []string{
+	"mary", "patricia", "jennifer", "linda", "elizabeth", "barbara",
+	"susan", "jessica", "sarah", "karen", "nancy", "lisa", "betty",
+	"margaret", "sandra", "ashley", "kimberly", "emily", "donna",
+	"michelle", "dorothy", "carol", "amanda", "melissa", "deborah",
+	"stephanie", "rebecca", "sharon", "laura", "cynthia", "kathleen",
+	"amy", "shirley", "angela", "helen", "anna", "brenda", "pamela",
+	"nicole", "emma", "samantha", "katherine", "christine", "debra",
+	"rachel", "catherine", "carolyn", "janet", "ruth", "maria",
+	"heather", "diane", "virginia", "julie", "joyce", "victoria",
+	"olivia", "kelly", "christina", "lauren", "joan", "evelyn",
+	"judith", "megan", "cheryl", "andrea", "hannah", "martha",
+	"jacqueline", "frances", "gloria", "ann", "teresa", "kathryn",
+	"sara", "janice", "jean", "alice", "madison", "doris", "abigail",
+	"julia", "judy", "grace", "denise", "amber", "marilyn", "beverly",
+	"danielle", "theresa", "sophia", "marie", "diana", "brittany",
+	"natalie", "isabella", "charlotte", "rose", "alexis", "kayla",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+	"martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+	"clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
+	"king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+	"green", "adams", "nelson", "baker", "hall", "rivera", "campbell",
+	"mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+	"turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes",
+	"stewart", "morris", "morales", "murphy", "cook", "rogers",
+	"gutierrez", "ortiz", "morgan", "cooper", "peterson", "bailey",
+	"reed", "kelly", "howard", "ramos", "kim", "cox", "ward",
+	"richardson", "watson", "brooks", "chavez", "wood", "james",
+	"bennett", "gray", "mendoza", "ruiz", "hughes", "price", "alvarez",
+	"castillo", "sanders", "patel", "myers", "long", "ross", "foster",
+	"jimenez", "fahlman", "lebiere", "wang", "cui", "liang", "christen",
+}
+
+var cities = []string{
+	"raleigh", "charlotte", "durham", "greensboro", "winston salem",
+	"fayetteville", "cary", "wilmington", "high point", "asheville",
+	"concord", "gastonia", "jacksonville", "chapel hill", "rocky mount",
+	"burlington", "huntersville", "wilson", "kannapolis", "apex",
+	"hickory", "goldsboro", "indian trail", "mooresville", "wake forest",
+	"monroe", "salisbury", "new bern", "sanford", "matthews",
+	"holly springs", "thomasville", "cornelius", "garner", "asheboro", "statesville",
+	"kernersville", "mint hill", "morrisville", "fuquay varina",
+}
+
+var universities = []string{
+	"carnegie mellon university", "stanford university", "mit",
+	"university of toronto", "australian national university",
+	"university of california berkeley", "cornell university",
+	"university of edinburgh", "eth zurich", "university of melbourne",
+	"princeton university", "university of cambridge", "caltech",
+	"university of washington", "georgia institute of technology",
+	"university of massachusetts amherst", "brown university",
+	"university of michigan", "columbia university", "oxford university",
+}
+
+var journals = []string{
+	"machine learning", "neural computation", "journal of artificial intelligence research",
+	"artificial intelligence", "ieee transactions on neural networks",
+	"journal of machine learning research", "pattern recognition",
+	"ieee transactions on pattern analysis and machine intelligence",
+	"neural networks", "cognitive science", "ai magazine",
+	"data mining and knowledge discovery", "knowledge and information systems",
+}
+
+var conferences = []string{
+	"advances in neural information processing systems",
+	"proceedings of the international conference on machine learning",
+	"proceedings of the national conference on artificial intelligence",
+	"international joint conference on artificial intelligence",
+	"proceedings of the international conference on neural networks",
+	"conference on computational learning theory",
+	"international conference on genetic algorithms",
+	"european conference on machine learning",
+	"acm sigkdd conference on knowledge discovery and data mining",
+	"international conference on pattern recognition",
+}
+
+var publishers = []string{
+	"morgan kaufmann", "mit press", "springer verlag", "academic press",
+	"addison wesley", "cambridge university press", "prentice hall",
+	"elsevier", "wiley", "oxford university press",
+}
+
+// Surname syllables: composed last names ("wilson", "ashford", ...) give
+// the voter generator realistic surname diversity (≈1,700 distinct names)
+// so that exact-name collisions between different people stay rare at the
+// 30,000-record scale, as in the real registry.
+var surnamePrefixes = []string{
+	"wil", "john", "ander", "pat", "mac", "fitz", "har", "ro", "ber",
+	"gal", "whit", "black", "under", "cum", "stan", "mor", "hud", "lan",
+	"cro", "bran", "ash", "thorn", "west", "east", "nor", "sud", "ken",
+	"dal", "wal", "hol", "car", "bar", "mar", "dun", "fer", "gib",
+	"hamp", "ing", "jar", "kel", "lam", "mil", "nash", "pem", "quin",
+	"ray", "sel", "tal", "van", "wad", "yar", "zim", "cal", "ed", "os",
+}
+
+var surnameSuffixes = []string{
+	"son", "ton", "ley", "field", "ford", "man", "sen", "berg", "stein",
+	"wood", "worth", "bury", "well", "more", "ridge", "land", "brook",
+	"shaw", "dale", "cott", "ham", "wick", "ster", "by", "gate", "house",
+	"mere", "low", "combe", "ings",
+}
+
+// streetNames feed voter addresses.
+var streetNames = []string{
+	"main st", "oak ave", "maple dr", "park rd", "cedar ln", "pine st",
+	"elm st", "washington ave", "lake dr", "hill rd", "church st",
+	"mill rd", "spring st", "ridge rd", "forest ave", "sunset blvd",
+	"river rd", "highland ave", "franklin st", "jefferson ave",
+}
+
+// nicknames maps formal first names to common diminutives, a corruption
+// channel for duplicate voter records.
+var nicknames = map[string]string{
+	"james": "jim", "john": "jack", "robert": "bob", "michael": "mike",
+	"william": "bill", "david": "dave", "richard": "rick", "joseph": "joe",
+	"thomas": "tom", "charles": "chuck", "christopher": "chris",
+	"daniel": "dan", "matthew": "matt", "anthony": "tony",
+	"steven": "steve", "andrew": "andy", "joshua": "josh",
+	"kenneth": "ken", "kevin": "kev", "edward": "ed", "ronald": "ron",
+	"timothy": "tim", "jeffrey": "jeff", "jacob": "jake",
+	"nicholas": "nick", "jonathan": "jon", "stephen": "steve",
+	"gregory": "greg", "benjamin": "ben", "samuel": "sam",
+	"alexander": "alex", "patrick": "pat", "elizabeth": "liz",
+	"jennifer": "jen", "jessica": "jess", "sarah": "sally",
+	"kimberly": "kim", "margaret": "peggy", "michelle": "shelly",
+	"amanda": "mandy", "deborah": "debbie", "stephanie": "steph",
+	"rebecca": "becky", "kathleen": "kathy", "pamela": "pam",
+	"katherine": "kate", "christine": "chris", "catherine": "cathy",
+	"victoria": "vicky", "patricia": "pat", "susan": "sue",
+	"barbara": "barb", "sandra": "sandy", "cynthia": "cindy",
+}

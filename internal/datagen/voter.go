@@ -1,0 +1,236 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"semblock/internal/record"
+)
+
+// VoterConfig parameterises the NC-Voter-like generator.
+type VoterConfig struct {
+	// Records is the total number of records (the paper extracts 292,892;
+	// its quality experiments use a 30,000-record labeled subset).
+	Records int
+	// Seed drives all randomness.
+	Seed int64
+	// DupEntityFraction is the fraction of *entities* that carry duplicate
+	// records (2-5 records each); the rest are singletons. NC Voter is a
+	// relatively clean registry, so duplication is light.
+	DupEntityFraction float64
+	// UncertainRate is the probability that a categorical code (gender /
+	// race / ethnicity) is recorded as uncertain ('U' / 'UN'). The paper
+	// highlights "the significant amount of uncertain values in race and
+	// gender".
+	UncertainRate float64
+	// TypoRate is the per-field corruption probability on duplicates.
+	TypoRate float64
+}
+
+// DefaultVoterConfig mirrors the paper's 30k quality subset.
+func DefaultVoterConfig() VoterConfig {
+	return VoterConfig{
+		Records:           30000,
+		Seed:              2,
+		DupEntityFraction: 0.10,
+		UncertainRate:     0.08,
+		TypoRate:          0.5,
+	}
+}
+
+var raceCodes = []string{"A", "B", "H", "I", "M", "O", "P", "W", "D", "X"}
+
+// raceWeights skew towards W/B like the NC registry.
+var raceWeights = []float64{0.03, 0.21, 0.05, 0.01, 0.02, 0.03, 0.01, 0.62, 0.01, 0.01}
+
+// Voter generates the NC-Voter-like dataset: person records with name,
+// address and demographic attributes; light duplication with typographic
+// noise; uncertain-but-not-noisy semantic codes (duplicates may degrade a
+// known code to 'U', but never to a *different* concrete code).
+func Voter(cfg VoterConfig) *record.Dataset {
+	if cfg.Records <= 0 {
+		cfg.Records = DefaultVoterConfig().Records
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := NewCorruptor(rng)
+	d := record.NewDataset("voter")
+
+	entity := record.EntityID(0)
+	for d.Len() < cfg.Records {
+		v := newVoterEntity(rng, c, cfg)
+		size := 1
+		if c.Chance(cfg.DupEntityFraction) {
+			size = 2 + rng.Intn(4) // 2-5 duplicates
+		}
+		if remaining := cfg.Records - d.Len(); size > remaining {
+			size = remaining
+		}
+		for i := 0; i < size; i++ {
+			d.Append(entity, voterRecord(v, i == 0, cfg, c))
+		}
+		entity++
+	}
+	return d
+}
+
+// voterEntity is the ground truth for one person.
+type voterEntity struct {
+	first, last, middle string
+	gender              string // M/F
+	race                string // concrete code
+	ethnic              string // HL/NL
+	age                 int
+	city, street, zip   string
+}
+
+func newVoterEntity(rng *rand.Rand, c *Corruptor, cfg VoterConfig) *voterEntity {
+	v := &voterEntity{age: 18 + rng.Intn(70)}
+	// Real name distributions are heavily skewed (the top few first names
+	// and surnames cover a large share of the population), which is what
+	// makes same-name-different-person pairs — the pairs only semantics
+	// can filter — common at registry scale. Zipf-weighted sampling
+	// reproduces that skew.
+	if c.Chance(0.5) {
+		v.gender = "M"
+		v.first = zipfPick(rng, firstNamesMale)
+	} else {
+		v.gender = "F"
+		v.first = zipfPick(rng, firstNamesFemale)
+	}
+	// About a third of the population carries a common curated surname
+	// (Zipf-skewed); the rest carry syllable-composed rarer surnames.
+	if c.Chance(0.35) {
+		v.last = zipfPick(rng, lastNames)
+	} else {
+		v.last = c.Pick(surnamePrefixes) + c.Pick(surnameSuffixes)
+	}
+	v.middle = string(rune('a' + rng.Intn(26)))
+	v.race = weightedPick(rng, raceCodes, raceWeights)
+	if c.Chance(0.08) {
+		v.ethnic = "HL"
+	} else {
+		v.ethnic = "NL"
+	}
+	v.city = c.Pick(cities)
+	v.street = fmt.Sprintf("%d %s", 1+rng.Intn(9999), c.Pick(streetNames))
+	v.zip = fmt.Sprintf("27%03d", rng.Intn(1000))
+	return v
+}
+
+// zipfCum caches cumulative Zipf(0.6) weights per pool length.
+var zipfCum = map[int][]float64{}
+
+// zipfPick samples pool[i] with probability proportional to 1/(i+1)^0.6,
+// so earlier (more common) names dominate, as in real name frequencies.
+func zipfPick(rng *rand.Rand, pool []string) string {
+	cum, ok := zipfCum[len(pool)]
+	if !ok {
+		cum = make([]float64, len(pool))
+		total := 0.0
+		for i := range pool {
+			total += 1 / math.Pow(float64(i+1), 0.6)
+			cum[i] = total
+		}
+		for i := range cum {
+			cum[i] /= total
+		}
+		zipfCum[len(pool)] = cum
+	}
+	r := rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return pool[lo]
+}
+
+func weightedPick(rng *rand.Rand, items []string, weights []float64) string {
+	r := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return items[i]
+		}
+	}
+	return items[len(items)-1]
+}
+
+// voterRecord materialises one record of a person. The first record is
+// clean; duplicates accumulate typographic noise in names and address,
+// while the demographic codes stay consistent (possibly degraded to
+// uncertain — never flipped to a different concrete value).
+func voterRecord(v *voterEntity, clean bool, cfg VoterConfig, c *Corruptor) map[string]string {
+	first, last := v.first, v.last
+	street, zip := v.street, v.zip
+	if !clean {
+		// NC Voter duplicates are mostly re-registrations: names usually
+		// survive verbatim while the address changes; a minority carry a
+		// nickname, one typo, or (rarely) typos in both name fields. This
+		// keeps most true-match name similarities above 0.8 (bigram
+		// Jaccard), the property §6.1 reads off the real data.
+		switch r := c.rng.Float64(); {
+		case r < 0.70:
+			// names unchanged
+		case r < 0.90:
+			if c.Chance(0.5) {
+				first = c.Typo(first, 1)
+			} else {
+				last = c.Typo(last, 1)
+			}
+		case r < 0.97:
+			if nick, ok := nicknames[first]; ok {
+				first = nick
+			} else {
+				first = c.Typo(first, 1)
+			}
+		default:
+			first = c.MaybeTypo(first, cfg.TypoRate)
+			last = c.MaybeTypo(last, cfg.TypoRate)
+		}
+		street = c.MaybeTypo(street, cfg.TypoRate/2)
+		if c.Chance(0.1) {
+			zip = c.Typo(zip, 1)
+		}
+	}
+	gender, race, ethnic := v.gender, v.race, v.ethnic
+	// Uncertain codes: on clean records with base probability, on
+	// duplicates slightly more often (clerical "unknown" entries).
+	ur := cfg.UncertainRate
+	if !clean {
+		ur *= 1.25
+	}
+	if c.Chance(ur) {
+		gender = "U"
+	}
+	if c.Chance(ur) {
+		race = "U"
+	}
+	if c.Chance(ur) {
+		ethnic = "UN"
+	}
+	return map[string]string{
+		"first_name": first,
+		"last_name":  last,
+		"middle":     v.middle,
+		"age":        strconv.Itoa(v.age),
+		"gender":     gender,
+		"race":       race,
+		"ethnic":     ethnic,
+		"city":       v.city,
+		"street":     street,
+		"zip":        zip,
+	}
+}
+
+// VoterAttrs lists the attributes of the voter dataset.
+func VoterAttrs() []string {
+	return []string{"first_name", "last_name", "middle", "age", "gender", "race", "ethnic", "city", "street", "zip"}
+}

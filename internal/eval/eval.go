@@ -1,0 +1,112 @@
+// Package eval implements the paper's blocking-quality measures (§6):
+// pair completeness (PC), pair quality (PQ), reduction ratio (RR) and
+// their harmonic mean FM, plus the meta-blocking variants PQ* and FM*
+// used by the Fig. 12 comparison.
+package eval
+
+import (
+	"fmt"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+)
+
+// Metrics holds the quality measures of one blocking result.
+type Metrics struct {
+	// PC = |Γ_tp| / |Ω_tp|: fraction of true matches retained in blocks.
+	PC float64
+	// PQ = |Γ_tp| / |Γ|: fraction of distinct candidate pairs that are
+	// true matches.
+	PQ float64
+	// RR = 1 - |Γ| / |Ω|: fraction of all-pairs comparisons avoided.
+	RR float64
+	// FM = harmonic mean of PC and PQ.
+	FM float64
+	// PQStar = |Γ_tp| / |Γm|: PQ over *redundant* comparisons, the variant
+	// used by the meta-blocking paper.
+	PQStar float64
+	// FMStar = harmonic mean of PC and PQStar.
+	FMStar float64
+
+	// CandidatePairs = |Γ|, the distinct pairs in blocks.
+	CandidatePairs int64
+	// Comparisons = |Γm|, the redundant comparison count.
+	Comparisons int64
+	// TruePositives = |Γ_tp|.
+	TruePositives int64
+	// TotalMatches = |Ω_tp|.
+	TotalMatches int64
+	// NumBlocks = |B|.
+	NumBlocks int
+	// MaxBlockSize is the largest block's cardinality.
+	MaxBlockSize int
+}
+
+// Evaluate scores a blocking result against the dataset's ground truth.
+// The dataset must be labeled.
+func Evaluate(res *blocking.Result, d *record.Dataset) (Metrics, error) {
+	if !d.Labeled() {
+		return Metrics{}, fmt.Errorf("eval: dataset %s has no ground truth", d.Name)
+	}
+	truth := record.NewPairSet(0)
+	for _, p := range d.TrueMatches() {
+		truth.AddPair(p)
+	}
+	return evaluate(res, d, truth), nil
+}
+
+// EvaluateWithTruth scores against a precomputed truth set, avoiding
+// repeated TrueMatches scans in parameter sweeps.
+func EvaluateWithTruth(res *blocking.Result, d *record.Dataset, truth record.PairSet) Metrics {
+	return evaluate(res, d, truth)
+}
+
+// TruthSet builds the ground-truth pair set once for reuse across sweeps.
+func TruthSet(d *record.Dataset) record.PairSet {
+	truth := record.NewPairSet(0)
+	for _, p := range d.TrueMatches() {
+		truth.AddPair(p)
+	}
+	return truth
+}
+
+func evaluate(res *blocking.Result, d *record.Dataset, truth record.PairSet) Metrics {
+	cand := res.CandidatePairs()
+	tp := int64(cand.Intersect(truth))
+	m := Metrics{
+		CandidatePairs: int64(cand.Len()),
+		Comparisons:    res.Comparisons(),
+		TruePositives:  tp,
+		TotalMatches:   int64(truth.Len()),
+		NumBlocks:      res.NumBlocks(),
+		MaxBlockSize:   res.MaxBlockSize(),
+	}
+	if m.TotalMatches > 0 {
+		m.PC = float64(tp) / float64(m.TotalMatches)
+	}
+	if m.CandidatePairs > 0 {
+		m.PQ = float64(tp) / float64(m.CandidatePairs)
+	}
+	if m.Comparisons > 0 {
+		m.PQStar = float64(tp) / float64(m.Comparisons)
+	}
+	if total := d.TotalPairs(); total > 0 {
+		m.RR = 1 - float64(m.CandidatePairs)/float64(total)
+	}
+	m.FM = harmonic(m.PC, m.PQ)
+	m.FMStar = harmonic(m.PC, m.PQStar)
+	return m
+}
+
+func harmonic(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// String renders the headline measures compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("PC=%.4f PQ=%.4f RR=%.4f FM=%.4f (pairs=%d blocks=%d)",
+		m.PC, m.PQ, m.RR, m.FM, m.CandidatePairs, m.NumBlocks)
+}

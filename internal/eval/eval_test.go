@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+)
+
+// dataset: 6 records, entities {0:{0,1,2}, 1:{3,4}, 2:{5}}.
+// Ω = 15 pairs, Ω_tp = 3+1 = 4 pairs.
+func evalDataset() *record.Dataset {
+	d := record.NewDataset("eval")
+	for _, e := range []record.EntityID{0, 0, 0, 1, 1, 2} {
+		d.Append(e, map[string]string{"x": "v"})
+	}
+	return d
+}
+
+func TestEvaluatePerfectBlocking(t *testing.T) {
+	d := evalDataset()
+	res := blocking.NewResult("perfect", [][]record.ID{{0, 1, 2}, {3, 4}})
+	m, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC != 1 {
+		t.Errorf("PC = %v, want 1", m.PC)
+	}
+	if m.PQ != 1 {
+		t.Errorf("PQ = %v, want 1", m.PQ)
+	}
+	if m.FM != 1 {
+		t.Errorf("FM = %v, want 1", m.FM)
+	}
+	wantRR := 1 - 4.0/15.0
+	if math.Abs(m.RR-wantRR) > 1e-12 {
+		t.Errorf("RR = %v, want %v", m.RR, wantRR)
+	}
+}
+
+func TestEvaluateSingleBlockBlocking(t *testing.T) {
+	d := evalDataset()
+	// The trivial blocker: everything in one block. PC=1, RR=0.
+	res := blocking.NewResult("trivial", [][]record.ID{{0, 1, 2, 3, 4, 5}})
+	m, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC != 1 {
+		t.Errorf("PC = %v, want 1", m.PC)
+	}
+	if m.RR != 0 {
+		t.Errorf("RR = %v, want 0", m.RR)
+	}
+	wantPQ := 4.0 / 15.0
+	if math.Abs(m.PQ-wantPQ) > 1e-12 {
+		t.Errorf("PQ = %v, want %v", m.PQ, wantPQ)
+	}
+}
+
+func TestEvaluateEmptyBlocking(t *testing.T) {
+	d := evalDataset()
+	res := blocking.NewResult("empty", nil)
+	m, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC != 0 || m.PQ != 0 || m.FM != 0 {
+		t.Errorf("empty blocking metrics = %+v, want zeros", m)
+	}
+	if m.RR != 1 {
+		t.Errorf("RR = %v, want 1", m.RR)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	d := evalDataset()
+	// Block {0,1,5}: pairs (0,1) tp, (0,5) fp, (1,5) fp.
+	res := blocking.NewResult("partial", [][]record.ID{{0, 1, 5}})
+	m, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PC-0.25) > 1e-12 {
+		t.Errorf("PC = %v, want 0.25", m.PC)
+	}
+	if math.Abs(m.PQ-1.0/3.0) > 1e-12 {
+		t.Errorf("PQ = %v, want 1/3", m.PQ)
+	}
+	wantFM := 2 * 0.25 * (1.0 / 3.0) / (0.25 + 1.0/3.0)
+	if math.Abs(m.FM-wantFM) > 1e-12 {
+		t.Errorf("FM = %v, want %v", m.FM, wantFM)
+	}
+}
+
+func TestPQStarCountsRedundantComparisons(t *testing.T) {
+	d := evalDataset()
+	// The same tp pair appears in two blocks: Γ has it once, Γm twice.
+	res := blocking.NewResult("dup", [][]record.ID{{0, 1}, {0, 1}})
+	m, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CandidatePairs != 1 || m.Comparisons != 2 {
+		t.Fatalf("pairs=%d comparisons=%d, want 1/2", m.CandidatePairs, m.Comparisons)
+	}
+	if m.PQ != 1 {
+		t.Errorf("PQ = %v, want 1", m.PQ)
+	}
+	if m.PQStar != 0.5 {
+		t.Errorf("PQ* = %v, want 0.5", m.PQStar)
+	}
+	if m.FMStar >= m.FM {
+		t.Errorf("FM* (%v) should be below FM (%v) with redundancy", m.FMStar, m.FM)
+	}
+}
+
+func TestEvaluateUnlabeledFails(t *testing.T) {
+	d := record.NewDataset("u")
+	d.Append(record.UnknownEntity, map[string]string{"x": "v"})
+	res := blocking.NewResult("x", nil)
+	if _, err := Evaluate(res, d); err == nil {
+		t.Error("expected error for unlabeled dataset")
+	}
+}
+
+func TestEvaluateWithTruthMatchesEvaluate(t *testing.T) {
+	d := evalDataset()
+	res := blocking.NewResult("p", [][]record.ID{{0, 1, 3}})
+	m1, err := Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := EvaluateWithTruth(res, d, TruthSet(d))
+	if m1 != m2 {
+		t.Errorf("EvaluateWithTruth diverges: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestMetricsInRange(t *testing.T) {
+	d := evalDataset()
+	for _, blocks := range [][][]record.ID{
+		nil,
+		{{0, 1}},
+		{{0, 1, 2, 3, 4, 5}},
+		{{0, 5}, {1, 4}, {2, 3}},
+	} {
+		m, err := Evaluate(blocking.NewResult("x", blocks), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range map[string]float64{"PC": m.PC, "PQ": m.PQ, "RR": m.RR, "FM": m.FM, "PQ*": m.PQStar, "FM*": m.FMStar} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("%s out of range: %v (blocks %v)", name, v, blocks)
+			}
+		}
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{PC: 1, PQ: 0.5, RR: 0.9, FM: 2.0 / 3.0, CandidatePairs: 10, NumBlocks: 2}
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

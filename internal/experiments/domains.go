@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semblock/internal/baselines"
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+// domain bundles a dataset with the blocking configuration the paper uses
+// for it: blocking-key attributes, shingle size, banding parameters, the
+// semantic schema and the default w-way OR width.
+type domain struct {
+	name   string
+	data   *record.Dataset
+	attrs  []string
+	q      int
+	k, l   int
+	schema *semantic.Schema
+	tax    *taxonomy.Taxonomy
+	// wOR is the default w for SA-LSH's OR mode. The paper's comparison
+	// experiments use "the lowest threshold for semantic similarity":
+	// records are semantically similar iff simS > 1/5 (Cora) resp. 1/12
+	// (Voter) — sharing at least one semantic feature — which is the
+	// w-way OR over the *full* signature (w = 5 and w = 12).
+	wOR int
+}
+
+// coraDomain assembles the Cora configuration of §6.1: blocking key
+// (authors, title), q=4, k=4, l=63, Table 1 semantic function.
+func coraDomain(cfg Config) (*domain, error) {
+	d := coraDataset(cfg)
+	tax := taxonomy.Bibliographic()
+	fn, err := semantic.NewCoraFunction(tax)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := semantic.BuildSchema(fn, d)
+	if err != nil {
+		return nil, err
+	}
+	return &domain{
+		name:   "Cora",
+		data:   d,
+		attrs:  []string{"authors", "title"},
+		q:      4,
+		k:      4,
+		l:      63,
+		schema: schema,
+		tax:    tax,
+		wOR:    5,
+	}, nil
+}
+
+// voterDomain assembles the NC Voter configuration of §6.1: blocking key
+// (first name, last name), q=2, k=9, l=15, race/gender/ethnicity semantic
+// function.
+func voterDomain(cfg Config, records int) (*domain, error) {
+	d := voterDataset(cfg, records)
+	tax := taxonomy.Voter()
+	fn, err := semantic.NewVoterFunction(tax)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := semantic.BuildSchema(fn, d)
+	if err != nil {
+		return nil, err
+	}
+	return &domain{
+		name:   "NC Voter",
+		data:   d,
+		attrs:  []string{"first_name", "last_name"},
+		q:      2,
+		k:      9,
+		l:      15,
+		schema: schema,
+		tax:    tax,
+		wOR:    12,
+	}, nil
+}
+
+// lshBlocker builds the plain LSH blocker with the domain's parameters.
+func (dom *domain) lshBlocker(k, l int, seed int64) (*lsh.Blocker, error) {
+	return lsh.New(lsh.Config{Attrs: dom.attrs, Q: dom.q, K: k, L: l, Seed: seed})
+}
+
+// saBlocker builds the SA-LSH blocker with a w-way semantic hash function.
+func (dom *domain) saBlocker(k, l, w int, mode lsh.Mode, seed int64) (*lsh.Blocker, error) {
+	return lsh.New(lsh.Config{
+		Attrs: dom.attrs, Q: dom.q, K: k, L: l, Seed: seed,
+		Semantic: &lsh.SemanticOption{Schema: dom.schema, W: w, Mode: mode},
+	})
+}
+
+// keySpec returns the survey blocking key for the baseline techniques.
+func (dom *domain) keySpec() baselines.KeySpec {
+	return baselines.KeySpec{Attrs: dom.attrs}
+}
+
+// coraLSeries returns the paper's (k,l) series for Cora: l(k) solved from
+// sh=0.3, ph=0.4 (Fig. 9 a-c x-axis).
+func coraLSeries() [][2]int {
+	return [][2]int{{1, 2}, {2, 6}, {3, 19}, {4, 63}, {5, 210}, {6, 701}}
+}
+
+// voterKSeries returns the paper's k series for Voter with fixed l=15
+// (Fig. 9 d-f x-axis).
+func voterKSeries() [][2]int {
+	return [][2]int{{4, 15}, {5, 15}, {6, 15}, {7, 15}, {8, 15}, {9, 15}}
+}
+
+// semVariant describes one w-way semantic hash function of Fig. 7/8.
+type semVariant struct {
+	label string
+	w     int
+	mode  lsh.Mode
+}
+
+func coraSemVariants() []semVariant {
+	return []semVariant{
+		{"H11 [w=2, and]", 2, lsh.ModeAND},
+		{"H12 [w=1, and/or]", 1, lsh.ModeOR},
+		{"H13 [w=2, or]", 2, lsh.ModeOR},
+		{"H14 [w=3, or]", 3, lsh.ModeOR},
+		{"H15 [w=4, or]", 4, lsh.ModeOR},
+	}
+}
+
+func voterSemVariants() []semVariant {
+	return []semVariant{
+		{"H21 [w=1, and/or]", 1, lsh.ModeOR},
+		{"H22 [w=3, or]", 3, lsh.ModeOR},
+		{"H23 [w=5, or]", 5, lsh.ModeOR},
+		{"H24 [w=7, or]", 7, lsh.ModeOR},
+		{"H25 [w=9, or]", 9, lsh.ModeOR},
+	}
+}
+
+// fmtKL renders a (k,l) pair as the paper's axis labels.
+func fmtKL(kl [2]int) string { return fmt.Sprintf("k=%d l=%d", kl[0], kl[1]) }

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"semblock/internal/eval"
+)
+
+// testConfig shrinks every dataset so the full suite runs in seconds.
+func testConfig() Config {
+	return Config{
+		CoraRecords:   400,
+		VoterRecords:  1500,
+		TimingRecords: 800,
+		ScaleSizes:    []int{500, 1000},
+		Repetitions:   2,
+		Seed:          7,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig5", "fig6", "tab1", "fig7", "fig8", "fig9", "tab2", "tab3", "fig11", "fig12", "fig13"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments (%v), want %d", len(got), got, len(want))
+	}
+	have := map[string]bool{}
+	for _, id := range got {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", testConfig()); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment end to end on
+// the miniature configuration: no errors, every table non-empty.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run skipped in -short mode")
+	}
+	resetSweepCache()
+	cfg := testConfig()
+	for _, id := range IDs() {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tbl := range res.Tables {
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s: table %q has no rows", id, tbl.Title)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("%s: table %q row width %d != header %d", id, tbl.Title, len(row), len(tbl.Header))
+				}
+			}
+		}
+		if !strings.Contains(res.String(), res.ID) {
+			t.Errorf("%s: String() missing id", id)
+		}
+	}
+}
+
+// TestFig5Monotone asserts the analytic Fig. 5 property on the generated
+// table: within a fixed s', AND probabilities decrease as w grows and OR
+// probabilities increase.
+func TestFig5Monotone(t *testing.T) {
+	res, err := Run("fig5", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	// Rows 0..14 are AND w=15..1; rows 15..29 are OR w=1..15.
+	parse := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	for col := 1; col <= 6; col++ {
+		for i := 1; i < 15; i++ {
+			if parse(rows[i], col) < parse(rows[i-1], col) {
+				t.Fatalf("AND column %d not increasing towards w=1 at row %d", col, i)
+			}
+			if parse(rows[15+i], col) < parse(rows[15+i-1], col) {
+				t.Fatalf("OR column %d not increasing with w at row %d", col, i)
+			}
+		}
+	}
+}
+
+// TestFig7SemanticTradeoff asserts the deterministic structure behind the
+// paper's Fig. 7: because per-table semantic-function choices are nested
+// prefixes of one permutation, widening an OR function can only admit more
+// pairs (PC and candidate count non-decreasing along H13→H14→H15), while
+// the AND variant is the most restrictive (lowest PC of all variants).
+func TestFig7SemanticTradeoff(t *testing.T) {
+	res, err := Run("fig7", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("fig7 rows = %d", len(rows))
+	}
+	pc := func(i int) float64 {
+		v, err := strconv.ParseFloat(rows[i][1], 64)
+		if err != nil {
+			t.Fatalf("bad PC cell %q", rows[i][1])
+		}
+		return v
+	}
+	pairs := func(i int) int {
+		v, err := strconv.Atoi(rows[i][5])
+		if err != nil {
+			t.Fatalf("bad pairs cell %q", rows[i][5])
+		}
+		return v
+	}
+	// OR ladder H13(2) -> H14(3) -> H15(4): monotone.
+	for i := 2; i < 4; i++ {
+		if pc(i+1) < pc(i) {
+			t.Errorf("PC must not decrease along OR ladder: row %d %.4f -> %.4f", i, pc(i), pc(i+1))
+		}
+		if pairs(i+1) < pairs(i) {
+			t.Errorf("pairs must not decrease along OR ladder: row %d %d -> %d", i, pairs(i), pairs(i+1))
+		}
+	}
+	// H11 (2-way AND) is the most restrictive variant.
+	for i := 1; i < 5; i++ {
+		if pc(0) > pc(i) {
+			t.Errorf("PC(H11)=%.4f should be the lowest, but exceeds row %d (%.4f)", pc(0), i, pc(i))
+		}
+	}
+}
+
+// TestFig9SAImprovedPQ asserts the core claim of the paper on the
+// generated Fig. 9: SA-LSH's PQ is at least LSH's PQ at the published
+// setting, with bounded PC loss.
+func TestFig9SAImprovedPQ(t *testing.T) {
+	res, err := Run("fig9", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range res.Tables {
+		last := tbl.Rows[len(tbl.Rows)-1] // published setting is last in series
+		lshPC, _ := strconv.ParseFloat(last[1], 64)
+		saPC, _ := strconv.ParseFloat(last[2], 64)
+		lshPQ, _ := strconv.ParseFloat(last[3], 64)
+		saPQ, _ := strconv.ParseFloat(last[4], 64)
+		if saPQ < lshPQ {
+			t.Errorf("%s: SA PQ %v < LSH PQ %v", tbl.Title, saPQ, lshPQ)
+		}
+		if saPC < lshPC-0.15 {
+			t.Errorf("%s: SA PC %v dropped too far below LSH PC %v", tbl.Title, saPC, lshPC)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	s := tbl.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "a  bb") {
+		t.Errorf("table rendering unexpected:\n%s", s)
+	}
+}
+
+func TestBestBy(t *testing.T) {
+	rs := []techResult{
+		{technique: "a", metrics: eval.Metrics{FM: 0.2}},
+		{technique: "b", metrics: eval.Metrics{FM: 0.9}},
+		{technique: "c", metrics: eval.Metrics{FM: 0.5}},
+	}
+	if got := bestBy(rs, func(m eval.Metrics) float64 { return m.FM }); got.technique != "b" {
+		t.Errorf("bestBy = %s, want b", got.technique)
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	cfg := testConfig()
+	a := coraDataset(cfg)
+	b := coraDataset(cfg)
+	if a != b {
+		t.Error("coraDataset should cache")
+	}
+	v1 := voterDataset(cfg, 100)
+	v2 := voterDataset(cfg, 200)
+	if v1 == v2 {
+		t.Error("different sizes must not share a cache entry")
+	}
+	if v1.Len() != 100 || v2.Len() != 200 {
+		t.Errorf("sizes: %d, %d", v1.Len(), v2.Len())
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semblock/internal/datagen"
+	"semblock/internal/eval"
+	"semblock/internal/lsh"
+	"semblock/internal/metablocking"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+func init() {
+	register("fig12", runFig12)
+	register("fig13", runFig13)
+}
+
+// runFig12 regenerates Fig. 12: meta-blocking (each pruning algorithm with
+// its best-FM* weighting scheme) against SA-LSH, reporting PC, PQ* and
+// FM*, over both datasets. The initial block collection is token blocking,
+// the conventional redundancy-positive input of the meta-blocking paper.
+func runFig12(cfg Config) (*Result, error) {
+	var tables []*Table
+	domains := []struct {
+		build func() (*domain, error)
+		label string
+	}{
+		{func() (*domain, error) { return coraDomain(cfg) }, "Cora"},
+		{func() (*domain, error) { return voterDomain(cfg, cfg.TimingRecords) }, "NC Voter"},
+	}
+	for _, dd := range domains {
+		dom, err := dd.build()
+		if err != nil {
+			return nil, err
+		}
+		truth := eval.TruthSet(dom.data)
+		initial := metablocking.TokenBlocking(dom.data, dom.attrs, 0)
+		mInit := eval.EvaluateWithTruth(initial, dom.data, truth)
+
+		t := &Table{Title: fmt.Sprintf("Fig. 12 — meta-blocking vs SA-LSH over %s (%d records)", dd.label, dom.data.Len())}
+		t.Header = []string{"method", "weighting", "PC", "PQ*", "FM*"}
+		t.AddRow("initial blocks", "-", f4(mInit.PC), f4(mInit.PQStar), f4(mInit.FMStar))
+
+		for _, algo := range metablocking.Algos() {
+			bestFM := -1.0
+			var bestScheme metablocking.WeightScheme
+			var bestM eval.Metrics
+			for _, scheme := range metablocking.Schemes() {
+				g := metablocking.BuildGraph(initial, scheme)
+				res := g.Prune(algo)
+				m := eval.EvaluateWithTruth(res, dom.data, truth)
+				if m.FMStar > bestFM {
+					bestFM = m.FMStar
+					bestScheme = scheme
+					bestM = m
+				}
+			}
+			t.AddRow(algo.String(), bestScheme.String(), f4(bestM.PC), f4(bestM.PQStar), f4(bestM.FMStar))
+		}
+
+		sa, err := dom.saBlocker(dom.k, dom.l, dom.wOR, lsh.ModeOR, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sa.Block(dom.data)
+		if err != nil {
+			return nil, err
+		}
+		m := eval.EvaluateWithTruth(res, dom.data, truth)
+		t.AddRow("SA-LSH", "-", f4(m.PC), f4(m.PQStar), f4(m.FMStar))
+		tables = append(tables, t)
+	}
+	return &Result{Tables: tables}, nil
+}
+
+// runFig13 regenerates Fig. 13: PC/PQ/RR and wall-clock time of LSH and
+// SA-LSH over voter datasets of increasing size, plus the SF column (time
+// to construct the taxonomy tree, semantic function and semhash schema).
+func runFig13(cfg Config) (*Result, error) {
+	t := &Table{Title: "Fig. 13 — scalability of LSH and SA-LSH over NC Voter subsets"}
+	t.Header = []string{"records",
+		"LSH PC", "SA PC", "LSH PQ", "SA PQ", "LSH RR", "SA RR",
+		"LSH time (s)", "SA time (s)", "SF time (s)"}
+	for _, size := range cfg.ScaleSizes {
+		gen := datagen.DefaultVoterConfig()
+		gen.Records = size
+		gen.Seed = cfg.Seed + 1
+		d := datagen.Voter(gen)
+		truth := eval.TruthSet(d)
+
+		// SF: taxonomy + semantic function + semhash schema construction.
+		sfStart := time.Now()
+		tax := taxonomy.Voter()
+		fn, err := semantic.NewVoterFunction(tax)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := semantic.BuildSchema(fn, d)
+		if err != nil {
+			return nil, err
+		}
+		sfTime := time.Since(sfStart)
+
+		attrs := []string{"first_name", "last_name"}
+		plain, err := lsh.New(lsh.Config{Attrs: attrs, Q: 2, K: 9, L: 15, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		sa, err := lsh.New(lsh.Config{Attrs: attrs, Q: 2, K: 9, L: 15, Seed: cfg.Seed,
+			Semantic: &lsh.SemanticOption{Schema: schema, W: 12, Mode: lsh.ModeOR}})
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		resPlain, err := plain.Block(d)
+		if err != nil {
+			return nil, err
+		}
+		plainTime := time.Since(start)
+
+		start = time.Now()
+		resSA, err := sa.Block(d)
+		if err != nil {
+			return nil, err
+		}
+		saTime := time.Since(start)
+
+		mp := eval.EvaluateWithTruth(resPlain, d, truth)
+		ms := eval.EvaluateWithTruth(resSA, d, truth)
+		t.AddRow(itoa(size),
+			f4(mp.PC), f4(ms.PC), f4(mp.PQ), f4(ms.PQ), f4(mp.RR), f4(ms.RR),
+			fmt.Sprintf("%.3f", plainTime.Seconds()),
+			fmt.Sprintf("%.3f", saTime.Seconds()),
+			fmt.Sprintf("%.3f", sfTime.Seconds()))
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}

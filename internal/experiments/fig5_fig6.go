@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semblock/internal/lsh"
+	"semblock/internal/tuning"
+)
+
+func init() {
+	register("fig5", runFig5)
+	register("fig6", runFig6)
+	register("tab1", runTable1)
+}
+
+// runFig5 regenerates Fig. 5: the collision probability of a w-way
+// semantic hash function for semantic similarities s' ∈ {0.2,...,0.8} as w
+// sweeps 15→1 under ∧ and 1→15 under ∨ (the paper's single x-axis
+// "AND ← w → OR").
+func runFig5(cfg Config) (*Result, error) {
+	sprimes := []float64{0.2, 0.3, 0.4, 0.6, 0.7, 0.8}
+	t := &Table{Title: "Fig. 5 — collision probability of w-way semantic hash functions"}
+	t.Header = []string{"w (mode)"}
+	for _, s := range sprimes {
+		t.Header = append(t.Header, fmt.Sprintf("s'=%.1f", s))
+	}
+	for w := 15; w >= 1; w-- {
+		row := []string{fmt.Sprintf("AND w=%d", w)}
+		for _, s := range sprimes {
+			row = append(row, f4(lsh.SemanticFactor(s, w, lsh.ModeAND)))
+		}
+		t.AddRow(row...)
+	}
+	for w := 1; w <= 15; w++ {
+		row := []string{fmt.Sprintf("OR  w=%d", w)}
+		for _, s := range sprimes {
+			row = append(row, f4(lsh.SemanticFactor(s, w, lsh.ModeOR)))
+		}
+		t.AddRow(row...)
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}
+
+// runFig6 regenerates Fig. 6: the textual-similarity distribution of true
+// matches under exact-value and q∈{2,3,4} shingling for both datasets
+// (upper panels), and the banding collision-probability curves for the
+// candidate (k,l) settings (lower panels).
+func runFig6(cfg Config) (*Result, error) {
+	var tables []*Table
+
+	distTable := func(title string, sims map[string][]float64, order []string) *Table {
+		const bins = 10
+		t := &Table{Title: title}
+		t.Header = []string{"similarity"}
+		t.Header = append(t.Header, order...)
+		hists := make(map[string][]float64, len(sims))
+		for name, vals := range sims {
+			hists[name] = tuning.Histogram(vals, bins)
+		}
+		for b := 0; b < bins; b++ {
+			row := []string{fmt.Sprintf("[%.1f,%.1f)", float64(b)/bins, float64(b+1)/bins)}
+			for _, name := range order {
+				row = append(row, fmt.Sprintf("%5.1f%%", hists[name][b]*100))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+
+	order := []string{"exact", "q=2", "q=3", "q=4"}
+
+	cora, err := coraDomain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coraSims := map[string][]float64{
+		"exact": tuning.TrueMatchSimilarities(cora.data, cora.attrs, 0),
+		"q=2":   tuning.TrueMatchSimilarities(cora.data, cora.attrs, 2),
+		"q=3":   tuning.TrueMatchSimilarities(cora.data, cora.attrs, 3),
+		"q=4":   tuning.TrueMatchSimilarities(cora.data, cora.attrs, 4),
+	}
+	tables = append(tables, distTable("Fig. 6a — Cora true-match similarity distribution", coraSims, order))
+
+	voter, err := voterDomain(cfg, cfg.VoterRecords)
+	if err != nil {
+		return nil, err
+	}
+	voterSims := map[string][]float64{
+		"exact": tuning.TrueMatchSimilarities(voter.data, voter.attrs, 0),
+		"q=2":   tuning.TrueMatchSimilarities(voter.data, voter.attrs, 2),
+		"q=3":   tuning.TrueMatchSimilarities(voter.data, voter.attrs, 3),
+		"q=4":   tuning.TrueMatchSimilarities(voter.data, voter.attrs, 4),
+	}
+	tables = append(tables, distTable("Fig. 6b — NC Voter true-match similarity distribution", voterSims, order))
+
+	curveTable := func(title string, series [][2]int) *Table {
+		t := &Table{Title: title}
+		t.Header = []string{"s"}
+		for _, kl := range series {
+			t.Header = append(t.Header, fmtKL(kl))
+		}
+		for s := 0.0; s <= 1.0001; s += 0.1 {
+			row := []string{f2(s)}
+			for _, kl := range series {
+				row = append(row, f4(lsh.CollisionProbability(s, kl[0], kl[1])))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	tables = append(tables, curveTable("Fig. 6c — Cora collision probability (l solved from sh=0.3, ph=0.4)", coraLSeries()))
+	tables = append(tables, curveTable("Fig. 6d — NC Voter collision probability (l=15)", voterKSeries()))
+
+	// The solved parameters themselves, confirming §6.1's published choice.
+	p, err := tuning.ChooseKL(0.3, 0.2, 0.4, 0.1, 10)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Table{Title: "§6.1 — solved banding parameters (Cora constraints)"}
+	sel.Header = []string{"sh", "sl", "ph", "pl", "k", "l"}
+	sel.AddRow(f2(p.SH), f2(p.SL), f2(p.PH), f2(p.PL), fmt.Sprintf("%d", p.K), fmt.Sprintf("%d", p.L))
+	tables = append(tables, sel)
+
+	return &Result{Tables: tables}, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"semblock/internal/eval"
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+)
+
+func init() {
+	register("fig7", runFig7)
+	register("fig8", runFig8)
+	register("fig9", runFig9)
+}
+
+// runSemVariants scores PC/PQ/RR/FM for each w-way semantic hash variant
+// at the domain's published (k,l), the common engine of Fig. 7 and Fig. 8.
+func runSemVariants(dom *domain, variants []semVariant, seed int64) (*Table, error) {
+	truth := eval.TruthSet(dom.data)
+	t := &Table{Title: "", Header: []string{"variant", "PC", "PQ", "RR", "FM", "pairs", "blocks"}}
+	for _, v := range variants {
+		b, err := dom.saBlocker(dom.k, dom.l, v.w, v.mode, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := b.Block(dom.data)
+		if err != nil {
+			return nil, err
+		}
+		m := eval.EvaluateWithTruth(res, dom.data, truth)
+		t.AddRow(v.label, f4(m.PC), f4(m.PQ), f4(m.RR), f4(m.FM),
+			itoa64(m.CandidatePairs), itoa(m.NumBlocks))
+	}
+	return t, nil
+}
+
+// runFig7 regenerates Fig. 7: semantic hash variants H11–H15 over Cora at
+// k=4, l=63.
+func runFig7(cfg Config) (*Result, error) {
+	dom, err := coraDomain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := runSemVariants(dom, coraSemVariants(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Fig. 7 — semantic hash functions over Cora (k=4, l=63)"
+	return &Result{Tables: []*Table{t}}, nil
+}
+
+// runFig8 regenerates Fig. 8: semantic hash variants H21–H25 over NC Voter
+// at k=9, l=15.
+func runFig8(cfg Config) (*Result, error) {
+	dom, err := voterDomain(cfg, cfg.VoterRecords)
+	if err != nil {
+		return nil, err
+	}
+	t, err := runSemVariants(dom, voterSemVariants(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Fig. 8 — semantic hash functions over NC Voter (k=9, l=15)"
+	return &Result{Tables: []*Table{t}}, nil
+}
+
+// runFig9 regenerates Fig. 9: LSH vs SA-LSH over the (k,l) series of both
+// datasets, reporting PC, PQ and RR side by side.
+func runFig9(cfg Config) (*Result, error) {
+	var tables []*Table
+	domains := []struct {
+		build  func() (*domain, error)
+		series [][2]int
+		title  string
+	}{
+		{
+			build:  func() (*domain, error) { return coraDomain(cfg) },
+			series: coraLSeries(),
+			title:  "Fig. 9(a-c) — LSH vs SA-LSH over Cora",
+		},
+		{
+			build:  func() (*domain, error) { return voterDomain(cfg, cfg.VoterRecords) },
+			series: voterKSeries(),
+			title:  "Fig. 9(d-f) — LSH vs SA-LSH over NC Voter",
+		},
+	}
+	for _, dd := range domains {
+		dom, err := dd.build()
+		if err != nil {
+			return nil, err
+		}
+		truth := eval.TruthSet(dom.data)
+		t := &Table{Title: dd.title}
+		t.Header = []string{"setting",
+			"LSH PC", "SA PC", "LSH PQ", "SA PQ", "LSH RR", "SA RR"}
+		for _, kl := range dd.series {
+			plain, err := dom.lshBlocker(kl[0], kl[1], cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sa, err := dom.saBlocker(kl[0], kl[1], dom.wOR, lsh.ModeOR, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			mp, err := blockAndScore(plain, dom.data, truth)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := blockAndScore(sa, dom.data, truth)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmtKL(kl),
+				f4(mp.PC), f4(ms.PC), f4(mp.PQ), f4(ms.PQ), f4(mp.RR), f4(ms.RR))
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Tables: tables}, nil
+}
+
+func blockAndScore(b *lsh.Blocker, d *record.Dataset, truth record.PairSet) (eval.Metrics, error) {
+	res, err := b.Block(d)
+	if err != nil {
+		return eval.Metrics{}, err
+	}
+	return eval.EvaluateWithTruth(res, d, truth), nil
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§6) over the synthetic datasets. Each driver is a
+// Runner registered under the paper artifact's identifier (fig5 … fig13,
+// tab1 … tab3); cmd/experiments and bench_test.go both dispatch through
+// the registry. See EXPERIMENTS.md for paper-vs-measured commentary.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semblock/internal/datagen"
+	"semblock/internal/record"
+)
+
+// Config parameterises a run of the experiment suite.
+type Config struct {
+	// CoraRecords sizes the Cora-like dataset (default 1879, the real
+	// Cora's cardinality).
+	CoraRecords int
+	// VoterRecords sizes the Voter-like dataset used for the blocking-
+	// quality experiments (default 30000, the paper's labeled subset).
+	VoterRecords int
+	// TimingRecords sizes the dataset for Table 3's efficiency column
+	// (default 3000, the subset the paper's §6.4(a) uses).
+	TimingRecords int
+	// ScaleSizes are the dataset sizes of the Fig. 13 scalability sweep.
+	// Default {10000, 25000, 50000, 100000}; pass the paper's
+	// {10k,50k,...,292k} for a full run.
+	ScaleSizes []int
+	// Repetitions controls how many seeds average the Table 2 deltas.
+	Repetitions int
+	// Seed drives dataset generation and every blocker.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by `go test -bench` and the
+// CLI without flags.
+func DefaultConfig() Config {
+	return Config{
+		CoraRecords:   1879,
+		VoterRecords:  30000,
+		TimingRecords: 3000,
+		ScaleSizes:    []int{10000, 25000, 50000, 100000},
+		Repetitions:   5,
+		Seed:          1,
+	}
+}
+
+// Table is a formatted result table of one experiment.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Result is the output of one experiment driver.
+type Result struct {
+	ID      string
+	Tables  []*Table
+	Elapsed time.Duration
+}
+
+// String renders all tables.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s (%.2fs)\n\n", r.ID, r.Elapsed.Seconds())
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (*Result, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs returns the registered experiment identifiers in registration order.
+func IDs() []string {
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	start := time.Now()
+	res, err := r(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Dataset caching: several experiments share the same generated datasets;
+// regenerating a 30k-record voter set per figure would dominate runtimes.
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*record.Dataset{}
+)
+
+func coraDataset(cfg Config) *record.Dataset {
+	key := fmt.Sprintf("cora/%d/%d", cfg.CoraRecords, cfg.Seed)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d
+	}
+	gen := datagen.DefaultCoraConfig()
+	gen.Records = cfg.CoraRecords
+	gen.Seed = cfg.Seed
+	d := datagen.Cora(gen)
+	dsCache[key] = d
+	return d
+}
+
+func voterDataset(cfg Config, records int) *record.Dataset {
+	key := fmt.Sprintf("voter/%d/%d", records, cfg.Seed)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d
+	}
+	gen := datagen.DefaultVoterConfig()
+	gen.Records = records
+	gen.Seed = cfg.Seed + 1
+	d := datagen.Voter(gen)
+	dsCache[key] = d
+	return d
+}
+
+// f formats a float with 4 decimals for table cells.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

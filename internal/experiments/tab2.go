@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"semblock/internal/eval"
+	"semblock/internal/lsh"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+func init() {
+	register("tab2", runTable2)
+}
+
+// runTable2 regenerates Table 2 (with the Fig. 10 taxonomy variants): the
+// change in PC/PQ/RR/FM (percentage points, mean ± std over several hash
+// seeds) when SA-LSH replaces LSH, for the full tree t_bib and its three
+// structural variants t(bib,1..3).
+func runTable2(cfg Config) (*Result, error) {
+	dom, err := coraDomain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	truth := eval.TruthSet(dom.data)
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+
+	type variant struct {
+		label string
+		tax   *taxonomy.Taxonomy
+	}
+	variants := []variant{
+		{"t_bib", taxonomy.Bibliographic()},
+		{"t(bib,1) -C2,C6", taxonomy.BibliographicVariant(1)},
+		{"t(bib,2) -Book", taxonomy.BibliographicVariant(2)},
+		{"t(bib,3) -Journal", taxonomy.BibliographicVariant(3)},
+	}
+
+	t := &Table{Title: "Table 2 — impact of taxonomy-tree variants on SA-LSH vs LSH (Δ percentage points, mean±std)"}
+	t.Header = []string{"measure"}
+	for _, v := range variants {
+		t.Header = append(t.Header, v.label)
+	}
+
+	// deltas[variant][measure] collects per-seed percentage-point changes.
+	deltas := make([][][]float64, len(variants))
+	for vi := range deltas {
+		deltas[vi] = make([][]float64, 4) // PC, PQ, RR, FM
+	}
+
+	for vi, v := range variants {
+		fn, err := semantic.NewCoraFunction(v.tax)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := semantic.BuildSchema(fn, dom.data)
+		if err != nil {
+			return nil, err
+		}
+		w := dom.wOR
+		if w > schema.Bits() {
+			w = schema.Bits()
+		}
+		for rep := 0; rep < reps; rep++ {
+			seed := cfg.Seed + int64(rep)*101
+			plain, err := dom.lshBlocker(dom.k, dom.l, seed)
+			if err != nil {
+				return nil, err
+			}
+			sa, err := lsh.New(lsh.Config{
+				Attrs: dom.attrs, Q: dom.q, K: dom.k, L: dom.l, Seed: seed,
+				Semantic: &lsh.SemanticOption{Schema: schema, W: w, Mode: lsh.ModeOR},
+			})
+			if err != nil {
+				return nil, err
+			}
+			mp, err := blockAndScore(plain, dom.data, truth)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := blockAndScore(sa, dom.data, truth)
+			if err != nil {
+				return nil, err
+			}
+			deltas[vi][0] = append(deltas[vi][0], 100*(ms.PC-mp.PC))
+			deltas[vi][1] = append(deltas[vi][1], 100*(ms.PQ-mp.PQ))
+			deltas[vi][2] = append(deltas[vi][2], 100*(ms.RR-mp.RR))
+			deltas[vi][3] = append(deltas[vi][3], 100*(ms.FM-mp.FM))
+		}
+	}
+
+	measures := []string{"PC", "PQ", "RR", "FM"}
+	for mi, name := range measures {
+		row := []string{name}
+		for vi := range variants {
+			m, s := meanStd(deltas[vi][mi])
+			row = append(row, fmt.Sprintf("%+.2f±%.2f", m, s))
+		}
+		t.AddRow(row...)
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)-1))
+	return mean, std
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func itoa64(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,108 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"semblock/internal/blocking"
+	"semblock/internal/minhash"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// Forest implements LSH-Forest-style blocking (Bawa, Condie & Ganesan,
+// WWW 2005 — the paper's reference [5]): instead of a fixed band width k,
+// each of the L hash tables is a prefix tree over the record's minhash
+// sequence. A bucket that exceeds MaxBlock is split by the next hash
+// value, so the effective k adapts per bucket — dense regions get longer,
+// more selective prefixes, sparse regions keep short ones.
+type Forest struct {
+	cfg ForestConfig
+	fam *minhash.Family
+}
+
+// ForestConfig configures an LSH-Forest blocker.
+type ForestConfig struct {
+	// Attrs and Q define the shingled textual key, as in Config.
+	Attrs []string
+	Q     int
+	// L is the number of prefix trees.
+	L int
+	// KMax is the maximum prefix depth (hash functions per tree).
+	KMax int
+	// MaxBlock is the bucket size that triggers a split; buckets still
+	// oversized at depth KMax are emitted as-is.
+	MaxBlock int
+	// Seed drives the hash functions.
+	Seed int64
+}
+
+// NewForest validates the configuration and builds the blocker.
+func NewForest(cfg ForestConfig) (*Forest, error) {
+	if len(cfg.Attrs) == 0 {
+		return nil, fmt.Errorf("lsh: forest needs blocking attributes")
+	}
+	if cfg.Q <= 0 {
+		return nil, fmt.Errorf("lsh: forest q-gram size must be positive, got %d", cfg.Q)
+	}
+	if cfg.L <= 0 || cfg.KMax <= 0 {
+		return nil, fmt.Errorf("lsh: forest needs positive l and kmax, got l=%d kmax=%d", cfg.L, cfg.KMax)
+	}
+	if cfg.MaxBlock < 2 {
+		return nil, fmt.Errorf("lsh: forest max block must be ≥ 2, got %d", cfg.MaxBlock)
+	}
+	return &Forest{cfg: cfg, fam: minhash.NewFamily(cfg.L*cfg.KMax, cfg.Seed)}, nil
+}
+
+// Name implements blocking.Blocker.
+func (f *Forest) Name() string { return "lsh-forest" }
+
+// Block builds the L prefix trees and emits their leaf buckets.
+func (f *Forest) Block(d *record.Dataset) (*blocking.Result, error) {
+	n := d.Len()
+	sigs := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		r := d.Record(record.ID(i))
+		grams := textual.QGrams(r.Key(f.cfg.Attrs...), f.cfg.Q)
+		sigs[i] = f.fam.Signature(grams)
+	}
+	var blocks [][]record.ID
+	all := make([]record.ID, n)
+	for i := range all {
+		all[i] = record.ID(i)
+	}
+	for tree := 0; tree < f.cfg.L; tree++ {
+		base := tree * f.cfg.KMax
+		blocks = f.split(all, sigs, base, 0, blocks)
+	}
+	return blocking.NewResult(f.Name(), blocks), nil
+}
+
+// split recursively partitions ids by the hash value at the given depth,
+// emitting buckets that are small enough (or at maximal depth).
+func (f *Forest) split(ids []record.ID, sigs [][]uint64, base, depth int, blocks [][]record.ID) [][]record.ID {
+	if len(ids) < 2 {
+		return blocks
+	}
+	if len(ids) <= f.cfg.MaxBlock || depth == f.cfg.KMax {
+		out := make([]record.ID, len(ids))
+		copy(out, ids)
+		blocks = append(blocks, out)
+		return blocks
+	}
+	groups := make(map[uint64][]record.ID)
+	for _, id := range ids {
+		v := sigs[id][base+depth]
+		groups[v] = append(groups[v], id)
+	}
+	// Deterministic order over group keys.
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		blocks = f.split(groups[k], sigs, base, depth+1, blocks)
+	}
+	return blocks
+}

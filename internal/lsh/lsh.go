@@ -1,0 +1,292 @@
+// Package lsh implements the paper's core contribution (§5): LSH blocking
+// over minhash signatures, and Semantic-Aware LSH (SA-LSH) blocking that
+// augments each hash table with a w-way AND/OR semantic hash function built
+// from semhash signatures.
+//
+// A blocker is configured with k (hash functions per table), l (number of
+// tables) and, for SA-LSH, a semhash schema plus (w, µ). Records whose
+// minhash signatures agree on all k components of a table — and, for
+// SA-LSH, whose semhash signatures satisfy the table's w-way semantic
+// function — are placed into the same block.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"semblock/internal/blocking"
+	"semblock/internal/minhash"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/textual"
+)
+
+// Mode selects how a w-way semantic hash function combines its w underlying
+// semantic hash functions (paper §5.2).
+type Mode int
+
+const (
+	// ModeAND requires all w semantic hash functions to agree (h[w,∧]).
+	ModeAND Mode = iota
+	// ModeOR requires at least one semantic hash function to agree (h[w,∨]).
+	ModeOR
+)
+
+// String renders the paper's µ symbol name.
+func (m Mode) String() string {
+	if m == ModeAND {
+		return "and"
+	}
+	return "or"
+}
+
+// ORStrategy selects the implementation of the w-way OR function. Both
+// strategies produce identical candidate pairs (asserted by tests); they
+// differ only in constant factors, which the ablation bench compares.
+type ORStrategy int
+
+const (
+	// BucketPerBit files a record into one sub-bucket per selected set
+	// bit, so OR collisions fall out of bucket equality directly.
+	BucketPerBit ORStrategy = iota
+	// PostFilter buckets on the minhash band alone, then splits each
+	// bucket by selected set bits afterwards.
+	PostFilter
+)
+
+// SemanticOption configures the semantic augmentation of SA-LSH.
+type SemanticOption struct {
+	// Schema provides semhash signatures (Algorithm 1).
+	Schema *semantic.Schema
+	// W is the number of semhash functions per w-way semantic function.
+	W int
+	// Mode selects AND (∧) or OR (∨) composition.
+	Mode Mode
+	// ORStrategy selects the OR implementation (BucketPerBit by default).
+	ORStrategy ORStrategy
+	// GlobalBits, when true, selects the w semhash functions once and
+	// reuses them for every hash table, instead of the paper's per-table
+	// random choice. Exists for the placement ablation
+	// (BenchmarkAblationSemPlacement): a single global choice is cheaper
+	// but loses the independence that makes the OR-collision model
+	// 1-(1-s^k·p)^l accurate across tables.
+	GlobalBits bool
+}
+
+// Config configures an LSH or SA-LSH blocker.
+type Config struct {
+	// Attrs are the record attributes shingled into the textual key.
+	Attrs []string
+	// Q is the q-gram size for shingling.
+	Q int
+	// K is the number of minhash functions per hash table.
+	K int
+	// L is the number of hash tables.
+	L int
+	// Seed drives every random choice (hash seeds, semantic function
+	// selection); fixed seed ⇒ fully deterministic blocking.
+	Seed int64
+	// Semantic, when non-nil, upgrades the blocker from LSH to SA-LSH.
+	Semantic *SemanticOption
+}
+
+// Blocker is a configured (SA-)LSH blocking instance.
+type Blocker struct {
+	cfg Config
+	fam *minhash.Family
+}
+
+// New validates the configuration and builds a blocker.
+func New(cfg Config) (*Blocker, error) {
+	if len(cfg.Attrs) == 0 {
+		return nil, fmt.Errorf("lsh: no blocking attributes configured")
+	}
+	if cfg.Q <= 0 {
+		return nil, fmt.Errorf("lsh: q-gram size must be positive, got %d", cfg.Q)
+	}
+	if cfg.K <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("lsh: k and l must be positive, got k=%d l=%d", cfg.K, cfg.L)
+	}
+	if s := cfg.Semantic; s != nil {
+		if s.Schema == nil {
+			return nil, fmt.Errorf("lsh: semantic option requires a schema")
+		}
+		if s.W <= 0 || s.W > s.Schema.Bits() {
+			return nil, fmt.Errorf("lsh: w must be in [1,%d], got %d", s.Schema.Bits(), s.W)
+		}
+	}
+	return &Blocker{cfg: cfg, fam: minhash.NewFamily(cfg.K*cfg.L, cfg.Seed)}, nil
+}
+
+// Name returns "lsh" or "sa-lsh".
+func (b *Blocker) Name() string {
+	if b.cfg.Semantic != nil {
+		return "sa-lsh"
+	}
+	return "lsh"
+}
+
+// Config returns the blocker's configuration.
+func (b *Blocker) Config() Config { return b.cfg }
+
+// Block groups the dataset into blocks. Runtime is O(n · k · l) hash work
+// plus bucket bookkeeping; signatures are computed in parallel.
+func (b *Blocker) Block(d *record.Dataset) (*blocking.Result, error) {
+	sigs := b.signatures(d)
+
+	var semSigs []semantic.BitVec
+	if b.cfg.Semantic != nil {
+		semSigs = b.cfg.Semantic.Schema.SignatureMatrix(d)
+	}
+
+	var blocks [][]record.ID
+	k, l := b.cfg.K, b.cfg.L
+	for table := 0; table < l; table++ {
+		var bits []int
+		if s := b.cfg.Semantic; s != nil {
+			bitTable := table
+			if s.GlobalBits {
+				bitTable = 0
+			}
+			bits = selectBits(b.cfg.Seed, bitTable, s.W, s.Schema.Bits())
+		}
+		buckets := make(map[uint64][]record.ID)
+		for _, r := range d.Records() {
+			sig := sigs[r.ID][table*k : (table+1)*k]
+			key := minhash.BandKey(table, sig)
+			s := b.cfg.Semantic
+			switch {
+			case s == nil:
+				buckets[key] = append(buckets[key], r.ID)
+			case s.Mode == ModeAND:
+				if allBitsSet(semSigs[r.ID], bits) {
+					buckets[key] = append(buckets[key], r.ID)
+				}
+			case s.ORStrategy == BucketPerBit:
+				for _, bit := range bits {
+					if semSigs[r.ID].Get(bit) {
+						buckets[mixBit(key, bit)] = append(buckets[mixBit(key, bit)], r.ID)
+					}
+				}
+			default: // ModeOR with PostFilter
+				buckets[key] = append(buckets[key], r.ID)
+			}
+		}
+		if s := b.cfg.Semantic; s != nil && s.Mode == ModeOR && s.ORStrategy == PostFilter {
+			for _, ids := range buckets {
+				blocks = append(blocks, splitByBits(ids, semSigs, bits)...)
+			}
+			continue
+		}
+		for _, ids := range buckets {
+			if len(ids) >= 2 {
+				blocks = append(blocks, ids)
+			}
+		}
+	}
+	return blocking.NewResult(b.Name(), blocks), nil
+}
+
+// signatures computes the minhash signatures of all records in parallel.
+func (b *Blocker) signatures(d *record.Dataset) [][]uint64 {
+	n := d.Len()
+	sigs := make([][]uint64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				r := d.Record(record.ID(i))
+				grams := textual.QGrams(r.Key(b.cfg.Attrs...), b.cfg.Q)
+				sigs[i] = b.fam.Signature(grams)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sigs
+}
+
+// selectBits chooses the w distinct semhash-function indices of one hash
+// table, deterministically from the blocker seed and table number
+// ("w randomly chosen functions from Hg", §5.2).
+func selectBits(seed int64, table, w, bits int) []int {
+	rng := rand.New(rand.NewSource(seed<<16 ^ int64(table+1)*0x9e3779b9))
+	perm := rng.Perm(bits)
+	out := perm[:w]
+	return out
+}
+
+func allBitsSet(v semantic.BitVec, bits []int) bool {
+	for _, b := range bits {
+		if !v.Get(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// mixBit folds a semhash bit index into a bucket key.
+func mixBit(key uint64, bit int) uint64 {
+	return minhash.BandKey(int(key%1024)+bit+7, []uint64{key, uint64(bit)})
+}
+
+// splitByBits implements the PostFilter OR strategy: one sub-block per
+// selected bit, containing the bucket's records having that bit set.
+func splitByBits(ids []record.ID, semSigs []semantic.BitVec, bits []int) [][]record.ID {
+	var out [][]record.ID
+	for _, bit := range bits {
+		var sub []record.ID
+		for _, id := range ids {
+			if semSigs[id].Get(bit) {
+				sub = append(sub, id)
+			}
+		}
+		if len(sub) >= 2 {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// CollisionProbability returns the probability 1-(1-s^k)^l that two records
+// with textual similarity s share a block under plain LSH banding (§5.1).
+func CollisionProbability(s float64, k, l int) float64 {
+	return 1 - math.Pow(1-math.Pow(s, float64(k)), float64(l))
+}
+
+// SemanticFactor returns the probability p that a w-way semantic hash
+// function returns true for a pair whose per-function agreement probability
+// is s' (§5.2): (s')^w for AND, 1-(1-s')^w for OR.
+func SemanticFactor(sprime float64, w int, mode Mode) float64 {
+	if mode == ModeAND {
+		return math.Pow(sprime, float64(w))
+	}
+	return 1 - math.Pow(1-sprime, float64(w))
+}
+
+// SACollisionProbability returns the SA-LSH collision probability
+// 1-(1-s^k·p)^l for textual similarity s and semantic agreement s' (§5.2).
+func SACollisionProbability(s, sprime float64, k, l, w int, mode Mode) float64 {
+	p := SemanticFactor(sprime, w, mode)
+	return 1 - math.Pow(1-math.Pow(s, float64(k))*p, float64(l))
+}

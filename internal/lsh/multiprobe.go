@@ -1,0 +1,114 @@
+package lsh
+
+import (
+	"fmt"
+
+	"semblock/internal/blocking"
+	"semblock/internal/minhash"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// MultiProbe implements multi-probe LSH blocking (Lv et al., VLDB 2007 —
+// the paper's reference [29]), adapted to minhash banding: besides its
+// primary bucket in each table, a record is filed under Probes additional
+// buckets obtained by replacing one band component with the record's
+// *second-minimum* hash value for that function — the value the minhash
+// would take if the minimising shingle were missing. Records one shingle
+// apart thus collide without extra hash tables, trading bucket volume for
+// table count exactly as the original multi-probe trades query probes for
+// tables.
+type MultiProbe struct {
+	cfg MultiProbeConfig
+	fam *minhash.Family
+}
+
+// MultiProbeConfig configures a multi-probe blocker.
+type MultiProbeConfig struct {
+	// Attrs, Q, K, L, Seed as in Config.
+	Attrs []string
+	Q     int
+	K, L  int
+	Seed  int64
+	// Probes is the number of perturbed buckets per table (0 ≤ Probes ≤ K).
+	// Probes = 0 degenerates to plain LSH banding.
+	Probes int
+}
+
+// NewMultiProbe validates the configuration and builds the blocker.
+func NewMultiProbe(cfg MultiProbeConfig) (*MultiProbe, error) {
+	if len(cfg.Attrs) == 0 {
+		return nil, fmt.Errorf("lsh: multiprobe needs blocking attributes")
+	}
+	if cfg.Q <= 0 {
+		return nil, fmt.Errorf("lsh: multiprobe q-gram size must be positive, got %d", cfg.Q)
+	}
+	if cfg.K <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("lsh: multiprobe needs positive k and l, got k=%d l=%d", cfg.K, cfg.L)
+	}
+	if cfg.Probes < 0 || cfg.Probes > cfg.K {
+		return nil, fmt.Errorf("lsh: probes must be in [0,%d], got %d", cfg.K, cfg.Probes)
+	}
+	return &MultiProbe{cfg: cfg, fam: minhash.NewFamily(cfg.K*cfg.L, cfg.Seed)}, nil
+}
+
+// Name implements blocking.Blocker.
+func (m *MultiProbe) Name() string { return "lsh-multiprobe" }
+
+// Block files every record under its primary and perturbed band buckets.
+func (m *MultiProbe) Block(d *record.Dataset) (*blocking.Result, error) {
+	n := d.Len()
+	k, l := m.cfg.K, m.cfg.L
+	sigs := make([][]uint64, n)
+	sig2s := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		r := d.Record(record.ID(i))
+		grams := textual.QGrams(r.Key(m.cfg.Attrs...), m.cfg.Q)
+		sig := make([]uint64, k*l)
+		sig2 := make([]uint64, k*l)
+		m.fam.Signature2Into(grams, sig, sig2)
+		sigs[i], sig2s[i] = sig, sig2
+	}
+	var blocks [][]record.ID
+	probe := make([]uint64, k)
+	for table := 0; table < l; table++ {
+		buckets := make(map[uint64][]record.ID)
+		lo := table * k
+		for i := 0; i < n; i++ {
+			band := sigs[i][lo : lo+k]
+			key := minhash.BandKey(table, band)
+			buckets[key] = append(buckets[key], record.ID(i))
+			// Perturbations: replace component j with the second minimum.
+			for j := 0; j < m.cfg.Probes; j++ {
+				if sig2s[i][lo+j] == ^uint64(0) {
+					continue // no second-distinct hash to probe with
+				}
+				copy(probe, band)
+				probe[j] = sig2s[i][lo+j]
+				pk := minhash.BandKey(table, probe)
+				buckets[pk] = append(buckets[pk], record.ID(i))
+			}
+		}
+		for _, ids := range buckets {
+			if len(ids) >= 2 {
+				blocks = append(blocks, dedupeIDs(ids))
+			}
+		}
+	}
+	return blocking.NewResult(m.Name(), blocks), nil
+}
+
+// dedupeIDs removes duplicates (a record can reach the same bucket through
+// its primary key and a probe) while preserving first-seen order.
+func dedupeIDs(ids []record.ID) []record.ID {
+	seen := make(map[record.ID]struct{}, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package lsh
+
+import (
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/eval"
+	"semblock/internal/record"
+)
+
+func TestNewForestValidation(t *testing.T) {
+	cases := []ForestConfig{
+		{Attrs: nil, Q: 2, L: 2, KMax: 4, MaxBlock: 10},
+		{Attrs: []string{"t"}, Q: 0, L: 2, KMax: 4, MaxBlock: 10},
+		{Attrs: []string{"t"}, Q: 2, L: 0, KMax: 4, MaxBlock: 10},
+		{Attrs: []string{"t"}, Q: 2, L: 2, KMax: 0, MaxBlock: 10},
+		{Attrs: []string{"t"}, Q: 2, L: 2, KMax: 4, MaxBlock: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewForest(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestForestIdenticalRecordsCoBlock(t *testing.T) {
+	d := record.NewDataset("f")
+	d.Append(0, map[string]string{"title": "entity resolution blocking"})
+	d.Append(0, map[string]string{"title": "entity resolution blocking"})
+	d.Append(1, map[string]string{"title": "a completely different string"})
+	f, err := NewForest(ForestConfig{Attrs: []string{"title"}, Q: 2, L: 3, KMax: 8, MaxBlock: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "lsh-forest" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if !res.Covers(0, 1) {
+		t.Error("identical records must share a forest leaf")
+	}
+}
+
+// TestForestAdaptiveDepth verifies the self-tuning property: with a tight
+// MaxBlock, dense buckets are split deeper so no emitted block exceeds the
+// cap unless the prefix is exhausted by identical signatures.
+func TestForestAdaptiveDepth(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 300
+	d := datagen.Cora(cfg)
+	// MaxBlock=40 accommodates Cora's large duplicate clusters: a split
+	// cap far below the cluster size necessarily severs within-cluster
+	// pairs (the forest's selectivity/recall trade-off).
+	f, err := NewForest(ForestConfig{Attrs: []string{"authors", "title"}, Q: 3, L: 6, KMax: 12, MaxBlock: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBlocks() == 0 {
+		t.Fatal("forest produced no blocks")
+	}
+	oversized := 0
+	for _, b := range res.Blocks {
+		if len(b) > 40 {
+			oversized++
+		}
+	}
+	// Oversized leaves can only come from signature-identical groups;
+	// they must be rare.
+	if frac := float64(oversized) / float64(res.NumBlocks()); frac > 0.2 {
+		t.Errorf("%.2f of forest blocks exceed MaxBlock", frac)
+	}
+	m, err := eval.Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC < 0.5 {
+		t.Errorf("forest PC = %v; expected reasonable recall", m.PC)
+	}
+	// The adaptive depth must still prune the candidate space hard.
+	if m.RR < 0.8 {
+		t.Errorf("forest RR = %v; expected strong reduction", m.RR)
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 150
+	d := datagen.Cora(cfg)
+	mk := func() *eval.Metrics {
+		f, err := NewForest(ForestConfig{Attrs: []string{"title"}, Q: 2, L: 2, KMax: 6, MaxBlock: 5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Block(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eval.Evaluate(res, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &m
+	}
+	a, b := mk(), mk()
+	if a.CandidatePairs != b.CandidatePairs || a.PC != b.PC {
+		t.Error("forest blocking not deterministic")
+	}
+}
+
+func TestNewMultiProbeValidation(t *testing.T) {
+	cases := []MultiProbeConfig{
+		{Attrs: nil, Q: 2, K: 2, L: 2},
+		{Attrs: []string{"t"}, Q: 0, K: 2, L: 2},
+		{Attrs: []string{"t"}, Q: 2, K: 0, L: 2},
+		{Attrs: []string{"t"}, Q: 2, K: 2, L: 0},
+		{Attrs: []string{"t"}, Q: 2, K: 2, L: 2, Probes: 3},
+		{Attrs: []string{"t"}, Q: 2, K: 2, L: 2, Probes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewMultiProbe(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestMultiProbeZeroProbesMatchesPlainLSH: with Probes=0 the candidate set
+// must equal plain banding with the same seed.
+func TestMultiProbeZeroProbesMatchesPlainLSH(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 200
+	d := datagen.Cora(cfg)
+	plain, err := New(Config{Attrs: []string{"title"}, Q: 2, K: 3, L: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewMultiProbe(MultiProbeConfig{Attrs: []string{"title"}, Q: 2, K: 3, L: 5, Seed: 4, Probes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mp.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, pm := rp.CandidatePairs(), rm.CandidatePairs()
+	if pp.Len() != pm.Len() || pp.Intersect(pm) != pp.Len() {
+		t.Errorf("probes=0 pairs (%d) differ from plain LSH pairs (%d)", pm.Len(), pp.Len())
+	}
+	if mp.Name() != "lsh-multiprobe" {
+		t.Errorf("Name = %q", mp.Name())
+	}
+}
+
+// TestMultiProbeIncreasesRecall: probing must only add candidate pairs
+// (superset) and should recover true matches at fewer tables.
+func TestMultiProbeIncreasesRecall(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 400
+	d := datagen.Cora(cfg)
+	truth := eval.TruthSet(d)
+	base := MultiProbeConfig{Attrs: []string{"authors", "title"}, Q: 3, K: 4, L: 4, Seed: 11}
+
+	var prevPairs int
+	var prevPC float64
+	for _, probes := range []int{0, 2, 4} {
+		c := base
+		c.Probes = probes
+		mp, err := NewMultiProbe(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mp.Block(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := eval.EvaluateWithTruth(res, d, truth)
+		if probes > 0 {
+			if res.CandidatePairs().Len() < prevPairs {
+				t.Errorf("probes=%d shrank the candidate set", probes)
+			}
+			if m.PC < prevPC {
+				t.Errorf("probes=%d reduced PC: %v -> %v", probes, prevPC, m.PC)
+			}
+		}
+		prevPairs = res.CandidatePairs().Len()
+		prevPC = m.PC
+	}
+}
+
+// TestMultiProbeSupersetProperty asserts pair-level monotonicity directly:
+// every plain-LSH pair survives probing.
+func TestMultiProbeSupersetProperty(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 150
+	d := datagen.Cora(cfg)
+	mk := func(probes int) record.PairSet {
+		mp, err := NewMultiProbe(MultiProbeConfig{Attrs: []string{"title"}, Q: 2, K: 3, L: 3, Seed: 6, Probes: probes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mp.Block(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CandidatePairs()
+	}
+	without := mk(0)
+	with := mk(3)
+	if with.Intersect(without) != without.Len() {
+		t.Error("multi-probe candidates must be a superset of plain candidates")
+	}
+}

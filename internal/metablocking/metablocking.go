@@ -1,0 +1,331 @@
+// Package metablocking implements the meta-blocking framework of Papadakis
+// et al. (TKDE 26(8), 2014), the comparison system of the paper's Fig. 12:
+// a blocking graph is built over an existing (redundancy-positive) block
+// collection, edges are weighted by one of five schemes (ARCS, CBS, ECBS,
+// JS, EJS), and one of four pruning algorithms (WEP, CEP, WNP, CNP)
+// restructures the collection into its final candidate comparisons.
+package metablocking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"semblock/internal/blocking"
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// WeightScheme names an edge-weighting scheme.
+type WeightScheme int
+
+// The five weighting schemes of the meta-blocking paper.
+const (
+	// ARCS: aggregate reciprocal comparisons — Σ over common blocks of
+	// 1 / (comparisons in block).
+	ARCS WeightScheme = iota
+	// CBS: number of common blocks.
+	CBS
+	// ECBS: CBS scaled by log-rarity of each record's block list.
+	ECBS
+	// JS: Jaccard coefficient of the two records' block lists.
+	JS
+	// EJS: JS scaled by log-rarity of each record's node degree.
+	EJS
+)
+
+// String renders the scheme's canonical abbreviation.
+func (w WeightScheme) String() string {
+	switch w {
+	case ARCS:
+		return "ARCS"
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	default:
+		return fmt.Sprintf("WeightScheme(%d)", int(w))
+	}
+}
+
+// Schemes lists all weighting schemes in report order.
+func Schemes() []WeightScheme { return []WeightScheme{ARCS, CBS, ECBS, JS, EJS} }
+
+// PruneAlgo names a pruning algorithm.
+type PruneAlgo int
+
+// The four pruning algorithms of the meta-blocking paper.
+const (
+	// WEP keeps edges weighing at least the global mean weight.
+	WEP PruneAlgo = iota
+	// CEP keeps the K heaviest edges, K = ⌊Σ_b |b| / 2⌋.
+	CEP
+	// WNP keeps, per node, edges weighing at least the node's local mean.
+	WNP
+	// CNP keeps, per node, the k heaviest incident edges,
+	// k = max(1, ⌊Σ_b |b| / |V|⌋).
+	CNP
+)
+
+// String renders the algorithm's canonical abbreviation.
+func (p PruneAlgo) String() string {
+	switch p {
+	case WEP:
+		return "WEP"
+	case CEP:
+		return "CEP"
+	case WNP:
+		return "WNP"
+	case CNP:
+		return "CNP"
+	default:
+		return fmt.Sprintf("PruneAlgo(%d)", int(p))
+	}
+}
+
+// Algos lists all pruning algorithms in report order.
+func Algos() []PruneAlgo { return []PruneAlgo{WEP, CEP, WNP, CNP} }
+
+// Graph is the blocking graph: one weighted edge per distinct record pair
+// co-occurring in at least one block.
+type Graph struct {
+	scheme      WeightScheme
+	weights     map[record.Pair]float64
+	totalAssign int64 // Σ_b |b|
+	numNodes    int
+}
+
+// BuildGraph constructs the weighted blocking graph from a block
+// collection. Block lists per record and per-pair common-block statistics
+// are accumulated in one pass over the blocks.
+func BuildGraph(res *blocking.Result, scheme WeightScheme) *Graph {
+	g := &Graph{scheme: scheme, weights: make(map[record.Pair]float64)}
+	numBlocks := len(res.Blocks)
+	blocksOf := make(map[record.ID]int) // |B_i|
+	common := make(map[record.Pair]int) // |B_i ∩ B_j|
+	arcs := make(map[record.Pair]float64)
+	nodes := make(map[record.ID]struct{})
+
+	for _, b := range res.Blocks {
+		g.totalAssign += int64(len(b))
+		cmp := float64(len(b)) * float64(len(b)-1) / 2
+		for _, id := range b {
+			blocksOf[id]++
+			nodes[id] = struct{}{}
+		}
+		for i := 0; i < len(b); i++ {
+			for j := i + 1; j < len(b); j++ {
+				p := record.MakePair(b[i], b[j])
+				common[p]++
+				if cmp > 0 {
+					arcs[p] += 1 / cmp
+				}
+			}
+		}
+	}
+	g.numNodes = len(nodes)
+
+	// Node degrees for EJS (number of distinct neighbours).
+	var degree map[record.ID]int
+	if scheme == EJS {
+		degree = make(map[record.ID]int, len(nodes))
+		for p := range common {
+			degree[p.Left()]++
+			degree[p.Right()]++
+		}
+	}
+	numEdges := float64(len(common))
+
+	for p, cbs := range common {
+		var w float64
+		switch scheme {
+		case ARCS:
+			w = arcs[p]
+		case CBS:
+			w = float64(cbs)
+		case ECBS:
+			w = float64(cbs) *
+				math.Log(float64(numBlocks)/float64(blocksOf[p.Left()])) *
+				math.Log(float64(numBlocks)/float64(blocksOf[p.Right()]))
+		case JS:
+			union := blocksOf[p.Left()] + blocksOf[p.Right()] - cbs
+			if union > 0 {
+				w = float64(cbs) / float64(union)
+			}
+		case EJS:
+			union := blocksOf[p.Left()] + blocksOf[p.Right()] - cbs
+			js := 0.0
+			if union > 0 {
+				js = float64(cbs) / float64(union)
+			}
+			dl, dr := float64(degree[p.Left()]), float64(degree[p.Right()])
+			if dl > 0 && dr > 0 && numEdges > 0 {
+				w = js * math.Log(numEdges/dl) * math.Log(numEdges/dr)
+			}
+		}
+		if w < 0 {
+			w = 0
+		}
+		g.weights[p] = w
+	}
+	return g
+}
+
+// NumEdges returns the number of edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.weights) }
+
+// Prune applies the pruning algorithm and returns the retained comparisons
+// as a block collection of pairs (one block per retained edge), the final
+// output of meta-blocking.
+func (g *Graph) Prune(algo PruneAlgo) *blocking.Result {
+	name := fmt.Sprintf("meta-%s-%s", algo, g.scheme)
+	var kept []record.Pair
+	switch algo {
+	case WEP:
+		kept = g.pruneWEP()
+	case CEP:
+		kept = g.pruneCEP()
+	case WNP:
+		kept = g.pruneWNP()
+	case CNP:
+		kept = g.pruneCNP()
+	}
+	blocks := make([][]record.ID, len(kept))
+	for i, p := range kept {
+		blocks[i] = []record.ID{p.Left(), p.Right()}
+	}
+	return blocking.NewResult(name, blocks)
+}
+
+func (g *Graph) pruneWEP() []record.Pair {
+	if len(g.weights) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, w := range g.weights {
+		sum += w
+	}
+	mean := sum / float64(len(g.weights))
+	var kept []record.Pair
+	for p, w := range g.weights {
+		if w >= mean {
+			kept = append(kept, p)
+		}
+	}
+	record.SortPairs(kept)
+	return kept
+}
+
+func (g *Graph) pruneCEP() []record.Pair {
+	k := int(g.totalAssign / 2)
+	if k <= 0 || len(g.weights) == 0 {
+		return nil
+	}
+	type edge struct {
+		p record.Pair
+		w float64
+	}
+	edges := make([]edge, 0, len(g.weights))
+	for p, w := range g.weights {
+		edges = append(edges, edge{p, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		return edges[i].p < edges[j].p
+	})
+	if k > len(edges) {
+		k = len(edges)
+	}
+	kept := make([]record.Pair, k)
+	for i := 0; i < k; i++ {
+		kept[i] = edges[i].p
+	}
+	record.SortPairs(kept)
+	return kept
+}
+
+// adjacency builds per-node incident edge lists.
+func (g *Graph) adjacency() map[record.ID][]record.Pair {
+	adj := make(map[record.ID][]record.Pair)
+	for p := range g.weights {
+		adj[p.Left()] = append(adj[p.Left()], p)
+		adj[p.Right()] = append(adj[p.Right()], p)
+	}
+	return adj
+}
+
+func (g *Graph) pruneWNP() []record.Pair {
+	adj := g.adjacency()
+	keep := record.NewPairSet(len(g.weights) / 2)
+	for _, edges := range adj {
+		var sum float64
+		for _, p := range edges {
+			sum += g.weights[p]
+		}
+		mean := sum / float64(len(edges))
+		for _, p := range edges {
+			if g.weights[p] >= mean {
+				keep.AddPair(p)
+			}
+		}
+	}
+	return keep.Slice()
+}
+
+func (g *Graph) pruneCNP() []record.Pair {
+	k := 1
+	if g.numNodes > 0 {
+		if kk := int(g.totalAssign) / g.numNodes; kk > k {
+			k = kk
+		}
+	}
+	adj := g.adjacency()
+	keep := record.NewPairSet(len(g.weights) / 2)
+	for _, edges := range adj {
+		sort.Slice(edges, func(i, j int) bool {
+			wi, wj := g.weights[edges[i]], g.weights[edges[j]]
+			if wi != wj {
+				return wi > wj
+			}
+			return edges[i] < edges[j]
+		})
+		top := k
+		if top > len(edges) {
+			top = len(edges)
+		}
+		for _, p := range edges[:top] {
+			keep.AddPair(p)
+		}
+	}
+	return keep.Slice()
+}
+
+// TokenBlocking builds the redundancy-positive input block collection meta-
+// blocking conventionally starts from: one block per distinct token
+// appearing in the given attributes. Blocks larger than maxBlock are purged
+// (standard block purging; 0 = default 2500).
+func TokenBlocking(d *record.Dataset, attrs []string, maxBlock int) *blocking.Result {
+	if maxBlock <= 0 {
+		maxBlock = 2500
+	}
+	idx := blocking.NewKeyIndex()
+	for _, r := range d.Records() {
+		seen := make(map[string]struct{})
+		for _, a := range attrs {
+			for _, tok := range textual.Tokens(r.Value(a)) {
+				if _, ok := seen[tok]; ok {
+					continue
+				}
+				seen[tok] = struct{}{}
+				idx.Add(tok, r.ID)
+			}
+		}
+	}
+	return idx.Result("token-blocking", maxBlock)
+}

@@ -1,0 +1,222 @@
+package metablocking
+
+import (
+	"testing"
+
+	"semblock/internal/blocking"
+	"semblock/internal/datagen"
+	"semblock/internal/eval"
+	"semblock/internal/record"
+)
+
+// toyBlocks builds a block collection with known structure:
+// records 0,1 share two blocks; 0,2 share one; 3,4 share one big block
+// with 5.
+func toyBlocks() *blocking.Result {
+	return blocking.NewResult("toy", [][]record.ID{
+		{0, 1},
+		{0, 1, 2},
+		{3, 4, 5},
+	})
+}
+
+func TestBuildGraphEdgeCount(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	// Edges: (0,1),(0,2),(1,2),(3,4),(3,5),(4,5) = 6.
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+}
+
+func TestCBSWeights(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	if w := g.weights[record.MakePair(0, 1)]; w != 2 {
+		t.Errorf("CBS(0,1) = %v, want 2 (two common blocks)", w)
+	}
+	if w := g.weights[record.MakePair(0, 2)]; w != 1 {
+		t.Errorf("CBS(0,2) = %v, want 1", w)
+	}
+}
+
+func TestARCSWeights(t *testing.T) {
+	g := BuildGraph(toyBlocks(), ARCS)
+	// (0,1): block of 2 (1 comparison) + block of 3 (3 comparisons):
+	// 1/1 + 1/3 = 4/3.
+	if w := g.weights[record.MakePair(0, 1)]; w < 1.333 || w > 1.334 {
+		t.Errorf("ARCS(0,1) = %v, want 4/3", w)
+	}
+	// (3,4): only the 3-block: 1/3.
+	if w := g.weights[record.MakePair(3, 4)]; w < 0.333 || w > 0.334 {
+		t.Errorf("ARCS(3,4) = %v, want 1/3", w)
+	}
+}
+
+func TestJSWeights(t *testing.T) {
+	g := BuildGraph(toyBlocks(), JS)
+	// (0,1): |B0|=2, |B1|=2, common=2 -> 2/(2+2-2) = 1.
+	if w := g.weights[record.MakePair(0, 1)]; w != 1 {
+		t.Errorf("JS(0,1) = %v, want 1", w)
+	}
+	// (0,2): |B0|=2, |B2|=1, common=1 -> 1/2.
+	if w := g.weights[record.MakePair(0, 2)]; w != 0.5 {
+		t.Errorf("JS(0,2) = %v, want 0.5", w)
+	}
+}
+
+func TestECBSAndEJSRankHigherForRarerRecords(t *testing.T) {
+	// The "enhanced" schemes boost edges between records that occur in few
+	// blocks (ECBS) or have few neighbours (EJS): the (3,4) edge — both
+	// records in a single block, degree 2 — must outweigh (0,2), whose
+	// endpoint 0 is promiscuous.
+	for _, scheme := range []WeightScheme{ECBS, EJS} {
+		g := BuildGraph(toyBlocks(), scheme)
+		w34 := g.weights[record.MakePair(3, 4)]
+		w02 := g.weights[record.MakePair(0, 2)]
+		if w34 <= w02 {
+			t.Errorf("%s: w(3,4)=%v should exceed w(0,2)=%v (rarity boost)", scheme, w34, w02)
+		}
+	}
+}
+
+func TestWEPKeepsAboveMeanEdges(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	res := g.Prune(WEP)
+	// Weights: (0,1)=2, five edges =1. Mean = 7/6 ≈ 1.17, so only (0,1)
+	// survives.
+	if res.NumBlocks() != 1 {
+		t.Fatalf("WEP kept %d edges, want 1", res.NumBlocks())
+	}
+	if !res.Covers(0, 1) {
+		t.Error("WEP should keep the heaviest edge (0,1)")
+	}
+}
+
+func TestCEPKeepsTopK(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	// Σ|b| = 2+3+3 = 8, K = 4.
+	res := g.Prune(CEP)
+	if res.NumBlocks() != 4 {
+		t.Fatalf("CEP kept %d edges, want 4", res.NumBlocks())
+	}
+	if !res.Covers(0, 1) {
+		t.Error("CEP must keep the heaviest edge")
+	}
+}
+
+func TestWNPKeepsLocalHeavyEdges(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	res := g.Prune(WNP)
+	// Node 0: edges (0,1)=2,(0,2)=1, mean 1.5 -> keeps (0,1).
+	if !res.Covers(0, 1) {
+		t.Error("WNP should keep (0,1)")
+	}
+	// Node 2: edges (0,2)=1,(1,2)=1, mean 1 -> keeps both.
+	if !res.Covers(1, 2) {
+		t.Error("WNP should keep (1,2) via node 2's local mean")
+	}
+}
+
+func TestCNPKeepsTopPerNode(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	res := g.Prune(CNP)
+	// k = ⌊8/6⌋ = 1: each node keeps its single heaviest edge.
+	if !res.Covers(0, 1) {
+		t.Error("CNP should keep (0,1) for nodes 0 and 1")
+	}
+	if res.NumBlocks() > 6 {
+		t.Errorf("CNP kept %d edges", res.NumBlocks())
+	}
+}
+
+func TestPruneEmptyGraph(t *testing.T) {
+	g := BuildGraph(blocking.NewResult("empty", nil), CBS)
+	for _, algo := range Algos() {
+		if res := g.Prune(algo); res.NumBlocks() != 0 {
+			t.Errorf("%s on empty graph kept %d", algo, res.NumBlocks())
+		}
+	}
+}
+
+func TestSchemeAndAlgoStrings(t *testing.T) {
+	if ARCS.String() != "ARCS" || EJS.String() != "EJS" {
+		t.Error("scheme names wrong")
+	}
+	if WEP.String() != "WEP" || CNP.String() != "CNP" {
+		t.Error("algo names wrong")
+	}
+	if WeightScheme(99).String() == "" || PruneAlgo(99).String() == "" {
+		t.Error("unknown values must render")
+	}
+	if len(Schemes()) != 5 || len(Algos()) != 4 {
+		t.Error("scheme/algo lists incomplete")
+	}
+}
+
+func TestTokenBlocking(t *testing.T) {
+	d := record.NewDataset("tok")
+	d.Append(0, map[string]string{"name": "cascade correlation"})
+	d.Append(0, map[string]string{"name": "cascade learning"})
+	d.Append(1, map[string]string{"name": "voter registration"})
+	res := TokenBlocking(d, []string{"name"}, 0)
+	if !res.Covers(0, 1) {
+		t.Error("records sharing token 'cascade' must co-block")
+	}
+	if res.Covers(0, 2) {
+		t.Error("records with disjoint tokens must not co-block")
+	}
+}
+
+func TestTokenBlockingPurgesLargeBlocks(t *testing.T) {
+	d := record.NewDataset("purge")
+	for i := 0; i < 10; i++ {
+		d.Append(record.EntityID(i), map[string]string{"name": "common"})
+	}
+	res := TokenBlocking(d, []string{"name"}, 5)
+	if res.NumBlocks() != 0 {
+		t.Errorf("oversized token block should be purged, got %d", res.NumBlocks())
+	}
+}
+
+// TestMetaBlockingImprovesPQStar is the headline behaviour of Fig. 12:
+// pruning sharply improves PQ* over the initial blocks at modest PC cost.
+func TestMetaBlockingImprovesPQStar(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 600
+	d := datagen.Cora(cfg)
+	initial := TokenBlocking(d, []string{"title", "authors"}, 0)
+	mInit, err := eval.Evaluate(initial, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mInit.PC < 0.9 {
+		t.Fatalf("token blocking PC = %v; initial blocks should be near-complete", mInit.PC)
+	}
+	g := BuildGraph(initial, JS)
+	res := g.Prune(WEP)
+	mPruned, err := eval.Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPruned.PQStar <= mInit.PQStar {
+		t.Errorf("WEP+JS should improve PQ*: initial %v, pruned %v", mInit.PQStar, mPruned.PQStar)
+	}
+	if mPruned.PC < mInit.PC/2 {
+		t.Errorf("pruning destroyed completeness: %v -> %v", mInit.PC, mPruned.PC)
+	}
+}
+
+func TestAllSchemeAlgoCombinationsRun(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 200
+	d := datagen.Cora(cfg)
+	initial := TokenBlocking(d, []string{"title", "authors"}, 0)
+	for _, scheme := range Schemes() {
+		g := BuildGraph(initial, scheme)
+		for _, algo := range Algos() {
+			res := g.Prune(algo)
+			if _, err := eval.Evaluate(res, d); err != nil {
+				t.Fatalf("%s+%s: %v", algo, scheme, err)
+			}
+		}
+	}
+}

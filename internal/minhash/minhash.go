@@ -1,0 +1,132 @@
+// Package minhash implements min-wise independent permutation signatures
+// (Broder et al.), the textual-similarity LSH family of the paper's §5.1.
+//
+// Each hash function h_i maps a shingle (q-gram) to a 64-bit value through
+// a seeded mixer; a record's signature component i is the minimum of
+// h_i over its shingle set. Two records agree on component i with
+// probability equal to the Jaccard similarity of their shingle sets.
+package minhash
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// emptyMin is the signature component of an empty shingle set. Using the
+// maximum value means two empty records agree (Jaccard(∅,∅)=1 by our
+// convention) while an empty and a non-empty record almost surely disagree.
+const emptyMin = ^uint64(0)
+
+// Family is a set of n minhash functions with fixed random seeds.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily creates n minhash functions derived deterministically from the
+// given seed.
+func NewFamily(n int, seed int64) *Family {
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = rng.Uint64() | 1 // avoid the degenerate zero seed
+	}
+	return &Family{seeds: seeds}
+}
+
+// Size returns the number of hash functions (the signature length).
+func (f *Family) Size() int { return len(f.seeds) }
+
+// baseHash maps a shingle to a 64-bit value; per-function values are
+// derived from it by seeded mixing so each shingle is string-hashed once.
+func baseHash(gram string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(gram))
+	return h.Sum64()
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Signature computes the minhash signature of a shingle multiset.
+// Duplicate shingles are harmless (min is idempotent). The sig slice is
+// allocated per call; use SignatureInto to reuse buffers in hot loops.
+func (f *Family) Signature(grams []string) []uint64 {
+	sig := make([]uint64, len(f.seeds))
+	f.SignatureInto(grams, sig)
+	return sig
+}
+
+// SignatureInto computes the signature into the provided slice, which must
+// have length Size().
+func (f *Family) SignatureInto(grams []string, sig []uint64) {
+	for i := range sig {
+		sig[i] = emptyMin
+	}
+	for _, g := range grams {
+		b := baseHash(g)
+		for i, s := range f.seeds {
+			if h := splitmix64(b ^ s); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+}
+
+// Signature2Into computes, per hash function, the minimum and the second
+// smallest distinct hash value over the shingle set. The second minimum is
+// the natural perturbation target for multi-probe LSH: it is the value the
+// minimum would take if the minimising shingle were absent. For shingle
+// sets with fewer than two distinct hashes the second minimum is emptyMin.
+// Both slices must have length Size().
+func (f *Family) Signature2Into(grams []string, sig, sig2 []uint64) {
+	for i := range sig {
+		sig[i] = emptyMin
+		sig2[i] = emptyMin
+	}
+	for _, g := range grams {
+		b := baseHash(g)
+		for i, s := range f.seeds {
+			h := splitmix64(b ^ s)
+			switch {
+			case h < sig[i]:
+				sig2[i] = sig[i]
+				sig[i] = h
+			case h > sig[i] && h < sig2[i]:
+				sig2[i] = h
+			}
+		}
+	}
+}
+
+// Agreement returns the fraction of signature components on which the two
+// signatures agree — an unbiased estimator of the Jaccard similarity of
+// the underlying shingle sets.
+func Agreement(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// BandKey hashes one band (a k-slice of a signature) into a single bucket
+// key. The band index participates so that equal slices in different bands
+// do not collide across tables.
+func BandKey(band int, slice []uint64) uint64 {
+	h := splitmix64(uint64(band) ^ 0xabcdef1234567890)
+	for _, v := range slice {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}

@@ -1,0 +1,93 @@
+package record
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// entityColumn is the reserved CSV column name holding ground-truth labels.
+const entityColumn = "entity_id"
+
+// WriteCSV serialises the dataset with a header row. Attribute order follows
+// the attrs argument; the ground-truth entity label is written to the
+// reserved "entity_id" column when the dataset is labeled.
+func WriteCSV(w io.Writer, d *Dataset, attrs []string) error {
+	cw := csv.NewWriter(w)
+	labeled := d.Labeled()
+	header := make([]string, 0, len(attrs)+1)
+	if labeled {
+		header = append(header, entityColumn)
+	}
+	header = append(header, attrs...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("record: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, r := range d.Records() {
+		row = row[:0]
+		if labeled {
+			row = append(row, strconv.Itoa(int(r.Entity)))
+		}
+		for _, a := range attrs {
+			row = append(row, r.Value(a))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("record: write csv row %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("record: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any header-first CSV).
+// If an "entity_id" column is present it is interpreted as the ground-truth
+// label; all other columns become attributes.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("record: read csv header: %w", err)
+	}
+	entityIdx := -1
+	for i, h := range header {
+		if h == entityColumn {
+			entityIdx = i
+		}
+	}
+	d := NewDataset(name)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record: read csv line %d: %w", line, err)
+		}
+		entity := UnknownEntity
+		attrs := make(map[string]string, len(header))
+		for i, v := range row {
+			if i >= len(header) {
+				break
+			}
+			if i == entityIdx {
+				id, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("record: line %d: bad entity id %q: %w", line, v, err)
+				}
+				entity = EntityID(id)
+				continue
+			}
+			if v != "" {
+				attrs[header[i]] = v
+			}
+		}
+		d.Append(entity, attrs)
+	}
+	return d, nil
+}

@@ -1,0 +1,262 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset("test")
+	d.Append(0, map[string]string{"title": "The cascade-correlation learning architecture", "authors": "E. Fahlman and C. Lebiere"})
+	d.Append(0, map[string]string{"title": "Cascade correlation learning architecture", "authors": "E. Fahlman & C. Lebiere"})
+	d.Append(1, map[string]string{"title": "A genetic cascade correlation learning algorithm"})
+	d.Append(2, map[string]string{"title": "The cascade corelation learning architecture", "authors": "Fahlman, S., & Lebiere, C."})
+	return d
+}
+
+func TestDatasetAppendAssignsDenseIDs(t *testing.T) {
+	d := newTestDataset(t)
+	for i, r := range d.Records() {
+		if int(r.ID) != i {
+			t.Fatalf("record %d has ID %d, want %d", i, r.ID, i)
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestRecordValueAndHas(t *testing.T) {
+	d := newTestDataset(t)
+	r := d.Record(2)
+	if !r.Has("title") {
+		t.Error("record 2 should have title")
+	}
+	if r.Has("authors") {
+		t.Error("record 2 should not have authors")
+	}
+	if got := r.Value("authors"); got != "" {
+		t.Errorf("Value(authors) = %q, want empty", got)
+	}
+	var empty Record
+	if empty.Has("anything") {
+		t.Error("zero record should have no attributes")
+	}
+}
+
+func TestRecordHasTreatsWhitespaceAsMissing(t *testing.T) {
+	d := NewDataset("ws")
+	r := d.Append(0, map[string]string{"journal": "   "})
+	if r.Has("journal") {
+		t.Error("whitespace-only value should count as missing")
+	}
+}
+
+func TestRecordKeyConcatenatesAndLowercases(t *testing.T) {
+	d := newTestDataset(t)
+	got := d.Record(0).Key("title", "authors")
+	want := "the cascade-correlation learning architecture e. fahlman and c. lebiere"
+	if got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	// Missing attributes are skipped without leaving double spaces.
+	if got := d.Record(2).Key("title", "authors"); strings.Contains(got, "  ") {
+		t.Errorf("Key with missing attr contains double space: %q", got)
+	}
+}
+
+func TestRecordStringIsDeterministic(t *testing.T) {
+	d := newTestDataset(t)
+	a := d.Record(0).String()
+	b := d.Record(0).String()
+	if a != b {
+		t.Errorf("String not deterministic: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "record 0") || !strings.Contains(a, "entity 0") {
+		t.Errorf("String missing identifiers: %q", a)
+	}
+}
+
+func TestTrueMatches(t *testing.T) {
+	d := newTestDataset(t)
+	tm := d.TrueMatches()
+	if len(tm) != 1 {
+		t.Fatalf("TrueMatches = %d pairs, want 1", len(tm))
+	}
+	if tm[0] != MakePair(0, 1) {
+		t.Errorf("TrueMatches = %v, want pair (0,1)", tm[0])
+	}
+}
+
+func TestTrueMatchesSkipsUnlabeled(t *testing.T) {
+	d := NewDataset("u")
+	d.Append(UnknownEntity, map[string]string{"a": "x"})
+	d.Append(UnknownEntity, map[string]string{"a": "x"})
+	if got := len(d.TrueMatches()); got != 0 {
+		t.Errorf("TrueMatches over unlabeled data = %d, want 0", got)
+	}
+	if d.Labeled() {
+		t.Error("dataset with unknown entities should not be Labeled")
+	}
+}
+
+func TestLabeledEmptyDataset(t *testing.T) {
+	if NewDataset("empty").Labeled() {
+		t.Error("empty dataset must not report Labeled")
+	}
+}
+
+func TestTotalPairs(t *testing.T) {
+	d := newTestDataset(t)
+	if got := d.TotalPairs(); got != 6 {
+		t.Errorf("TotalPairs = %d, want 6", got)
+	}
+}
+
+func TestEntityCount(t *testing.T) {
+	d := newTestDataset(t)
+	if got := d.EntityCount(); got != 3 {
+		t.Errorf("EntityCount = %d, want 3", got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := newTestDataset(t)
+	s := d.Subset(2)
+	if s.Len() != 2 {
+		t.Fatalf("Subset(2).Len = %d", s.Len())
+	}
+	if s.Record(1).Entity != 0 {
+		t.Errorf("subset lost entity labels")
+	}
+	if big := d.Subset(100); big.Len() != d.Len() {
+		t.Errorf("Subset beyond size should clamp: got %d", big.Len())
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(3, 7) != MakePair(7, 3) {
+		t.Error("MakePair must be order-insensitive")
+	}
+	p := MakePair(7, 3)
+	if p.Left() != 3 || p.Right() != 7 {
+		t.Errorf("pair unpack = (%d,%d), want (3,7)", p.Left(), p.Right())
+	}
+}
+
+func TestMakePairRoundTripQuick(t *testing.T) {
+	f := func(a, b int32) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		p := MakePair(ID(a), ID(b))
+		lo, hi := ID(a), ID(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.Left() == lo && p.Right() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairSetBasics(t *testing.T) {
+	s := NewPairSet(0)
+	s.Add(1, 2)
+	s.Add(2, 1) // duplicate in reverse order
+	s.Add(3, 3) // self-pair ignored
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Has(2, 1) {
+		t.Error("Has(2,1) should be true")
+	}
+	if s.Has(1, 3) {
+		t.Error("Has(1,3) should be false")
+	}
+}
+
+func TestPairSetSliceSorted(t *testing.T) {
+	s := NewPairSet(0)
+	s.Add(5, 6)
+	s.Add(0, 9)
+	s.Add(2, 3)
+	ps := s.Slice()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] >= ps[i] {
+			t.Fatalf("Slice not sorted at %d: %v", i, ps)
+		}
+	}
+}
+
+func TestPairSetIntersect(t *testing.T) {
+	a := NewPairSet(0)
+	b := NewPairSet(0)
+	a.Add(1, 2)
+	a.Add(3, 4)
+	a.Add(5, 6)
+	b.Add(3, 4)
+	b.Add(5, 6)
+	b.Add(7, 8)
+	if got := a.Intersect(b); got != 2 {
+		t.Errorf("Intersect = %d, want 2", got)
+	}
+	if got := b.Intersect(a); got != 2 {
+		t.Errorf("Intersect should be symmetric, got %d", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := newTestDataset(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d, []string{"title", "authors"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), d.Len())
+	}
+	for i := range d.Records() {
+		orig, rt := d.Record(ID(i)), got.Record(ID(i))
+		if orig.Entity != rt.Entity {
+			t.Errorf("record %d entity = %d, want %d", i, rt.Entity, orig.Entity)
+		}
+		if orig.Value("title") != rt.Value("title") {
+			t.Errorf("record %d title = %q, want %q", i, rt.Value("title"), orig.Value("title"))
+		}
+	}
+}
+
+func TestReadCSVWithoutEntityColumn(t *testing.T) {
+	in := "name,city\nalice,berlin\nbob,paris\n"
+	d, err := ReadCSV(strings.NewReader(in), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Record(0).Entity != UnknownEntity {
+		t.Error("records without entity_id column must be unlabeled")
+	}
+	if d.Record(1).Value("city") != "paris" {
+		t.Errorf("city = %q, want paris", d.Record(1).Value("city"))
+	}
+}
+
+func TestReadCSVBadEntity(t *testing.T) {
+	in := "entity_id,name\nnot-a-number,alice\n"
+	if _, err := ReadCSV(strings.NewReader(in), "bad"); err == nil {
+		t.Error("expected error for non-numeric entity_id")
+	}
+}

@@ -1,0 +1,96 @@
+package semantic
+
+import (
+	"semblock/internal/taxonomy"
+)
+
+// CoraPatterns reproduces the paper's Table 1: missing-value patterns over
+// the journal, booktitle and institution attributes of Cora, mapped to
+// concepts of the bibliographic taxonomy t_bib (Fig. 3).
+//
+//	pattern  journal  booktitle  institution  -> concepts
+//	1        yes      yes        yes          -> C3, C4, C6
+//	2        yes      yes        no           -> C3, C4
+//	3        yes      no         yes          -> C3, C6
+//	4        yes      no         no           -> C3
+//	5        no       yes        yes          -> C4, C7, C8
+//	6        no       yes        no           -> C4
+//	7        no       no         yes          -> C7, C8
+//	8        no       no         no           -> C1
+func CoraPatterns() []Pattern {
+	j, b, i := "journal", "booktitle", "institution"
+	return []Pattern{
+		{Present: []string{j, b, i}, Absent: nil, Concepts: []string{"C3", "C4", "C6"}},
+		{Present: []string{j, b}, Absent: []string{i}, Concepts: []string{"C3", "C4"}},
+		{Present: []string{j, i}, Absent: []string{b}, Concepts: []string{"C3", "C6"}},
+		{Present: []string{j}, Absent: []string{b, i}, Concepts: []string{"C3"}},
+		{Present: []string{b, i}, Absent: []string{j}, Concepts: []string{"C4", "C7", "C8"}},
+		{Present: []string{b}, Absent: []string{j, i}, Concepts: []string{"C4"}},
+		{Present: []string{i}, Absent: []string{j, b}, Concepts: []string{"C7", "C8"}},
+		{Present: nil, Absent: []string{j, b, i}, Concepts: []string{"C1"}},
+	}
+}
+
+// NewCoraFunction builds the Table 1 pattern-based semantic function over
+// the given bibliographic taxonomy (or a variant of it). The pattern set
+// is complete — every record matches exactly one pattern — so the fallback
+// (root concept C0, "semantically ambiguous") never fires on well-formed
+// data, but keeps the function total.
+func NewCoraFunction(tax *taxonomy.Taxonomy) (*PatternFunction, error) {
+	fallback := []string{tax.Roots()[0].Label()}
+	patterns := CoraPatterns()
+	// When building against a taxonomy variant, re-resolve pattern concepts
+	// through ancestor fallback so removed concepts degrade gracefully.
+	base := taxonomy.Bibliographic()
+	resolved := make([]Pattern, len(patterns))
+	for i, p := range patterns {
+		rp := p
+		rp.Concepts = make([]string, 0, len(p.Concepts))
+		for _, l := range p.Concepts {
+			if _, ok := tax.Concept(l); ok {
+				rp.Concepts = append(rp.Concepts, l)
+				continue
+			}
+			if c := tax.ResolveFallback(base, l); c != nil {
+				rp.Concepts = append(rp.Concepts, c.Label())
+			}
+		}
+		resolved[i] = rp
+	}
+	return NewPatternFunction(tax, resolved, fallback)
+}
+
+// NewVoterFunction builds the value-mapping semantic function for the NC
+// Voter-style dataset over the person taxonomy: gender and race codes map
+// to leaf concepts, and uncertain codes ('U') map to the branch concept,
+// meaning "any value of this branch". The paper's tree covers exactly
+// these two attributes ("we built a taxonomy tree upon the meta-data for
+// race and gender").
+func NewVoterFunction(tax *taxonomy.Taxonomy) (*ValueFunction, error) {
+	return NewValueFunction(tax, []ValueAttr{
+		{
+			Attr: "gender",
+			Mapping: map[string]string{
+				"M": "GM",
+				"F": "GF",
+			},
+			Uncertain: "G",
+		},
+		{
+			Attr: "race",
+			Mapping: map[string]string{
+				"A": "RA",
+				"B": "RB",
+				"H": "RH",
+				"I": "RI",
+				"M": "RM",
+				"O": "RO",
+				"P": "RP",
+				"W": "RW",
+				"D": "RD",
+				"X": "RX",
+			},
+			Uncertain: "R",
+		},
+	})
+}

@@ -1,0 +1,215 @@
+package semantic
+
+import (
+	"fmt"
+	"strings"
+
+	"semblock/internal/record"
+	"semblock/internal/taxonomy"
+)
+
+// Function is the paper's semantic function ζ (Definition 4.2): it maps a
+// record to its semantic interpretation, a set of concepts from a taxonomy.
+// Implementations must satisfy the Isolation property — they may only look
+// at the record itself — and should return interpretations normalised for
+// Specificity (NormalizeInterpretation does this).
+type Function interface {
+	// Interpret returns ζ(r).
+	Interpret(r *record.Record) taxonomy.Interpretation
+	// Taxonomy returns the taxonomy the interpretations refer to.
+	Taxonomy() *taxonomy.Taxonomy
+}
+
+// Pattern is one row of a missing-value pattern table (paper Table 1): a
+// conjunction of attribute present/absent conditions mapping to a set of
+// concept labels.
+type Pattern struct {
+	// Present lists attributes that must be non-missing.
+	Present []string
+	// Absent lists attributes that must be missing.
+	Absent []string
+	// Concepts are the labels of the concepts the record relates to when
+	// the pattern matches.
+	Concepts []string
+}
+
+// matches reports whether the record satisfies the pattern.
+func (p *Pattern) matches(r *record.Record) bool {
+	for _, a := range p.Present {
+		if !r.Has(a) {
+			return false
+		}
+	}
+	for _, a := range p.Absent {
+		if r.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pattern compactly ("journal,booktitle/-institution ->
+// C3,C4").
+func (p *Pattern) String() string {
+	return fmt.Sprintf("+%s/-%s -> %s",
+		strings.Join(p.Present, ","), strings.Join(p.Absent, ","), strings.Join(p.Concepts, ","))
+}
+
+// PatternFunction interprets records by the first matching missing-value
+// pattern, the mechanism of the paper's Table 1. Patterns are evaluated in
+// order; the Fallback concepts apply when nothing matches (the paper's
+// pattern tables are complete, so a fallback only fires on malformed data).
+type PatternFunction struct {
+	tax              *taxonomy.Taxonomy
+	patterns         []Pattern
+	fallback         []string
+	resolved         [][]*taxonomy.Concept // per pattern, resolved concepts
+	fallbackResolved []*taxonomy.Concept
+}
+
+// NewPatternFunction builds a pattern-based semantic function. Every
+// concept label must resolve in tax. The fallback labels are used for
+// records matching no pattern; pass the root label for "semantically
+// ambiguous".
+func NewPatternFunction(tax *taxonomy.Taxonomy, patterns []Pattern, fallback []string) (*PatternFunction, error) {
+	f := &PatternFunction{tax: tax, patterns: patterns, fallback: fallback}
+	resolve := func(labels []string) ([]*taxonomy.Concept, error) {
+		out := make([]*taxonomy.Concept, len(labels))
+		for i, l := range labels {
+			c, ok := tax.Concept(l)
+			if !ok {
+				return nil, fmt.Errorf("semantic: pattern references unknown concept %q", l)
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	for _, p := range patterns {
+		cs, err := resolve(p.Concepts)
+		if err != nil {
+			return nil, err
+		}
+		f.resolved = append(f.resolved, cs)
+	}
+	var err error
+	if f.fallbackResolved, err = resolve(fallback); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Interpret returns the interpretation of the first matching pattern.
+func (f *PatternFunction) Interpret(r *record.Record) taxonomy.Interpretation {
+	for i := range f.patterns {
+		if f.patterns[i].matches(r) {
+			return f.tax.NormalizeInterpretation(f.resolved[i])
+		}
+	}
+	return f.tax.NormalizeInterpretation(f.fallbackResolved)
+}
+
+// Taxonomy returns the underlying taxonomy.
+func (f *PatternFunction) Taxonomy() *taxonomy.Taxonomy { return f.tax }
+
+// Patterns returns the pattern table (read-only), for reporting (Table 1).
+func (f *PatternFunction) Patterns() []Pattern { return f.patterns }
+
+// MatchingPattern returns the index of the pattern the record matches, or
+// -1 for the fallback. Used by the Table 1 coverage experiment.
+func (f *PatternFunction) MatchingPattern(r *record.Record) int {
+	for i := range f.patterns {
+		if f.patterns[i].matches(r) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValueFunction interprets records by mapping each configured attribute's
+// value to a concept through a lookup table (the mechanism used for NC
+// Voter's race/gender/ethnicity codes). Unknown or missing values map to
+// the attribute's Uncertain concept (e.g. the Gender node for gender='U'),
+// which semantically means "could be any child".
+type ValueFunction struct {
+	tax   *taxonomy.Taxonomy
+	attrs []ValueAttr
+}
+
+// ValueAttr configures one attribute of a ValueFunction.
+type ValueAttr struct {
+	// Attr is the record attribute to read.
+	Attr string
+	// Mapping maps normalised (upper-case, trimmed) values to concept
+	// labels.
+	Mapping map[string]string
+	// Uncertain is the concept label used for missing or unmapped values.
+	Uncertain string
+}
+
+// NewValueFunction builds a value-mapping semantic function, validating
+// every referenced concept label.
+func NewValueFunction(tax *taxonomy.Taxonomy, attrs []ValueAttr) (*ValueFunction, error) {
+	for _, a := range attrs {
+		for v, l := range a.Mapping {
+			if _, ok := tax.Concept(l); !ok {
+				return nil, fmt.Errorf("semantic: attribute %s value %q maps to unknown concept %q", a.Attr, v, l)
+			}
+		}
+		if _, ok := tax.Concept(a.Uncertain); !ok {
+			return nil, fmt.Errorf("semantic: attribute %s has unknown uncertain concept %q", a.Attr, a.Uncertain)
+		}
+	}
+	return &ValueFunction{tax: tax, attrs: attrs}, nil
+}
+
+// Interpret maps each configured attribute value to its concept.
+func (f *ValueFunction) Interpret(r *record.Record) taxonomy.Interpretation {
+	concepts := make([]*taxonomy.Concept, 0, len(f.attrs))
+	for _, a := range f.attrs {
+		v := strings.ToUpper(strings.TrimSpace(r.Value(a.Attr)))
+		label, ok := a.Mapping[v]
+		if !ok {
+			label = a.Uncertain
+		}
+		c, ok := f.tax.Concept(label)
+		if !ok {
+			// Validated in the constructor; unreachable.
+			continue
+		}
+		concepts = append(concepts, c)
+	}
+	return f.tax.NormalizeInterpretation(concepts)
+}
+
+// Taxonomy returns the underlying taxonomy.
+func (f *ValueFunction) Taxonomy() *taxonomy.Taxonomy { return f.tax }
+
+// Remapped wraps an existing semantic function so its interpretations are
+// re-resolved against a structural variant of the taxonomy (paper Table 2):
+// concepts missing from the variant fall back to their nearest surviving
+// ancestor.
+type Remapped struct {
+	inner   Function
+	variant *taxonomy.Taxonomy
+}
+
+// NewRemapped builds the wrapper. variant should be derived from
+// inner.Taxonomy() via RemoveConcepts.
+func NewRemapped(inner Function, variant *taxonomy.Taxonomy) *Remapped {
+	return &Remapped{inner: inner, variant: variant}
+}
+
+// Interpret re-resolves the inner interpretation in the variant taxonomy.
+func (f *Remapped) Interpret(r *record.Record) taxonomy.Interpretation {
+	orig := f.inner.Interpret(r)
+	concepts := make([]*taxonomy.Concept, 0, len(orig))
+	for _, c := range orig {
+		if rc := f.variant.ResolveFallback(f.inner.Taxonomy(), c.Label()); rc != nil {
+			concepts = append(concepts, rc)
+		}
+	}
+	return f.variant.NormalizeInterpretation(concepts)
+}
+
+// Taxonomy returns the variant taxonomy.
+func (f *Remapped) Taxonomy() *taxonomy.Taxonomy { return f.variant }

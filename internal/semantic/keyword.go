@@ -1,0 +1,157 @@
+package semantic
+
+import (
+	"fmt"
+	"strings"
+
+	"semblock/internal/record"
+	"semblock/internal/taxonomy"
+	"semblock/internal/textual"
+)
+
+// KeywordRule maps the presence of any of a set of keywords in the given
+// attributes to a concept. Rules implement the paper's §4.2 observation
+// that semantic functions may be defined "using meta-data": a venue string
+// containing "proceedings" indicates a conference paper, "transactions" a
+// journal, and so on.
+type KeywordRule struct {
+	// Attrs are the attributes whose values are scanned.
+	Attrs []string
+	// Keywords are matched as whole lower-case tokens or token phrases.
+	Keywords []string
+	// Concept is the label the rule assigns on a match.
+	Concept string
+}
+
+// KeywordFunction interprets a record as the set of concepts whose rules
+// match; records matching no rule receive the fallback concepts. Unlike
+// PatternFunction (first match wins) all matching rules contribute, and
+// specificity normalisation resolves subsumption among them.
+type KeywordFunction struct {
+	tax      *taxonomy.Taxonomy
+	rules    []KeywordRule
+	resolved []*taxonomy.Concept
+	fallback []*taxonomy.Concept
+}
+
+// NewKeywordFunction validates rule concepts and builds the function.
+func NewKeywordFunction(tax *taxonomy.Taxonomy, rules []KeywordRule, fallback []string) (*KeywordFunction, error) {
+	f := &KeywordFunction{tax: tax, rules: rules}
+	for _, r := range rules {
+		c, ok := tax.Concept(r.Concept)
+		if !ok {
+			return nil, fmt.Errorf("semantic: keyword rule references unknown concept %q", r.Concept)
+		}
+		if len(r.Keywords) == 0 || len(r.Attrs) == 0 {
+			return nil, fmt.Errorf("semantic: keyword rule for %q needs attributes and keywords", r.Concept)
+		}
+		f.resolved = append(f.resolved, c)
+	}
+	for _, l := range fallback {
+		c, ok := tax.Concept(l)
+		if !ok {
+			return nil, fmt.Errorf("semantic: keyword fallback references unknown concept %q", l)
+		}
+		f.fallback = append(f.fallback, c)
+	}
+	return f, nil
+}
+
+// Interpret collects the concepts of all matching rules.
+func (f *KeywordFunction) Interpret(r *record.Record) taxonomy.Interpretation {
+	var concepts []*taxonomy.Concept
+	for i, rule := range f.rules {
+		if ruleMatches(rule, r) {
+			concepts = append(concepts, f.resolved[i])
+		}
+	}
+	if len(concepts) == 0 {
+		concepts = f.fallback
+	}
+	return f.tax.NormalizeInterpretation(concepts)
+}
+
+// Taxonomy returns the underlying taxonomy.
+func (f *KeywordFunction) Taxonomy() *taxonomy.Taxonomy { return f.tax }
+
+func ruleMatches(rule KeywordRule, r *record.Record) bool {
+	for _, a := range rule.Attrs {
+		v := textual.Normalize(r.Value(a))
+		if v == "" {
+			continue
+		}
+		padded := " " + v + " "
+		for _, kw := range rule.Keywords {
+			if strings.Contains(padded, " "+kw+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewCoraKeywordFunction builds the meta-data-based alternative to the
+// Table 1 pattern function: venue strings are scanned for type-indicating
+// vocabulary. It demonstrates that the framework accepts any Function
+// implementation, and serves as the second opinion in Ensemble tests.
+func NewCoraKeywordFunction(tax *taxonomy.Taxonomy) (*KeywordFunction, error) {
+	venueAttrs := []string{"journal", "booktitle", "institution", "publisher"}
+	return NewKeywordFunction(tax, []KeywordRule{
+		{Attrs: venueAttrs, Keywords: []string{"journal", "transactions", "magazine"}, Concept: "C3"},
+		{Attrs: venueAttrs, Keywords: []string{"proceedings", "conference", "symposium", "workshop", "sigkdd"}, Concept: "C4"},
+		{Attrs: venueAttrs, Keywords: []string{"press", "kaufmann", "wesley", "elsevier", "wiley", "verlag", "hall"}, Concept: "C5"},
+		{Attrs: venueAttrs, Keywords: []string{"technical", "report", "tr"}, Concept: "C7"},
+		{Attrs: venueAttrs, Keywords: []string{"thesis", "dissertation", "university", "institute", "mit", "caltech", "eth"}, Concept: "C8"},
+	}, []string{tax.Roots()[0].Label()})
+}
+
+// Ensemble combines two semantic functions over the same taxonomy. With
+// Intersect=true the interpretation is the set of concepts both functions
+// agree on (falling back to the primary's when the intersection is empty);
+// otherwise it is the union. Combining independent evidence channels is
+// the simplest instance of the paper's future-work direction of "mining
+// and learning methods for discovering semantic features".
+type Ensemble struct {
+	primary, secondary Function
+	intersect          bool
+}
+
+// NewEnsemble validates that both functions share a taxonomy.
+func NewEnsemble(primary, secondary Function, intersect bool) (*Ensemble, error) {
+	if primary.Taxonomy() != secondary.Taxonomy() {
+		return nil, fmt.Errorf("semantic: ensemble functions must share a taxonomy")
+	}
+	return &Ensemble{primary: primary, secondary: secondary, intersect: intersect}, nil
+}
+
+// Interpret combines the two interpretations.
+func (e *Ensemble) Interpret(r *record.Record) taxonomy.Interpretation {
+	zp := e.primary.Interpret(r)
+	zs := e.secondary.Interpret(r)
+	tax := e.primary.Taxonomy()
+	if !e.intersect {
+		return tax.NormalizeInterpretation(append(append([]*taxonomy.Concept{}, zp...), zs...))
+	}
+	// Intersection in the subsumption sense: keep concepts of either side
+	// that are related to some concept of the other side.
+	var kept []*taxonomy.Concept
+	for _, a := range zp {
+		for _, b := range zs {
+			if tax.Related(a, b) {
+				// Keep the more specific of the two.
+				if tax.Subsumed(a, b) {
+					kept = append(kept, a)
+				} else {
+					kept = append(kept, b)
+				}
+			}
+		}
+	}
+	if len(kept) == 0 {
+		return zp // disagreement: trust the primary
+	}
+	return tax.NormalizeInterpretation(kept)
+}
+
+// Taxonomy returns the shared taxonomy.
+func (e *Ensemble) Taxonomy() *taxonomy.Taxonomy { return e.primary.Taxonomy() }

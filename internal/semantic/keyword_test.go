@@ -1,0 +1,208 @@
+package semantic
+
+import (
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/record"
+	"semblock/internal/taxonomy"
+)
+
+func TestNewKeywordFunctionValidation(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	if _, err := NewKeywordFunction(tax, []KeywordRule{{Attrs: []string{"a"}, Keywords: []string{"x"}, Concept: "NOPE"}}, nil); err == nil {
+		t.Error("unknown concept should fail")
+	}
+	if _, err := NewKeywordFunction(tax, []KeywordRule{{Concept: "C3"}}, nil); err == nil {
+		t.Error("empty rule should fail")
+	}
+	if _, err := NewKeywordFunction(tax, nil, []string{"NOPE"}); err == nil {
+		t.Error("unknown fallback should fail")
+	}
+}
+
+func TestKeywordFunctionInterprets(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraKeywordFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("kw")
+	conf := d.Append(0, map[string]string{"booktitle": "Proceedings of the International Conference on Machine Learning"})
+	journal := d.Append(1, map[string]string{"journal": "IEEE Transactions on Neural Networks"})
+	tr := d.Append(2, map[string]string{"institution": "carnegie mellon university technical report"})
+	unknown := d.Append(3, map[string]string{"title": "no venue at all"})
+
+	check := func(r *record.Record, want string) {
+		t.Helper()
+		z := fn.Interpret(r)
+		for _, c := range z {
+			if c.Label() == want {
+				return
+			}
+		}
+		t.Errorf("interpretation %v missing %s", z, want)
+	}
+	check(conf, "C4")
+	check(journal, "C3")
+	check(tr, "C7")
+	z := fn.Interpret(unknown)
+	if len(z) != 1 || z[0].Label() != "C0" {
+		t.Errorf("fallback interpretation = %v, want [C0]", z)
+	}
+}
+
+func TestKeywordMatchingIsTokenBased(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewKeywordFunction(tax, []KeywordRule{
+		{Attrs: []string{"v"}, Keywords: []string{"tr"}, Concept: "C7"},
+	}, []string{"C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("tok")
+	hit := d.Append(0, map[string]string{"v": "TR 91-123"})
+	miss := d.Append(1, map[string]string{"v": "transactions on databases"}) // "tr" is a substring, not a token
+	if got := fn.Interpret(hit); len(got) != 1 || got[0].Label() != "C7" {
+		t.Errorf("token hit = %v", got)
+	}
+	if got := fn.Interpret(miss); got[0].Label() == "C7" {
+		t.Errorf("substring must not match: %v", got)
+	}
+}
+
+// TestKeywordAgreesWithPatternsOnCleanData compares the two independent
+// Cora semantic functions on noise-free generated data: they should assign
+// related concepts for the overwhelming majority of records.
+func TestKeywordAgreesWithPatternsOnCleanData(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 600
+	cfg.PatternNoise = 0
+	d := datagen.Cora(cfg)
+	tax := taxonomy.Bibliographic()
+	patterns, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keywords, err := NewCoraKeywordFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, r := range d.Records() {
+		zp := patterns.Interpret(r)
+		zk := keywords.Interpret(r)
+		if tax.SimRecords(zp, zk) > 0 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(d.Len()); frac < 0.9 {
+		t.Errorf("functions agree on only %.2f of clean records", frac)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	taxA := taxonomy.Bibliographic()
+	taxB := taxonomy.Bibliographic()
+	fa, err := NewCoraFunction(taxA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewCoraFunction(taxB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEnsemble(fa, fb, true); err == nil {
+		t.Error("functions over different taxonomy instances should fail")
+	}
+}
+
+func TestEnsembleIntersectPrefersSpecific(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	patterns, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keywords, err := NewCoraKeywordFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := NewEnsemble(patterns, keywords, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Taxonomy() != tax {
+		t.Error("ensemble taxonomy mismatch")
+	}
+	d := record.NewDataset("ens")
+	// Pattern says {C7,C8} (institution only); keyword narrows to C7 via
+	// "technical report".
+	r := d.Append(0, map[string]string{"institution": "mit ai lab technical report"})
+	z := ens.Interpret(r)
+	found := false
+	for _, c := range z {
+		if c.Label() == "C7" {
+			found = true
+		}
+		if c.Label() == "C8" {
+			// C8 may survive via the university keyword; acceptable.
+			continue
+		}
+	}
+	if !found {
+		t.Errorf("intersected interpretation %v missing C7", z)
+	}
+}
+
+func TestEnsembleUnionCoversBoth(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	patterns, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keywords, err := NewCoraKeywordFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := NewEnsemble(patterns, keywords, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("u")
+	// Pattern sees journal set -> C3; keyword sees "proceedings" -> C4.
+	r := d.Append(0, map[string]string{"journal": "proceedings of neural networks"})
+	z := ens.Interpret(r)
+	labels := map[string]bool{}
+	for _, c := range z {
+		labels[c.Label()] = true
+	}
+	if !labels["C3"] || !labels["C4"] {
+		t.Errorf("union interpretation = %v, want C3 and C4", z)
+	}
+}
+
+func TestEnsembleDisagreementFallsBackToPrimary(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	patterns, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A keyword function that can only ever say Patent — guaranteed to
+	// disagree with the pattern function on publications.
+	kw, err := NewKeywordFunction(tax, []KeywordRule{
+		{Attrs: []string{"journal"}, Keywords: []string{"anything"}, Concept: "C9"},
+	}, []string{"C9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := NewEnsemble(patterns, kw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("dis")
+	r := d.Append(0, map[string]string{"journal": "machine learning"})
+	z := ens.Interpret(r)
+	if len(z) != 1 || z[0].Label() != "C3" {
+		t.Errorf("disagreement should fall back to primary {C3}, got %v", z)
+	}
+}

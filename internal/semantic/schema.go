@@ -1,0 +1,126 @@
+package semantic
+
+import (
+	"fmt"
+
+	"semblock/internal/record"
+	"semblock/internal/taxonomy"
+)
+
+// Schema is a family of semhash functions G = {g1,...,gn} (paper §4.4):
+// one function per concept in the feature set C, chosen so that
+//
+//	(1) Disjointness: concepts in C are pairwise unrelated,
+//	(2) Completeness: leaf(c) ⊆ C for every concept c used by a record,
+//	(3) Non-emptiness: every concept in C is related to some record.
+//
+// Algorithm 1's choice C = ∪_r ∪_{c∈ζ(r)} leaf(c) satisfies all three
+// properties; BuildSchema implements exactly that and then verifies them.
+type Schema struct {
+	fn       Function
+	features []*taxonomy.Concept
+	index    map[int]int // concept id -> bit position
+}
+
+// BuildSchema runs step (1) of Algorithm 1 over the dataset: it collects
+// the feature set C from the interpretations of all records and returns
+// the semhash family. The error path covers datasets where no record has
+// any semantic interpretation.
+func BuildSchema(fn Function, d *record.Dataset) (*Schema, error) {
+	tax := fn.Taxonomy()
+	inC := make(map[int]bool)
+	for _, r := range d.Records() {
+		for _, c := range fn.Interpret(r) {
+			for _, leafID := range tax.LeafSet(c) {
+				inC[leafID] = true
+			}
+		}
+	}
+	if len(inC) == 0 {
+		return nil, fmt.Errorf("semantic: no record of %s has a semantic interpretation", d.Name)
+	}
+	s := &Schema{fn: fn, index: make(map[int]int, len(inC))}
+	// Iterate concepts in id order for deterministic bit positions.
+	for _, c := range tax.Concepts() {
+		if inC[c.ID()] {
+			s.index[c.ID()] = len(s.features)
+			s.features = append(s.features, c)
+		}
+	}
+	return s, nil
+}
+
+// Bits returns |C|, the signature width.
+func (s *Schema) Bits() int { return len(s.features) }
+
+// Features returns the concepts of C in bit order (read-only).
+func (s *Schema) Features() []*taxonomy.Concept { return s.features }
+
+// Function returns the semantic function the schema was built from.
+func (s *Schema) Function() Function { return s.fn }
+
+// Signature runs step (2) of Algorithm 1 for one record: bit i is set iff
+// ∃c ∈ ζ(r) with C_i ≼ c, i.e. the feature concept is subsumed by (a
+// descendant set member of) one of the record's concepts. Because features
+// are leaves, this is a leaf-set membership test.
+func (s *Schema) Signature(r *record.Record) BitVec {
+	return s.SignatureOf(s.fn.Interpret(r))
+}
+
+// SignatureOf computes the semhash signature of an already-computed
+// interpretation.
+func (s *Schema) SignatureOf(z taxonomy.Interpretation) BitVec {
+	v := NewBitVec(len(s.features))
+	tax := s.fn.Taxonomy()
+	for _, c := range z {
+		for _, leafID := range tax.LeafSet(c) {
+			if bit, ok := s.index[leafID]; ok {
+				v.Set(bit)
+			}
+		}
+	}
+	return v
+}
+
+// SignatureMatrix computes signatures for every record of the dataset
+// (Algorithm 1's output M), indexed by record ID.
+func (s *Schema) SignatureMatrix(d *record.Dataset) []BitVec {
+	out := make([]BitVec, d.Len())
+	for _, r := range d.Records() {
+		out[r.ID] = s.Signature(r)
+	}
+	return out
+}
+
+// Validate checks the three semhash family properties against a dataset.
+// BuildSchema constructs C so they hold; Validate exists for tests and for
+// schemas deserialised from configuration.
+func (s *Schema) Validate(d *record.Dataset) error {
+	tax := s.fn.Taxonomy()
+	// (1) Disjointness.
+	for i, a := range s.features {
+		for _, b := range s.features[i+1:] {
+			if tax.Related(a, b) {
+				return fmt.Errorf("semantic: features %s and %s are related", a.Label(), b.Label())
+			}
+		}
+	}
+	// (2) Completeness and (3) non-emptiness.
+	used := make(map[int]bool)
+	for _, r := range d.Records() {
+		for _, c := range s.fn.Interpret(r) {
+			for _, leafID := range tax.LeafSet(c) {
+				if _, ok := s.index[leafID]; !ok {
+					return fmt.Errorf("semantic: leaf %d of record concept %s missing from C", leafID, c.Label())
+				}
+				used[leafID] = true
+			}
+		}
+	}
+	for _, f := range s.features {
+		if !used[f.ID()] {
+			return fmt.Errorf("semantic: feature %s relates to no record", f.Label())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package semantic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"semblock/internal/record"
+	"semblock/internal/taxonomy"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Get(1) || v.Get(128) {
+		t.Error("unexpected bits set")
+	}
+	if got := v.OnesCount(); got != 3 {
+		t.Errorf("OnesCount = %d, want 3", got)
+	}
+}
+
+func TestBitVecJaccard(t *testing.T) {
+	a, b := NewBitVec(8), NewBitVec(8)
+	a.Set(0)
+	a.Set(1)
+	a.Set(2)
+	b.Set(1)
+	b.Set(2)
+	b.Set(3)
+	if got := a.Jaccard(b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if got := a.CommonOnes(b); got != 2 {
+		t.Errorf("CommonOnes = %d, want 2", got)
+	}
+	empty1, empty2 := NewBitVec(8), NewBitVec(8)
+	if got := empty1.Jaccard(empty2); got != 1 {
+		t.Errorf("empty/empty Jaccard = %v, want 1", got)
+	}
+}
+
+func TestBitVecString(t *testing.T) {
+	v := NewBitVec(5)
+	v.Set(1)
+	v.Set(3)
+	if got := v.String(); got != "01010" {
+		t.Errorf("String = %q, want 01010", got)
+	}
+}
+
+// coraRecord builds a record with the given present attributes.
+func coraRecord(d *record.Dataset, present ...string) *record.Record {
+	attrs := map[string]string{"title": "x"}
+	for _, a := range present {
+		attrs[a] = "value"
+	}
+	return d.Append(0, attrs)
+}
+
+func TestCoraPatternsCoverAllCombinations(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("combos")
+	attrs := []string{"journal", "booktitle", "institution"}
+	for mask := 0; mask < 8; mask++ {
+		var present []string
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				present = append(present, a)
+			}
+		}
+		r := coraRecord(d, present...)
+		if fn.MatchingPattern(r) < 0 {
+			t.Errorf("mask %03b matches no pattern", mask)
+		}
+		if len(fn.Interpret(r)) == 0 {
+			t.Errorf("mask %03b has empty interpretation", mask)
+		}
+	}
+}
+
+func TestCoraPatternTable1Values(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("t1")
+	cases := []struct {
+		present []string
+		want    []string
+	}{
+		{[]string{"journal", "booktitle", "institution"}, []string{"C3", "C4", "C6"}},
+		{[]string{"journal", "booktitle"}, []string{"C3", "C4"}},
+		{[]string{"journal", "institution"}, []string{"C3", "C6"}},
+		{[]string{"journal"}, []string{"C3"}},
+		{[]string{"booktitle", "institution"}, []string{"C4", "C7", "C8"}},
+		{[]string{"booktitle"}, []string{"C4"}},
+		{[]string{"institution"}, []string{"C7", "C8"}},
+		{nil, []string{"C1"}},
+	}
+	for i, c := range cases {
+		r := coraRecord(d, c.present...)
+		z := fn.Interpret(r)
+		got := make(map[string]bool)
+		for _, concept := range z {
+			got[concept.Label()] = true
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("pattern %d: interpretation %v, want %v", i+1, z, c.want)
+			continue
+		}
+		for _, w := range c.want {
+			if !got[w] {
+				t.Errorf("pattern %d: missing concept %s in %v", i+1, w, z)
+			}
+		}
+	}
+}
+
+// TestCoraFiveBitSignature verifies the paper's "5 bit semantic signature
+// for each record in Cora": the leaves reachable from Table 1's concepts
+// are C3,C4,C5,C7,C8 (C9/Patent never occurs).
+func TestCoraFiveBitSignature(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("bits")
+	coraRecord(d, "journal", "booktitle", "institution")
+	coraRecord(d, "journal")
+	coraRecord(d) // pattern 8: C1 -> all five publication leaves
+	s, err := BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 5 {
+		t.Fatalf("Bits = %d, want 5", s.Bits())
+	}
+	for _, f := range s.Features() {
+		if f.Label() == "C9" {
+			t.Error("Patent must not appear in Cora's feature set")
+		}
+	}
+	if err := s.Validate(d); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSchemaSignatureSemantics(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("sig")
+	rJournal := coraRecord(d, "journal") // {C3}
+	rAmbig := coraRecord(d)              // {C1} -> all 5 leaves
+	rTR := coraRecord(d, "institution")  // {C7,C8}
+	rConf := coraRecord(d, "booktitle")  // {C4}
+	s, err := BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigJ := s.Signature(rJournal)
+	if sigJ.OnesCount() != 1 {
+		t.Errorf("journal signature = %s, want single bit", sigJ)
+	}
+	sigA := s.Signature(rAmbig)
+	if sigA.OnesCount() != 5 {
+		t.Errorf("ambiguous signature = %s, want all five bits", sigA)
+	}
+	sigT := s.Signature(rTR)
+	if sigT.OnesCount() != 2 {
+		t.Errorf("TR/thesis signature = %s, want two bits", sigT)
+	}
+	// A journal record and a conference record share no bits.
+	if got := sigJ.CommonOnes(s.Signature(rConf)); got != 0 {
+		t.Errorf("journal vs conference common bits = %d, want 0", got)
+	}
+	// Every concrete signature is contained in the ambiguous one.
+	if got := sigJ.CommonOnes(sigA); got != 1 {
+		t.Errorf("journal vs ambiguous common bits = %d, want 1", got)
+	}
+}
+
+// TestProposition43 verifies Prop 4.3 on single-concept interpretations:
+// Jaccard over semhash signatures orders pairs identically to the
+// record-level semantic similarity.
+func TestProposition43(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("p43")
+	combos := [][]string{
+		{"journal", "booktitle", "institution"},
+		{"journal", "booktitle"},
+		{"journal", "institution"},
+		{"journal"},
+		{"booktitle", "institution"},
+		{"booktitle"},
+		{"institution"},
+		nil,
+	}
+	recs := make([]*record.Record, len(combos))
+	for i, c := range combos {
+		recs[i] = coraRecord(d, c...)
+	}
+	s, err := BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ semJ, semS float64 }
+	var pairs []pair
+	for i := range recs {
+		for j := i + 1; j < len(recs); j++ {
+			zi, zj := fn.Interpret(recs[i]), fn.Interpret(recs[j])
+			pairs = append(pairs, pair{
+				semJ: s.Signature(recs[i]).Jaccard(s.Signature(recs[j])),
+				semS: tax.SimRecords(zi, zj),
+			})
+		}
+	}
+	for a := range pairs {
+		for b := range pairs {
+			// simJ ordering must agree with simS ordering (Prop 4.3).
+			if pairs[a].semJ > pairs[b].semJ+1e-9 && pairs[a].semS < pairs[b].semS-1e-9 {
+				t.Fatalf("order violated: pair %d (J=%.3f,S=%.3f) vs pair %d (J=%.3f,S=%.3f)",
+					a, pairs[a].semJ, pairs[a].semS, b, pairs[b].semJ, pairs[b].semS)
+			}
+		}
+	}
+}
+
+func TestVoterFunction(t *testing.T) {
+	tax := taxonomy.Voter()
+	fn, err := NewVoterFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("voter")
+	male := d.Append(0, map[string]string{"gender": "M", "race": "W"})
+	uncertain := d.Append(1, map[string]string{"gender": "U", "race": "U"})
+	female := d.Append(2, map[string]string{"gender": "f", "race": "b"})
+	missing := d.Append(3, map[string]string{})
+
+	zm := fn.Interpret(male)
+	if len(zm) != 2 {
+		t.Fatalf("male interpretation = %v, want 2 concepts (gender, race)", zm)
+	}
+	zu := fn.Interpret(uncertain)
+	for _, c := range zu {
+		if c.IsLeaf() {
+			t.Errorf("uncertain values must map to branch concepts, got %v", c)
+		}
+	}
+	// Lower-case codes are normalised.
+	zf := fn.Interpret(female)
+	labels := map[string]bool{}
+	for _, c := range zf {
+		labels[c.Label()] = true
+	}
+	if !labels["GF"] || !labels["RB"] {
+		t.Errorf("female interpretation = %v", zf)
+	}
+	// Missing attributes behave like uncertain.
+	if got := len(fn.Interpret(missing)); got != 2 {
+		t.Errorf("missing-attrs interpretation size = %d, want 2", got)
+	}
+
+	s, err := BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 12 {
+		t.Errorf("voter schema bits = %d, want 12", s.Bits())
+	}
+	// The uncertain record's signature covers the male record's.
+	su, sm := s.Signature(uncertain), s.Signature(male)
+	if su.CommonOnes(sm) != sm.OnesCount() {
+		t.Error("uncertain signature must cover every concrete signature bit")
+	}
+	if su.OnesCount() != 12 {
+		t.Errorf("fully uncertain signature = %s, want all 12 bits", su)
+	}
+}
+
+func TestSchemaMatrix(t *testing.T) {
+	tax := taxonomy.Voter()
+	fn, err := NewVoterFunction(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("m")
+	d.Append(0, map[string]string{"gender": "M", "race": "W", "ethnic": "NL"})
+	d.Append(1, map[string]string{"gender": "F", "race": "B", "ethnic": "HL"})
+	s, err := BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.SignatureMatrix(d)
+	if len(m) != 2 {
+		t.Fatalf("matrix rows = %d", len(m))
+	}
+	if m[0].CommonOnes(m[1]) != 0 {
+		t.Error("disjoint voters should share no signature bits")
+	}
+}
+
+func TestBuildSchemaErrors(t *testing.T) {
+	tax := taxonomy.Voter()
+	fn, err := NewValueFunction(tax, nil) // interprets everything as empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := record.NewDataset("none")
+	d.Append(0, map[string]string{"x": "y"})
+	if _, err := BuildSchema(fn, d); err == nil {
+		t.Error("BuildSchema over empty interpretations should fail")
+	}
+}
+
+func TestNewPatternFunctionValidation(t *testing.T) {
+	tax := taxonomy.Bibliographic()
+	if _, err := NewPatternFunction(tax, []Pattern{{Concepts: []string{"NOPE"}}}, []string{"C0"}); err == nil {
+		t.Error("unknown pattern concept should fail")
+	}
+	if _, err := NewPatternFunction(tax, nil, []string{"NOPE"}); err == nil {
+		t.Error("unknown fallback concept should fail")
+	}
+}
+
+func TestNewValueFunctionValidation(t *testing.T) {
+	tax := taxonomy.Voter()
+	if _, err := NewValueFunction(tax, []ValueAttr{{Attr: "g", Mapping: map[string]string{"M": "NOPE"}, Uncertain: "G"}}); err == nil {
+		t.Error("unknown mapped concept should fail")
+	}
+	if _, err := NewValueFunction(tax, []ValueAttr{{Attr: "g", Mapping: nil, Uncertain: "NOPE"}}); err == nil {
+		t.Error("unknown uncertain concept should fail")
+	}
+}
+
+func TestRemappedFunction(t *testing.T) {
+	base := taxonomy.Bibliographic()
+	fn, err := NewCoraFunction(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant := taxonomy.BibliographicVariant(3) // Journal removed
+	rm := NewRemapped(fn, variant)
+	if rm.Taxonomy() != variant {
+		t.Error("Remapped must expose the variant taxonomy")
+	}
+	d := record.NewDataset("rm")
+	r := coraRecord(d, "journal") // originally {C3}
+	z := rm.Interpret(r)
+	if len(z) != 1 || z[0].Label() != "C2" {
+		t.Errorf("remapped interpretation = %v, want [C2]", z)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{Present: []string{"journal"}, Absent: []string{"booktitle"}, Concepts: []string{"C3"}}
+	if got := p.String(); got != "+journal/-booktitle -> C3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBitVecJaccardRangeQuick(t *testing.T) {
+	prop := func(aw, bw uint64) bool {
+		a, b := NewBitVec(64), NewBitVec(64)
+		a.words[0] = aw
+		b.words[0] = bw
+		j := a.Jaccard(b)
+		return j >= 0 && j <= 1 && j == b.Jaccard(a) && a.Jaccard(a) == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

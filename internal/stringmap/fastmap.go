@@ -1,0 +1,235 @@
+// Package stringmap implements the StringMap embedding used by the
+// string-map blocking baselines (Jin, Li & Mehrotra, DASFAA 2003; Adly,
+// DMIN 2009): a FastMap-style projection of strings into a d-dimensional
+// Euclidean space such that embedded distances approximate the original
+// string distances, plus a uniform grid for cheap proximity grouping.
+package stringmap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DistFunc is a string distance in [0,1] (1 - similarity).
+type DistFunc func(a, b string) float64
+
+// Embedding is the result of mapping a string collection into R^d.
+type Embedding struct {
+	dims   int
+	points [][]float64
+}
+
+// Dims returns the embedding dimensionality.
+func (e *Embedding) Dims() int { return e.dims }
+
+// Point returns the coordinates of string i (read-only).
+func (e *Embedding) Point(i int) []float64 { return e.points[i] }
+
+// Len returns the number of embedded strings.
+func (e *Embedding) Len() int { return len(e.points) }
+
+// Distance returns the Euclidean distance between embedded strings i and j.
+func (e *Embedding) Distance(i, j int) float64 {
+	var s float64
+	for d := 0; d < e.dims; d++ {
+		diff := e.points[i][d] - e.points[j][d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// FastMap embeds the strings into dims dimensions using the classic
+// FastMap heuristic: per dimension, pick two far-apart pivot strings, then
+// project every string onto the pivot axis; residual distances for later
+// dimensions follow the standard recurrence
+//
+//	d'(a,b)² = d(a,b)² − (x_a − x_b)²
+//
+// The pivot search is the usual randomised two-hop farthest-point scan.
+// Runtime is O(dims · n) distance evaluations.
+func FastMap(strs []string, dims int, dist DistFunc, seed int64) (*Embedding, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("stringmap: dims must be positive, got %d", dims)
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("stringmap: nil distance function")
+	}
+	n := len(strs)
+	e := &Embedding{dims: dims, points: make([][]float64, n)}
+	for i := range e.points {
+		e.points[i] = make([]float64, dims)
+	}
+	if n == 0 {
+		return e, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// residual computes the distance in the space where the first `axis`
+	// coordinates have been factored out.
+	residual := func(a, b, axis int) float64 {
+		d2 := dist(strs[a], strs[b])
+		d2 = d2 * d2
+		for k := 0; k < axis; k++ {
+			diff := e.points[a][k] - e.points[b][k]
+			d2 -= diff * diff
+		}
+		if d2 < 0 {
+			return 0
+		}
+		return math.Sqrt(d2)
+	}
+
+	for axis := 0; axis < dims; axis++ {
+		// Pivot selection: random start, two farthest-point hops.
+		pa := rng.Intn(n)
+		pb := farthest(pa, n, axis, residual)
+		pa = farthest(pb, n, axis, residual)
+		dab := residual(pa, pb, axis)
+		if dab == 0 {
+			// All residual distances are zero; remaining axes stay 0.
+			break
+		}
+		for i := 0; i < n; i++ {
+			dai := residual(pa, i, axis)
+			dbi := residual(pb, i, axis)
+			// Cosine-law projection onto the pivot line.
+			e.points[i][axis] = (dai*dai + dab*dab - dbi*dbi) / (2 * dab)
+		}
+	}
+	return e, nil
+}
+
+func farthest(from, n, axis int, residual func(a, b, axis int) float64) int {
+	best, bestD := from, -1.0
+	for i := 0; i < n; i++ {
+		if i == from {
+			continue
+		}
+		if d := residual(from, i, axis); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Grid buckets embedded points into uniform hypercube cells. cells is the
+// number of cells per dimension across the data's bounding box (the survey
+// grid-size parameter). Only the first gridDims dimensions participate in
+// the cell key to keep cell occupancy meaningful in high dimensions.
+type Grid struct {
+	gridDims int
+	coords   [][]int
+	byCell   map[string][]int
+}
+
+// neighborDimCap bounds the dimensionality for which adjacent-cell lookup
+// is attempted: scanning 3^d neighbour cells is only sensible for small d.
+// Beyond the cap, NeighborMates degrades to same-cell lookup — which is
+// precisely how very fine, high-dimensional grids fail to produce blocks
+// (the survey's observation for two StMT settings).
+const neighborDimCap = 4
+
+// NewGrid builds the grid over the embedding.
+func NewGrid(e *Embedding, cells int, gridDims int) *Grid {
+	if gridDims <= 0 || gridDims > e.dims {
+		gridDims = e.dims
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	lo := make([]float64, gridDims)
+	hi := make([]float64, gridDims)
+	for d := 0; d < gridDims; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for i := 0; i < e.Len(); i++ {
+		for d := 0; d < gridDims; d++ {
+			v := e.points[i][d]
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	g := &Grid{
+		gridDims: gridDims,
+		coords:   make([][]int, e.Len()),
+		byCell:   make(map[string][]int),
+	}
+	for i := 0; i < e.Len(); i++ {
+		coord := make([]int, gridDims)
+		for d := 0; d < gridDims; d++ {
+			span := hi[d] - lo[d]
+			if span > 0 {
+				c := int((e.points[i][d] - lo[d]) / span * float64(cells))
+				if c >= cells {
+					c = cells - 1
+				}
+				coord[d] = c
+			}
+		}
+		g.coords[i] = coord
+		k := cellKey(coord)
+		g.byCell[k] = append(g.byCell[k], i)
+	}
+	return g
+}
+
+func cellKey(coord []int) string {
+	key := make([]byte, 0, len(coord)*3)
+	for _, c := range coord {
+		key = append(key, byte(c), byte(c>>8), '|')
+	}
+	return string(key)
+}
+
+// Cellmates returns the indices sharing point i's cell (including i).
+func (g *Grid) Cellmates(i int) []int { return g.byCell[cellKey(g.coords[i])] }
+
+// NeighborMates returns the indices in point i's cell and all adjacent
+// cells (Chebyshev distance ≤ 1), the candidate set of a grid-based
+// similarity join. For gridDims above neighborDimCap the scan would touch
+// 3^gridDims cells, so it degrades to Cellmates.
+func (g *Grid) NeighborMates(i int) []int {
+	if g.gridDims > neighborDimCap {
+		return g.Cellmates(i)
+	}
+	base := g.coords[i]
+	offsets := make([]int, g.gridDims)
+	for d := range offsets {
+		offsets[d] = -1
+	}
+	var out []int
+	coord := make([]int, g.gridDims)
+	for {
+		for d := range coord {
+			coord[d] = base[d] + offsets[d]
+		}
+		out = append(out, g.byCell[cellKey(coord)]...)
+		// Advance the offset odometer over {-1,0,1}^gridDims.
+		d := 0
+		for ; d < g.gridDims; d++ {
+			offsets[d]++
+			if offsets[d] <= 1 {
+				break
+			}
+			offsets[d] = -1
+		}
+		if d == g.gridDims {
+			break
+		}
+	}
+	return out
+}
+
+// Cells returns every cell's members.
+func (g *Grid) Cells() [][]int {
+	out := make([][]int, 0, len(g.byCell))
+	for _, members := range g.byCell {
+		out = append(out, members)
+	}
+	return out
+}

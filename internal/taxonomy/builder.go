@@ -1,0 +1,170 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Taxonomy incrementally. Errors (duplicate labels,
+// unknown parents) are accumulated and reported once by Build, so tree
+// definitions read as simple declarative sequences.
+type Builder struct {
+	name string
+	tax  *Taxonomy
+	errs []error
+}
+
+// NewBuilder starts a new taxonomy with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name: name,
+		tax: &Taxonomy{
+			name:    name,
+			byLabel: make(map[string]*Concept),
+		},
+	}
+}
+
+// Root adds a new tree root with the given label and name.
+func (b *Builder) Root(label, name string) *Builder {
+	c := b.add(label, name)
+	if c != nil {
+		c.root = c
+		b.tax.roots = append(b.tax.roots, c)
+	}
+	return b
+}
+
+// Child adds a concept under the previously added concept with label
+// parent.
+func (b *Builder) Child(parent, label, name string) *Builder {
+	p, ok := b.tax.byLabel[parent]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("taxonomy %s: parent %q not defined before child %q", b.name, parent, label))
+		return b
+	}
+	c := b.add(label, name)
+	if c != nil {
+		c.parent = p
+		c.root = p.root
+		c.depth = p.depth + 1
+		p.children = append(p.children, c)
+	}
+	return b
+}
+
+func (b *Builder) add(label, name string) *Concept {
+	if label == "" {
+		b.errs = append(b.errs, fmt.Errorf("taxonomy %s: empty concept label", b.name))
+		return nil
+	}
+	if _, dup := b.tax.byLabel[label]; dup {
+		b.errs = append(b.errs, fmt.Errorf("taxonomy %s: duplicate concept label %q", b.name, label))
+		return nil
+	}
+	c := &Concept{id: len(b.tax.concepts), label: label, name: name}
+	b.tax.concepts = append(b.tax.concepts, c)
+	b.tax.byLabel[label] = c
+	return c
+}
+
+// Build finalises the taxonomy: computes leaf sets and validates the
+// structure. The Builder must not be reused afterwards.
+func (b *Builder) Build() (*Taxonomy, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.tax.roots) == 0 {
+		return nil, fmt.Errorf("taxonomy %s: no root concept", b.name)
+	}
+	for _, r := range b.tax.roots {
+		computeLeaves(r)
+	}
+	return b.tax, nil
+}
+
+// MustBuild is Build for statically known trees; it panics on error.
+func (b *Builder) MustBuild() *Taxonomy {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func computeLeaves(c *Concept) []int {
+	if c.IsLeaf() {
+		c.leaves = []int{c.id}
+		return c.leaves
+	}
+	var all []int
+	for _, ch := range c.children {
+		all = append(all, computeLeaves(ch)...)
+	}
+	sort.Ints(all)
+	c.leaves = all
+	return all
+}
+
+// RemoveConcepts derives a structural variant of the taxonomy with the
+// given concepts removed, reproducing the paper's Fig. 10 tree variants.
+// Removing an internal concept re-attaches its children to its parent;
+// removing a leaf simply drops it. Roots cannot be removed. Concept ids
+// are re-assigned in the new taxonomy, and labels are preserved so that
+// semantic functions can be re-resolved against the variant.
+func (t *Taxonomy) RemoveConcepts(labels ...string) (*Taxonomy, error) {
+	drop := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		c, ok := t.byLabel[l]
+		if !ok {
+			return nil, fmt.Errorf("taxonomy %s: cannot remove unknown concept %q", t.name, l)
+		}
+		if c.IsRoot() {
+			return nil, fmt.Errorf("taxonomy %s: cannot remove root concept %q", t.name, l)
+		}
+		drop[l] = true
+	}
+	b := NewBuilder(fmt.Sprintf("%s-minus-%d", t.name, len(labels)))
+	// Walk the original forest depth-first; skip dropped concepts but keep
+	// descending so their children re-attach to the nearest kept ancestor.
+	var walk func(c *Concept, keptParent string)
+	walk = func(c *Concept, keptParent string) {
+		next := keptParent
+		if !drop[c.label] {
+			if keptParent == "" {
+				b.Root(c.label, c.name)
+			} else {
+				b.Child(keptParent, c.label, c.name)
+			}
+			next = c.label
+		}
+		for _, ch := range c.children {
+			walk(ch, next)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, "")
+	}
+	return b.Build()
+}
+
+// ResolveFallback maps a concept label from an original taxonomy onto this
+// (possibly reduced) taxonomy. If the label exists here it is returned
+// directly; otherwise the original concept's ancestors are walked upward
+// until one survives. This reproduces the paper's Table 2 behaviour:
+// "records that are originally related to missing concepts have been
+// changed to relate with their parent concepts". Returns nil only if no
+// ancestor survives (which cannot happen for variants built with
+// RemoveConcepts, since roots are preserved).
+func (t *Taxonomy) ResolveFallback(orig *Taxonomy, label string) *Concept {
+	oc, ok := orig.byLabel[label]
+	if !ok {
+		return nil
+	}
+	for c := oc; c != nil; c = c.parent {
+		if got, ok := t.byLabel[c.label]; ok {
+			return got
+		}
+	}
+	return nil
+}

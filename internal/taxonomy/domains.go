@@ -1,0 +1,99 @@
+package taxonomy
+
+// Bibliographic constructs the paper's Fig. 3 taxonomy tree t_bib for the
+// bibliographic domain:
+//
+//	C0 Research Output
+//	├── C1 Publication
+//	│   ├── C2 Peer Reviewed
+//	│   │   ├── C3 Journal
+//	│   │   ├── C4 Proceedings
+//	│   │   └── C5 Book
+//	│   └── C6 Non-Peer Reviewed
+//	│       ├── C7 Technical Report
+//	│       └── C8 Thesis
+//	└── C9 Patent
+func Bibliographic() *Taxonomy {
+	return NewBuilder("bib").
+		Root("C0", "Research Output").
+		Child("C0", "C1", "Publication").
+		Child("C1", "C2", "Peer Reviewed").
+		Child("C2", "C3", "Journal").
+		Child("C2", "C4", "Proceedings").
+		Child("C2", "C5", "Book").
+		Child("C1", "C6", "Non-Peer Reviewed").
+		Child("C6", "C7", "Technical Report").
+		Child("C6", "C8", "Thesis").
+		Child("C0", "C9", "Patent").
+		MustBuild()
+}
+
+// BibliographicVariant returns the Fig. 10 variants of t_bib used in the
+// Table 2 taxonomy-robustness experiment:
+//
+//	variant 1 — t(bib,1): Peer Reviewed (C2) and Non-Peer Reviewed (C6)
+//	            removed; C3,C4,C5,C7,C8 re-attach under Publication.
+//	variant 2 — t(bib,2): Book (C5) removed.
+//	variant 3 — t(bib,3): Journal (C3) removed.
+//
+// Any other variant number returns the unmodified tree.
+func BibliographicVariant(n int) *Taxonomy {
+	base := Bibliographic()
+	var removed []string
+	switch n {
+	case 1:
+		removed = []string{"C2", "C6"}
+	case 2:
+		removed = []string{"C5"}
+	case 3:
+		removed = []string{"C3"}
+	default:
+		return base
+	}
+	v, err := base.RemoveConcepts(removed...)
+	if err != nil {
+		// The removals are statically valid; failure is a programming error.
+		panic(err)
+	}
+	return v
+}
+
+// Voter constructs the person taxonomy used for the NC Voter experiments.
+// The paper builds its tree "upon the meta-data for race and gender" and
+// obtains 12-bit semantic signatures; gender contributes two leaves and
+// the registry's race codes ten:
+//
+//	P0 Person
+//	├── G Gender            (uncertain 'U' values map here)
+//	│   ├── GM Male
+//	│   └── GF Female
+//	└── R Race              (uncertain 'U' values map here)
+//	    ├── RA Asian
+//	    ├── RB Black
+//	    ├── RH Hispanic
+//	    ├── RI American Indian
+//	    ├── RM Multiracial
+//	    ├── RO Other Race
+//	    ├── RP Pacific Islander
+//	    ├── RW White
+//	    ├── RD Undesignated Detail
+//	    └── RX Two or More Races
+func Voter() *Taxonomy {
+	return NewBuilder("voter").
+		Root("P0", "Person").
+		Child("P0", "G", "Gender").
+		Child("G", "GM", "Male").
+		Child("G", "GF", "Female").
+		Child("P0", "R", "Race").
+		Child("R", "RA", "Asian").
+		Child("R", "RB", "Black").
+		Child("R", "RH", "Hispanic").
+		Child("R", "RI", "American Indian").
+		Child("R", "RM", "Multiracial").
+		Child("R", "RO", "Other Race").
+		Child("R", "RP", "Pacific Islander").
+		Child("R", "RW", "White").
+		Child("R", "RD", "Undesignated Detail").
+		Child("R", "RX", "Two or More Races").
+		MustBuild()
+}

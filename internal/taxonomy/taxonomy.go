@@ -1,0 +1,265 @@
+// Package taxonomy implements the paper's semantic-concept model (§4):
+// taxonomy trees of concepts linked by subsumption, leaf sets, the
+// concept-level semantic similarity of Eq. 4, and the record-level
+// semantic similarity of Eq. 5.
+//
+// A Taxonomy is a forest: one or more trees built together so that every
+// concept has a globally unique identifier. Concepts in different trees are
+// never related and have zero semantic similarity, matching the paper's
+// definition (similarity follows subsumption paths, and no path crosses
+// trees).
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Concept is a node of a taxonomy tree. Concepts are created through a
+// Builder and owned by their Taxonomy; they are immutable afterwards.
+type Concept struct {
+	id       int
+	label    string
+	name     string
+	parent   *Concept
+	children []*Concept
+	root     *Concept
+	depth    int
+	// leaves is the sorted set of leaf-concept ids of the subtree rooted
+	// at this concept (the paper's leaf(c)). For a leaf, leaves = {id}.
+	leaves []int
+}
+
+// ID returns the concept's dense identifier within its Taxonomy.
+func (c *Concept) ID() int { return c.id }
+
+// Label returns the short label (e.g. "C4").
+func (c *Concept) Label() string { return c.label }
+
+// Name returns the human-readable concept name (e.g. "Proceedings").
+func (c *Concept) Name() string { return c.name }
+
+// Parent returns the parent concept, or nil for a root.
+func (c *Concept) Parent() *Concept { return c.parent }
+
+// Children returns the child concepts (the paper's child(c)). The returned
+// slice must be treated as read-only.
+func (c *Concept) Children() []*Concept { return c.children }
+
+// IsLeaf reports whether the concept has no children.
+func (c *Concept) IsLeaf() bool { return len(c.children) == 0 }
+
+// IsRoot reports whether the concept is the root of its tree.
+func (c *Concept) IsRoot() bool { return c.parent == nil }
+
+// Root returns the root of the tree this concept belongs to.
+func (c *Concept) Root() *Concept { return c.root }
+
+// Depth returns the number of edges between the concept and its root.
+func (c *Concept) Depth() int { return c.depth }
+
+// LeafCount returns |leaf(c)|.
+func (c *Concept) LeafCount() int { return len(c.leaves) }
+
+// String renders "label(name)".
+func (c *Concept) String() string { return c.label + "(" + c.name + ")" }
+
+// Taxonomy is an immutable forest of concept trees.
+type Taxonomy struct {
+	name     string
+	concepts []*Concept
+	byLabel  map[string]*Concept
+	roots    []*Concept
+}
+
+// Name returns the taxonomy's name.
+func (t *Taxonomy) Name() string { return t.name }
+
+// Concept looks a concept up by label.
+func (t *Taxonomy) Concept(label string) (*Concept, bool) {
+	c, ok := t.byLabel[label]
+	return c, ok
+}
+
+// MustConcept looks a concept up by label and panics if absent. Intended
+// for statically known labels in experiment tables and tests.
+func (t *Taxonomy) MustConcept(label string) *Concept {
+	c, ok := t.byLabel[label]
+	if !ok {
+		panic(fmt.Sprintf("taxonomy %s: no concept %q", t.name, label))
+	}
+	return c
+}
+
+// Concepts returns all concepts in id order (read-only).
+func (t *Taxonomy) Concepts() []*Concept { return t.concepts }
+
+// Roots returns the root concept of every tree (read-only).
+func (t *Taxonomy) Roots() []*Concept { return t.roots }
+
+// Len returns the number of concepts.
+func (t *Taxonomy) Len() int { return len(t.concepts) }
+
+// Leaves returns every leaf concept across all trees, in id order.
+func (t *Taxonomy) Leaves() []*Concept {
+	var out []*Concept
+	for _, c := range t.concepts {
+		if c.IsLeaf() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Subsumed reports whether c1 ≼ c2, i.e. c1 is c2 or a descendant of c2.
+func (t *Taxonomy) Subsumed(c1, c2 *Concept) bool {
+	if c1.root != c2.root {
+		return false
+	}
+	for c := c1; c != nil; c = c.parent {
+		if c == c2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Related reports whether there is a subsumption path between c1 and c2
+// in either direction (the membership condition of the paper's P(r1,r2)).
+func (t *Taxonomy) Related(c1, c2 *Concept) bool {
+	return t.Subsumed(c1, c2) || t.Subsumed(c2, c1)
+}
+
+// LeafSet returns leaf(c): the ids of the leaves of the subtree rooted at
+// c, sorted ascending. The returned slice is shared; treat as read-only.
+func (t *Taxonomy) LeafSet(c *Concept) []int { return c.leaves }
+
+// SimConcepts computes the paper's Eq. 4:
+//
+//	simS(c1, c2) = |leaf(c1) ∩ leaf(c2)| / |leaf(c1) ∪ leaf(c2)|
+//
+// Because leaf ids are globally unique, concepts in different trees have
+// disjoint leaf sets and therefore similarity 0.
+func (t *Taxonomy) SimConcepts(c1, c2 *Concept) float64 {
+	inter, union := leafOverlap(c1.leaves, c2.leaves)
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// leafOverlap merges two sorted id slices, returning intersection and union
+// sizes.
+func leafOverlap(a, b []int) (inter, union int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			union++
+			i++
+			j++
+		case a[i] < b[j]:
+			union++
+			i++
+		default:
+			union++
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	return inter, union
+}
+
+// Interpretation is a record's semantic interpretation ζ(r): a set of
+// concepts. Construct via NormalizeInterpretation to enforce the
+// specificity property of Definition 4.2.
+type Interpretation []*Concept
+
+// NormalizeInterpretation deduplicates the concepts and enforces
+// specificity: whenever one concept subsumes another, only the more
+// specific (subsumed) concept is kept. The result is sorted by concept id.
+func (t *Taxonomy) NormalizeInterpretation(concepts []*Concept) Interpretation {
+	seen := make(map[int]*Concept, len(concepts))
+	for _, c := range concepts {
+		if c != nil {
+			seen[c.id] = c
+		}
+	}
+	var out Interpretation
+	for _, c := range seen {
+		dominated := false
+		for _, d := range seen {
+			if c != d && t.Subsumed(d, c) {
+				// d is strictly more specific than c; drop c.
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// SimRecords computes the paper's Eq. 5: the semantic similarity of two
+// records given their interpretations,
+//
+//	simS(r1,r2) = Σ_{(c1,c2) ∈ P} (|α(c1,c2)| / |β|) · simS(c1,c2)
+//
+// where P is the set of related concept pairs, α(c1,c2) =
+// leaf(c1) ∪ leaf(c2), and β is the union of α over *all* concept pairs of
+// the two interpretations. Empty interpretations yield 0.
+func (t *Taxonomy) SimRecords(z1, z2 Interpretation) float64 {
+	if len(z1) == 0 || len(z2) == 0 {
+		return 0
+	}
+	beta := make(map[int]struct{})
+	type related struct{ c1, c2 *Concept }
+	var pairs []related
+	for _, c1 := range z1 {
+		for _, c2 := range z2 {
+			for _, l := range c1.leaves {
+				beta[l] = struct{}{}
+			}
+			for _, l := range c2.leaves {
+				beta[l] = struct{}{}
+			}
+			if t.Related(c1, c2) {
+				pairs = append(pairs, related{c1, c2})
+			}
+		}
+	}
+	if len(beta) == 0 || len(pairs) == 0 {
+		return 0
+	}
+	var sim float64
+	for _, p := range pairs {
+		_, alpha := leafOverlap(p.c1.leaves, p.c2.leaves)
+		sim += float64(alpha) / float64(len(beta)) * t.SimConcepts(p.c1, p.c2)
+	}
+	if sim > 1 {
+		sim = 1 // rounding guard; Eq. 5 is bounded by 1
+	}
+	return sim
+}
+
+// String renders the forest as an indented outline, depth-first.
+func (t *Taxonomy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "taxonomy %s\n", t.name)
+	var walk func(c *Concept, depth int)
+	walk = func(c *Concept, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), c)
+		for _, ch := range c.children {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

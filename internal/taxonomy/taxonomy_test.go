@@ -1,0 +1,388 @@
+package taxonomy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBibliographicStructure(t *testing.T) {
+	tax := Bibliographic()
+	if tax.Len() != 10 {
+		t.Fatalf("concept count = %d, want 10", tax.Len())
+	}
+	if len(tax.Roots()) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tax.Roots()))
+	}
+	leaves := tax.Leaves()
+	if len(leaves) != 6 {
+		t.Fatalf("leaves = %d, want 6 (C3,C4,C5,C7,C8,C9)", len(leaves))
+	}
+	c0 := tax.MustConcept("C0")
+	if got := c0.LeafCount(); got != 6 {
+		t.Errorf("|leaf(C0)| = %d, want 6", got)
+	}
+	c1 := tax.MustConcept("C1")
+	if got := c1.LeafCount(); got != 5 {
+		t.Errorf("|leaf(C1)| = %d, want 5", got)
+	}
+	if d := tax.MustConcept("C3").Depth(); d != 3 {
+		t.Errorf("depth(C3) = %d, want 3", d)
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	tax := Bibliographic()
+	c0, c1, c3, c4, c9 := tax.MustConcept("C0"), tax.MustConcept("C1"), tax.MustConcept("C3"), tax.MustConcept("C4"), tax.MustConcept("C9")
+	// Example 4.1: c3 ≼ c1, c4 ≼ c1.
+	if !tax.Subsumed(c3, c1) || !tax.Subsumed(c4, c1) {
+		t.Error("journal and proceedings must be subsumed by publication")
+	}
+	if tax.Subsumed(c1, c3) {
+		t.Error("publication must not be subsumed by journal")
+	}
+	if !tax.Subsumed(c3, c3) {
+		t.Error("subsumption is reflexive")
+	}
+	if !tax.Subsumed(c9, c0) {
+		t.Error("patent is subsumed by research output")
+	}
+	if tax.Related(c3, c4) {
+		t.Error("siblings are not related")
+	}
+	if !tax.Related(c1, c3) || !tax.Related(c3, c1) {
+		t.Error("Related must hold in both directions along a path")
+	}
+}
+
+// TestSimConceptsPaperValues checks every concept-similarity value worked
+// out in Example 4.4 and the sibling property of Example 4.3 / Eq. 3.
+func TestSimConceptsPaperValues(t *testing.T) {
+	tax := Bibliographic()
+	c := func(l string) *Concept { return tax.MustConcept(l) }
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"C0", "C1", 5.0 / 6.0},
+		{"C1", "C2", 3.0 / 5.0},
+		{"C0", "C4", 1.0 / 6.0},
+		{"C2", "C6", 0},
+		{"C3", "C5", 0}, // Example 4.3: siblings
+		{"C4", "C4", 1},
+	}
+	for _, cse := range cases {
+		if got := tax.SimConcepts(c(cse.a), c(cse.b)); !approx(got, cse.want) {
+			t.Errorf("simS(%s,%s) = %v, want %v", cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+// TestSimConceptsChainMonotone verifies the property stated after Eq. 4:
+// for c3 ≼ c2 ≼ c1, simS(c1,c3) ≤ simS(c2,c3) and simS(c1,c3) ≤ simS(c1,c2).
+func TestSimConceptsChainMonotone(t *testing.T) {
+	tax := Bibliographic()
+	chains := [][]string{
+		{"C0", "C1", "C2"},
+		{"C1", "C2", "C3"},
+		{"C0", "C2", "C4"},
+		{"C0", "C6", "C7"},
+	}
+	for _, ch := range chains {
+		c1, c2, c3 := tax.MustConcept(ch[0]), tax.MustConcept(ch[1]), tax.MustConcept(ch[2])
+		if tax.SimConcepts(c1, c3) > tax.SimConcepts(c2, c3)+eps {
+			t.Errorf("chain %v: simS(c1,c3) > simS(c2,c3)", ch)
+		}
+		if tax.SimConcepts(c1, c3) > tax.SimConcepts(c1, c2)+eps {
+			t.Errorf("chain %v: simS(c1,c3) > simS(c1,c2)", ch)
+		}
+	}
+}
+
+func TestSimConceptsSymmetricQuick(t *testing.T) {
+	tax := Bibliographic()
+	all := tax.Concepts()
+	prop := func(i, j uint8) bool {
+		a := all[int(i)%len(all)]
+		b := all[int(j)%len(all)]
+		s := tax.SimConcepts(a, b)
+		return s >= 0 && s <= 1 && approx(s, tax.SimConcepts(b, a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// interp is a test helper building a normalised interpretation.
+func interp(tax *Taxonomy, labels ...string) Interpretation {
+	cs := make([]*Concept, len(labels))
+	for i, l := range labels {
+		cs[i] = tax.MustConcept(l)
+	}
+	return tax.NormalizeInterpretation(cs)
+}
+
+// TestSimRecordsPaperValues checks every record-level similarity worked out
+// in Example 4.5 (with ζ(r1)={c4}, ζ(r2)={c3,c4}, ζ(r3)={c4}, ζ(r5)={c7},
+// ζ(r6)={c0}).
+func TestSimRecordsPaperValues(t *testing.T) {
+	tax := Bibliographic()
+	r1 := interp(tax, "C4")
+	r2 := interp(tax, "C3", "C4")
+	r3 := interp(tax, "C4")
+	r5 := interp(tax, "C7")
+	r6 := interp(tax, "C0")
+	cases := []struct {
+		name   string
+		z1, z2 Interpretation
+		want   float64
+	}{
+		{"r1,r2", r1, r2, 0.5},
+		{"r3,r2", r3, r2, 0.5},
+		{"r1,r3", r1, r3, 1},
+		{"r1,r5", r1, r5, 0},
+		{"r2,r6", r2, r6, 1.0 / 3.0},
+		{"r1,r6", r1, r6, 1.0 / 6.0},
+		{"r5,r6", r5, r6, 1.0 / 6.0},
+	}
+	for _, c := range cases {
+		if got := tax.SimRecords(c.z1, c.z2); !approx(got, c.want) {
+			t.Errorf("simS(%s) = %v, want %v", c.name, got, c.want)
+		}
+		if got := tax.SimRecords(c.z2, c.z1); !approx(got, c.want) {
+			t.Errorf("simS(%s) reversed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestProposition41 checks Prop 4.1: if ζ(r1)={c} and ζ(r2)=child(c) then
+// simS(r1,r2)=1.
+func TestProposition41(t *testing.T) {
+	tax := Bibliographic()
+	for _, parent := range []string{"C0", "C1", "C2", "C6"} {
+		c := tax.MustConcept(parent)
+		z1 := Interpretation{c}
+		z2 := tax.NormalizeInterpretation(c.Children())
+		if got := tax.SimRecords(z1, z2); !approx(got, 1) {
+			t.Errorf("Prop 4.1 fails for %s: simS = %v, want 1", parent, got)
+		}
+	}
+}
+
+// TestProposition42 checks Prop 4.2: simS(r1,r2)=0 iff no related concept
+// pairs exist.
+func TestProposition42(t *testing.T) {
+	tax := Bibliographic()
+	all := tax.Concepts()
+	for _, a := range all {
+		for _, b := range all {
+			z1, z2 := Interpretation{a}, Interpretation{b}
+			sim := tax.SimRecords(z1, z2)
+			related := tax.Related(a, b)
+			if related && sim == 0 {
+				t.Errorf("related pair (%s,%s) has zero similarity", a.Label(), b.Label())
+			}
+			if !related && sim != 0 {
+				t.Errorf("unrelated pair (%s,%s) has similarity %v", a.Label(), b.Label(), sim)
+			}
+		}
+	}
+}
+
+func TestSimRecordsEmptyInterpretation(t *testing.T) {
+	tax := Bibliographic()
+	if got := tax.SimRecords(nil, interp(tax, "C4")); got != 0 {
+		t.Errorf("empty interpretation similarity = %v, want 0", got)
+	}
+}
+
+func TestSimRecordsRangeQuick(t *testing.T) {
+	tax := Bibliographic()
+	all := tax.Concepts()
+	rng := rand.New(rand.NewSource(7))
+	pick := func() Interpretation {
+		n := 1 + rng.Intn(3)
+		cs := make([]*Concept, n)
+		for i := range cs {
+			cs[i] = all[rng.Intn(len(all))]
+		}
+		return tax.NormalizeInterpretation(cs)
+	}
+	for i := 0; i < 500; i++ {
+		z1, z2 := pick(), pick()
+		s := tax.SimRecords(z1, z2)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("simS out of range: %v for %v vs %v", s, z1, z2)
+		}
+		if !approx(s, tax.SimRecords(z2, z1)) {
+			t.Fatalf("simS not symmetric for %v vs %v", z1, z2)
+		}
+	}
+}
+
+func TestNormalizeInterpretationSpecificity(t *testing.T) {
+	tax := Bibliographic()
+	z := tax.NormalizeInterpretation([]*Concept{
+		tax.MustConcept("C1"), // subsumes C3 -> dropped
+		tax.MustConcept("C3"),
+		tax.MustConcept("C3"), // duplicate -> dropped
+		tax.MustConcept("C9"),
+		nil, // ignored
+	})
+	if len(z) != 2 {
+		t.Fatalf("normalised interpretation = %v, want [C3 C9]", z)
+	}
+	if z[0].Label() != "C3" || z[1].Label() != "C9" {
+		t.Errorf("normalised interpretation = %v, want [C3 C9]", z)
+	}
+	// Specificity property: no concept subsumes another.
+	for _, a := range z {
+		for _, b := range z {
+			if a != b && tax.Subsumed(a, b) {
+				t.Errorf("specificity violated: %s ≼ %s", a.Label(), b.Label())
+			}
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("x").Build(); err == nil {
+		t.Error("empty taxonomy should fail to build")
+	}
+	if _, err := NewBuilder("x").Root("A", "a").Root("A", "dup").Build(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	if _, err := NewBuilder("x").Root("A", "a").Child("NOPE", "B", "b").Build(); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if _, err := NewBuilder("x").Root("", "a").Build(); err == nil {
+		t.Error("empty label should fail")
+	}
+}
+
+func TestMustConceptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConcept should panic for unknown label")
+		}
+	}()
+	Bibliographic().MustConcept("C99")
+}
+
+func TestRemoveConceptsInternal(t *testing.T) {
+	tax := Bibliographic()
+	v, err := tax.RemoveConcepts("C2", "C6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 8 {
+		t.Fatalf("variant size = %d, want 8", v.Len())
+	}
+	c3, ok := v.Concept("C3")
+	if !ok {
+		t.Fatal("C3 missing from variant")
+	}
+	if c3.Parent().Label() != "C1" {
+		t.Errorf("C3 parent = %s, want C1 (re-attached)", c3.Parent().Label())
+	}
+	// Leaf sets must be recomputed: |leaf(C1)| is still 5.
+	if got := v.MustConcept("C1").LeafCount(); got != 5 {
+		t.Errorf("|leaf(C1)| in variant = %d, want 5", got)
+	}
+}
+
+func TestRemoveConceptsLeaf(t *testing.T) {
+	tax := Bibliographic()
+	v, err := tax.RemoveConcepts("C5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.Concept("C5"); ok {
+		t.Error("C5 should be gone")
+	}
+	if got := v.MustConcept("C2").LeafCount(); got != 2 {
+		t.Errorf("|leaf(C2)| after removing Book = %d, want 2", got)
+	}
+	if got := v.MustConcept("C0").LeafCount(); got != 5 {
+		t.Errorf("|leaf(C0)| after removing Book = %d, want 5", got)
+	}
+}
+
+func TestRemoveConceptsErrors(t *testing.T) {
+	tax := Bibliographic()
+	if _, err := tax.RemoveConcepts("C0"); err == nil {
+		t.Error("removing the root should fail")
+	}
+	if _, err := tax.RemoveConcepts("C99"); err == nil {
+		t.Error("removing an unknown concept should fail")
+	}
+}
+
+func TestResolveFallback(t *testing.T) {
+	orig := Bibliographic()
+	v := BibliographicVariant(3) // Journal (C3) removed
+	got := v.ResolveFallback(orig, "C3")
+	if got == nil || got.Label() != "C2" {
+		t.Fatalf("fallback for C3 = %v, want C2", got)
+	}
+	// Labels that survive resolve to themselves.
+	if got := v.ResolveFallback(orig, "C4"); got == nil || got.Label() != "C4" {
+		t.Errorf("fallback for surviving C4 = %v", got)
+	}
+	// Unknown original labels resolve to nil.
+	if got := v.ResolveFallback(orig, "C99"); got != nil {
+		t.Errorf("fallback for unknown = %v, want nil", got)
+	}
+}
+
+func TestBibliographicVariants(t *testing.T) {
+	for n, wantLen := range map[int]int{0: 10, 1: 8, 2: 9, 3: 9} {
+		v := BibliographicVariant(n)
+		if v.Len() != wantLen {
+			t.Errorf("variant %d size = %d, want %d", n, v.Len(), wantLen)
+		}
+	}
+}
+
+func TestVoterTaxonomy(t *testing.T) {
+	tax := Voter()
+	if got := len(tax.Leaves()); got != 12 {
+		t.Fatalf("voter taxonomy leaves = %d, want 12 (12-bit signatures)", got)
+	}
+	g := tax.MustConcept("G")
+	if got := tax.SimConcepts(g, tax.MustConcept("GM")); !approx(got, 0.5) {
+		t.Errorf("simS(Gender, Male) = %v, want 0.5", got)
+	}
+	// Gender and Race leaves are unrelated.
+	if tax.Related(tax.MustConcept("GM"), tax.MustConcept("RW")) {
+		t.Error("male and white must not be related")
+	}
+}
+
+func TestTaxonomyString(t *testing.T) {
+	s := Bibliographic().String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	for _, want := range []string{"C0(Research Output)", "  C1(Publication)", "      C3(Journal)"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

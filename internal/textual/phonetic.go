@@ -1,0 +1,238 @@
+package textual
+
+import "strings"
+
+// NYSIIS computes the New York State Identification and Intelligence
+// System phonetic code of the first word of s — a higher-resolution
+// alternative to Soundex for blocking keys on person names. Non-alphabetic
+// input yields "". Codes are truncated to eight characters as in the
+// original specification.
+func NYSIIS(s string) string {
+	w := firstAlphaWord(s)
+	if w == "" {
+		return ""
+	}
+	r := []byte(strings.ToUpper(w))
+
+	// Leading transformations.
+	switch {
+	case hasPrefix(r, "MAC"):
+		r = append([]byte("MCC"), r[3:]...)
+	case hasPrefix(r, "KN"):
+		r = append([]byte("NN"), r[2:]...)
+	case hasPrefix(r, "K"):
+		r[0] = 'C'
+	case hasPrefix(r, "PH"), hasPrefix(r, "PF"):
+		r = append([]byte("FF"), r[2:]...)
+	case hasPrefix(r, "SCH"):
+		r = append([]byte("SSS"), r[3:]...)
+	}
+	// Trailing transformations.
+	switch {
+	case hasSuffix(r, "EE"), hasSuffix(r, "IE"):
+		r = append(r[:len(r)-2], 'Y')
+	case hasSuffix(r, "DT"), hasSuffix(r, "RT"), hasSuffix(r, "RD"), hasSuffix(r, "NT"), hasSuffix(r, "ND"):
+		r = append(r[:len(r)-2], 'D')
+	}
+
+	key := []byte{r[0]}
+	prev := r[0]
+	for i := 1; i < len(r); i++ {
+		c := r[i]
+		switch {
+		case c == 'E' && i+1 < len(r) && r[i+1] == 'V':
+			// EV -> AF, consuming both characters.
+			c = 'A'
+			r[i+1] = 'F'
+		case isVowelByte(c):
+			c = 'A'
+		case c == 'Q':
+			c = 'G'
+		case c == 'Z':
+			c = 'S'
+		case c == 'M':
+			c = 'N'
+		case c == 'K':
+			if i+1 < len(r) && r[i+1] == 'N' {
+				c = 'N'
+			} else {
+				c = 'C'
+			}
+		case c == 'S' && i+2 < len(r) && r[i+1] == 'C' && r[i+2] == 'H':
+			c = 'S'
+			r[i+1], r[i+2] = 'S', 'S'
+		case c == 'P' && i+1 < len(r) && r[i+1] == 'H':
+			c = 'F'
+			r[i+1] = 'F'
+		case c == 'H' && (i+1 >= len(r) || !isVowelByte(r[i+1]) || !isVowelByte(prev)):
+			c = prev
+		case c == 'W' && isVowelByte(prev):
+			c = prev
+		}
+		if c != prev {
+			key = append(key, c)
+		}
+		prev = c
+	}
+	// Trailing S and AY/A cleanup.
+	if n := len(key); n > 1 && key[n-1] == 'S' {
+		key = key[:n-1]
+	}
+	if n := len(key); n > 2 && key[n-2] == 'A' && key[n-1] == 'Y' {
+		key = append(key[:n-2], 'Y')
+	}
+	if n := len(key); n > 1 && key[n-1] == 'A' {
+		key = key[:n-1]
+	}
+	if len(key) > 8 {
+		key = key[:8]
+	}
+	return string(key)
+}
+
+func firstAlphaWord(s string) string {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		isAlpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if isAlpha && start < 0 {
+			start = i
+		}
+		if !isAlpha && start >= 0 {
+			return s[start:i]
+		}
+	}
+	if start >= 0 {
+		return s[start:]
+	}
+	return ""
+}
+
+func hasPrefix(b []byte, p string) bool { return len(b) >= len(p) && string(b[:len(p)]) == p }
+
+func hasSuffix(b []byte, p string) bool { return len(b) >= len(p) && string(b[len(b)-len(p):]) == p }
+
+func isVowelByte(c byte) bool {
+	switch c {
+	case 'A', 'E', 'I', 'O', 'U':
+		return true
+	}
+	return false
+}
+
+// DoubleMetaphoneSimple computes a simplified (primary-code only)
+// Metaphone encoding: a consonant-skeleton phonetic key that is less
+// aggressive than Soundex (it keeps all consonant sounds, not just the
+// first three). It is offered as a third blocking-key encoding; the full
+// Double Metaphone rule set (alternate codes, language-specific digraphs)
+// is intentionally out of scope.
+func DoubleMetaphoneSimple(s string) string {
+	w := strings.ToUpper(firstAlphaWord(s))
+	if w == "" {
+		return ""
+	}
+	var out []byte
+	i := 0
+	// Initial-letter exceptions.
+	switch {
+	case strings.HasPrefix(w, "KN"), strings.HasPrefix(w, "GN"), strings.HasPrefix(w, "PN"), strings.HasPrefix(w, "WR"):
+		i = 1
+	case strings.HasPrefix(w, "X"):
+		out = append(out, 'S')
+		i = 1
+	case strings.HasPrefix(w, "WH"):
+		out = append(out, 'W')
+		i = 2
+	}
+	emit := func(c byte) {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	for ; i < len(w); i++ {
+		c := w[i]
+		next := byte(0)
+		if i+1 < len(w) {
+			next = w[i+1]
+		}
+		switch c {
+		case 'A', 'E', 'I', 'O', 'U':
+			if i == 0 {
+				emit('A')
+			}
+		case 'B':
+			emit('P')
+		case 'C':
+			switch {
+			case next == 'H':
+				emit('X')
+				i++
+			case next == 'I' || next == 'E' || next == 'Y':
+				emit('S')
+			default:
+				emit('K')
+			}
+		case 'D':
+			if next == 'G' {
+				emit('J')
+				i++
+			} else {
+				emit('T')
+			}
+		case 'F', 'J', 'L', 'M', 'N', 'R':
+			emit(c)
+		case 'G':
+			if next == 'H' {
+				emit('K')
+				i++
+			} else {
+				emit('K')
+			}
+		case 'H':
+			if i > 0 && isVowelByte(w[i-1]) && (next == 0 || !isVowelByte(next)) {
+				continue // silent H
+			}
+			emit('H')
+		case 'K':
+			emit('K')
+		case 'P':
+			if next == 'H' {
+				emit('F')
+				i++
+			} else {
+				emit('P')
+			}
+		case 'Q':
+			emit('K')
+		case 'S':
+			if next == 'H' {
+				emit('X')
+				i++
+			} else {
+				emit('S')
+			}
+		case 'T':
+			if next == 'H' {
+				emit('0') // theta
+				i++
+			} else {
+				emit('T')
+			}
+		case 'V':
+			emit('F')
+		case 'W', 'Y':
+			if isVowelByte(next) {
+				emit(c)
+			}
+		case 'X':
+			emit('K')
+			emit('S')
+		case 'Z':
+			emit('S')
+		}
+		if len(out) >= 8 {
+			break
+		}
+	}
+	return string(out)
+}

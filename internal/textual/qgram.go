@@ -1,0 +1,157 @@
+// Package textual provides the string-similarity substrate used throughout
+// the repository: q-gram shingling, set/sequence similarity metrics
+// (Jaccard, Dice, Levenshtein, Jaro, Jaro-Winkler, longest common
+// substring), TF-IDF cosine similarity, and Soundex phonetic encoding.
+//
+// Every similarity function returns a value in [0,1] where 1 means
+// identical, matching the paper's convention sim = 1 - distance.
+package textual
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s, collapses runs of whitespace to single spaces and
+// strips leading/trailing whitespace. All shingling and key construction in
+// this repository normalises first so that case and spacing noise do not
+// masquerade as textual difference.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := true // swallow leading whitespace
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			if !space {
+				b.WriteByte(' ')
+				space = true
+			}
+			continue
+		}
+		space = false
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokens splits s into lower-cased word tokens, treating every
+// non-letter/digit rune as a separator.
+func Tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// QGrams returns the multiset of character q-grams of the normalised input.
+// Strings shorter than q yield a single gram equal to the whole string
+// (so very short values still shingle to something non-empty). q must be
+// positive; q <= 0 is treated as 1.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		q = 1
+	}
+	s = Normalize(s)
+	if s == "" {
+		return nil
+	}
+	runes := []rune(s)
+	if len(runes) <= q {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+q]))
+	}
+	return grams
+}
+
+// QGramSet returns the distinct q-grams of s as a set.
+func QGramSet(s string, q int) map[string]struct{} {
+	grams := QGrams(s, q)
+	set := make(map[string]struct{}, len(grams))
+	for _, g := range grams {
+		set[g] = struct{}{}
+	}
+	return set
+}
+
+// PaddedQGrams returns q-grams of s with q-1 leading and trailing padding
+// characters ('#' and '$'), the variant used by q-gram indexing so that
+// string boundaries contribute distinguishing grams.
+func PaddedQGrams(s string, q int) []string {
+	if q <= 1 {
+		return QGrams(s, q)
+	}
+	s = Normalize(s)
+	if s == "" {
+		return nil
+	}
+	pad := q - 1
+	padded := strings.Repeat("#", pad) + s + strings.Repeat("$", pad)
+	return QGrams(padded, q)
+}
+
+// JaccardSets computes |a∩b| / |a∪b| for two sets. Two empty sets have
+// similarity 1 (identical), one empty set yields 0.
+func JaccardSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for g := range small {
+		if _, ok := large[g]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// QGramJaccard computes the Jaccard similarity of the distinct q-gram sets
+// of two strings. This is the textual similarity the paper's LSH blocking
+// approximates with minhash signatures.
+func QGramJaccard(a, b string, q int) float64 {
+	return JaccardSets(QGramSet(a, q), QGramSet(b, q))
+}
+
+// ExactJaccard computes token-set Jaccard over whole words ("exact values"
+// in the paper's Fig. 6 distribution study).
+func ExactJaccard(a, b string) float64 {
+	return JaccardSets(tokenSet(a), tokenSet(b))
+}
+
+func tokenSet(s string) map[string]struct{} {
+	toks := Tokens(s)
+	set := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Dice computes the Dice coefficient 2|a∩b| / (|a|+|b|) over distinct
+// q-gram sets; with q=2 this is the classic "bigram" string similarity used
+// as one of the four baseline comparison functions.
+func Dice(a, b string, q int) float64 {
+	sa, sb := QGramSet(a, q), QGramSet(b, q)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range sa {
+		if _, ok := sb[g]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}

@@ -1,0 +1,53 @@
+package textual
+
+import "fmt"
+
+// SimFunc is a normalised string similarity function returning values in
+// [0,1] with 1 meaning identical.
+type SimFunc func(a, b string) float64
+
+// Similarity function names used by the baseline parameter grids
+// (paper §6.3.4: "the string similarity functions Jaro-Winkler, bigram,
+// edit-distance and longest common substring were used").
+const (
+	SimJaroWinkler = "jaro_winkler"
+	SimBigram      = "bigram"
+	SimEditDist    = "edit_dist"
+	SimLongCommon  = "long_common_substring"
+	SimJaccard2    = "jaccard_q2"
+)
+
+// ByName returns the named similarity function. It fails for unknown names
+// so experiment configuration typos surface immediately.
+func ByName(name string) (SimFunc, error) {
+	switch name {
+	case SimJaroWinkler:
+		return JaroWinkler, nil
+	case SimBigram:
+		return func(a, b string) float64 { return Dice(a, b, 2) }, nil
+	case SimEditDist:
+		return EditSimilarity, nil
+	case SimLongCommon:
+		return LCSSimilarity, nil
+	case SimJaccard2:
+		return func(a, b string) float64 { return QGramJaccard(a, b, 2) }, nil
+	default:
+		return nil, fmt.Errorf("textual: unknown similarity function %q", name)
+	}
+}
+
+// MustByName is ByName for statically known names; it panics on unknown
+// names and is intended for package-level experiment tables.
+func MustByName(name string) SimFunc {
+	f, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// BaselineSimFuncs lists the four comparison functions of the survey's
+// parameter grid in a stable order.
+func BaselineSimFuncs() []string {
+	return []string{SimJaroWinkler, SimBigram, SimEditDist, SimLongCommon}
+}

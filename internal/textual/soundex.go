@@ -1,0 +1,66 @@
+package textual
+
+import "strings"
+
+// Soundex returns the classic 4-character Soundex code of the first word of
+// s (letter + three digits, zero-padded). Empty or non-alphabetic input
+// yields "0000" so that records with missing keys still group together
+// deterministically rather than being dropped.
+func Soundex(s string) string {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	// Find the first ASCII letter to anchor the code.
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return "0000"
+	}
+	code := [4]byte{s[start], '0', '0', '0'}
+	n := 1
+	prev := soundexDigit(s[start])
+	for i := start + 1; i < len(s) && n < 4; i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			if c == ' ' {
+				break // code only the first word
+			}
+			continue
+		}
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// Vowels (and H/W/Y) reset the adjacency rule.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code[n] = byte('0' + d)
+			n++
+			prev = d
+		}
+	}
+	return string(code[:])
+}
+
+func soundexDigit(c byte) int {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	default:
+		return 0
+	}
+}

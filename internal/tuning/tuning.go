@@ -1,0 +1,200 @@
+// Package tuning implements the paper's parameter-selection procedure
+// (§5.3, §6.1): estimating the textual-similarity distribution of true
+// matches from labeled training data, deriving the thresholds s_h and s_l
+// from a desired error ratio ε, and solving for the banding parameters
+// (k, l) from the desired collision probabilities p_h and p_l.
+//
+// The constraints are (writing P(s) = 1-(1-s^k)^l):
+//
+//	P(s_h) ≥ p_h  ⇔  l ≥ ln(1-p_h) / ln(1-s_h^k)
+//	P(s_l) ≤ p_l  ⇔  l ≤ ln(1-p_l) / ln(1-s_l^k)
+//
+// (The paper's §5.3 states these with the inequality directions reversed —
+// an artifact of the log base being < 1; the worked numbers in §6.1,
+// k=4/l=63 from s_h=0.3, p_h=0.4, follow the directions above.)
+package tuning
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"semblock/internal/record"
+	"semblock/internal/textual"
+)
+
+// TrueMatchSimilarities computes the textual similarity of every
+// ground-truth match pair over the concatenated attributes, using q-gram
+// Jaccard for q ≥ 2 and whole-token ("exact value") Jaccard for q ≤ 1.
+// This is the empirical distribution of Fig. 6's upper panels.
+func TrueMatchSimilarities(d *record.Dataset, attrs []string, q int) []float64 {
+	tm := d.TrueMatches()
+	out := make([]float64, 0, len(tm))
+	for _, p := range tm {
+		a := d.Record(p.Left()).Key(attrs...)
+		b := d.Record(p.Right()).Key(attrs...)
+		if q <= 1 {
+			out = append(out, textual.ExactJaccard(a, b))
+		} else {
+			out = append(out, textual.QGramJaccard(a, b, q))
+		}
+	}
+	return out
+}
+
+// NonMatchSimilaritySample estimates the similarity distribution of true
+// non-matches by sampling n random record pairs and discarding matches.
+func NonMatchSimilaritySample(d *record.Dataset, attrs []string, q, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	total := d.Len()
+	if total < 2 {
+		return out
+	}
+	for len(out) < n {
+		i := record.ID(rng.Intn(total))
+		j := record.ID(rng.Intn(total))
+		if i == j {
+			continue
+		}
+		ri, rj := d.Record(i), d.Record(j)
+		if ri.Entity != record.UnknownEntity && ri.Entity == rj.Entity {
+			continue
+		}
+		a, b := ri.Key(attrs...), rj.Key(attrs...)
+		if q <= 1 {
+			out = append(out, textual.ExactJaccard(a, b))
+		} else {
+			out = append(out, textual.QGramJaccard(a, b, q))
+		}
+	}
+	return out
+}
+
+// Histogram buckets values from [0,1] into bins equal-width intervals and
+// returns the per-bin fractions (summing to 1 for non-empty input). Values
+// of exactly 1 land in the last bin.
+func Histogram(values []float64, bins int) []float64 {
+	h := make([]float64, bins)
+	if len(values) == 0 || bins <= 0 {
+		return h
+	}
+	for _, v := range values {
+		i := int(v * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h[i]++
+	}
+	for i := range h {
+		h[i] /= float64(len(values))
+	}
+	return h
+}
+
+// ThresholdForError returns s_h such that the fraction of true matches with
+// similarity below s_h is at most ε (the paper's ∫₀^sh f_s(x)dx = ε): the
+// ε-quantile of the true-match similarity distribution.
+func ThresholdForError(similarities []float64, epsilon float64) float64 {
+	if len(similarities) == 0 {
+		return 0
+	}
+	s := make([]float64, len(similarities))
+	copy(s, similarities)
+	sort.Float64s(s)
+	idx := int(epsilon * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// MinTablesFor returns the smallest l with collision probability ≥ ph at
+// similarity sh for the given k: ceil(ln(1-ph)/ln(1-sh^k)). This generates
+// the paper's l(k) series 2, 6, 19, 63, 210, 701 for sh=0.3, ph=0.4.
+func MinTablesFor(k int, sh, ph float64) int {
+	den := math.Log(1 - math.Pow(sh, float64(k)))
+	if den == 0 {
+		return 1
+	}
+	l := math.Ceil(math.Log(1-ph) / den)
+	if l < 1 {
+		return 1
+	}
+	return int(l)
+}
+
+// MaxTablesFor returns the largest l with collision probability ≤ pl at
+// similarity sl for the given k: floor(ln(1-pl)/ln(1-sl^k)). Returns 0 if
+// even one table collides too often.
+func MaxTablesFor(k int, sl, pl float64) int {
+	den := math.Log(1 - math.Pow(sl, float64(k)))
+	if den == 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-pl) / den))
+}
+
+// Params is a solved banding configuration.
+type Params struct {
+	K, L int
+	// SH, SL, PH, PL echo the inputs for reporting.
+	SH, SL, PH, PL float64
+}
+
+// ChooseKL finds the smallest k (up to maxK) for which an l exists
+// satisfying both constraints, returning (k, minimal such l). For the
+// paper's Cora setting (sh=0.3, sl=0.2, ph=0.4, pl=0.1) this yields
+// k=4, l=63 — exactly the published choice.
+func ChooseKL(sh, sl, ph, pl float64, maxK int) (Params, error) {
+	if !(sl < sh) {
+		return Params{}, fmt.Errorf("tuning: need sl < sh, got sl=%v sh=%v", sl, sh)
+	}
+	if ph <= 0 || ph >= 1 || pl <= 0 || pl >= 1 {
+		return Params{}, fmt.Errorf("tuning: probabilities must lie in (0,1)")
+	}
+	for k := 1; k <= maxK; k++ {
+		lmin := MinTablesFor(k, sh, ph)
+		lmax := MaxTablesFor(k, sl, pl)
+		if lmin <= lmax {
+			return Params{K: k, L: lmin, SH: sh, SL: sl, PH: ph, PL: pl}, nil
+		}
+	}
+	return Params{}, fmt.Errorf("tuning: no feasible (k,l) with k ≤ %d for sh=%v sl=%v ph=%v pl=%v", maxK, sh, sl, ph, pl)
+}
+
+// SelectQ operationalises the paper's γ-robustness principle for choosing
+// the shingle size: it picks the q (from candidates) maximising the
+// separation between the mean true-match similarity and the mean
+// non-match similarity — the wider the gap, the larger the γ for which
+// the metric is γ-robust on this data.
+func SelectQ(d *record.Dataset, attrs []string, candidates []int, seed int64) int {
+	bestQ, bestGap := 0, math.Inf(-1)
+	for _, q := range candidates {
+		tm := TrueMatchSimilarities(d, attrs, q)
+		nm := NonMatchSimilaritySample(d, attrs, q, 2000, seed)
+		gap := mean(tm) - mean(nm)
+		if gap > bestGap {
+			bestGap, bestQ = gap, q
+		}
+	}
+	return bestQ
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

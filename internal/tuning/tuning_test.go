@@ -1,0 +1,169 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/record"
+)
+
+// TestMinTablesForPaperSeries reproduces the paper's l(k) series for Cora
+// (§6.1): with sh=0.3 and ph=0.4, k=1..6 require l = 2, 6, 19, 63, 210, 701.
+func TestMinTablesForPaperSeries(t *testing.T) {
+	want := map[int]int{1: 2, 2: 6, 3: 19, 4: 63, 5: 210, 6: 701}
+	for k, l := range want {
+		if got := MinTablesFor(k, 0.3, 0.4); got != l {
+			t.Errorf("MinTablesFor(k=%d) = %d, want %d", k, got, l)
+		}
+	}
+}
+
+// TestChooseKLPaperCora checks that the full constraint solver lands on the
+// paper's published Cora parameters (k=4, l=63).
+func TestChooseKLPaperCora(t *testing.T) {
+	p, err := ChooseKL(0.3, 0.2, 0.4, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 || p.L != 63 {
+		t.Errorf("ChooseKL = (k=%d, l=%d), want (4, 63)", p.K, p.L)
+	}
+}
+
+func TestChooseKLVoterNeighborhood(t *testing.T) {
+	// The paper uses k=9, l=15 for NC Voter and reports ≈90% collision at
+	// s=0.8; solving with ph=0.88 lands in the same neighbourhood.
+	p, err := ChooseKL(0.8, 0.4, 0.88, 0.01, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K < 7 || p.K > 11 {
+		t.Errorf("voter-like k = %d, expected near 9", p.K)
+	}
+}
+
+func TestChooseKLErrors(t *testing.T) {
+	if _, err := ChooseKL(0.2, 0.3, 0.4, 0.1, 10); err == nil {
+		t.Error("sl >= sh should fail")
+	}
+	if _, err := ChooseKL(0.3, 0.2, 1.5, 0.1, 10); err == nil {
+		t.Error("ph out of range should fail")
+	}
+	// Impossible constraints: wants near-certain collision at sh but
+	// near-zero at an sl arbitrarily close to sh.
+	if _, err := ChooseKL(0.300001, 0.3, 0.999, 0.001, 3); err == nil {
+		t.Error("infeasible constraints should fail")
+	}
+}
+
+func TestMaxTablesFor(t *testing.T) {
+	// sl=0.2, pl=0.1, k=4: floor(ln0.9/ln(1-0.0016)) = 65.
+	if got := MaxTablesFor(4, 0.2, 0.1); got != 65 {
+		t.Errorf("MaxTablesFor = %d, want 65", got)
+	}
+	// sl=0 never collides: log(1)=0 denominator -> 0 by convention.
+	if got := MaxTablesFor(4, 0, 0.1); got != 0 {
+		t.Errorf("MaxTablesFor(sl=0) = %d, want 0", got)
+	}
+}
+
+func TestThresholdForError(t *testing.T) {
+	sims := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if got := ThresholdForError(sims, 0.05); got != 0.1 {
+		t.Errorf("eps=0.05 -> %v, want 0.1", got)
+	}
+	if got := ThresholdForError(sims, 0.5); got != 0.6 {
+		t.Errorf("eps=0.5 -> %v, want 0.6", got)
+	}
+	if got := ThresholdForError(sims, 1.0); got != 1.0 {
+		t.Errorf("eps=1.0 -> %v, want 1.0 (clamped)", got)
+	}
+	if got := ThresholdForError(nil, 0.05); got != 0 {
+		t.Errorf("empty -> %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.0, 0.05, 0.55, 1.0}, 10)
+	if len(h) != 10 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	if math.Abs(h[0]-0.5) > 1e-12 {
+		t.Errorf("bin 0 = %v, want 0.5", h[0])
+	}
+	if math.Abs(h[5]-0.25) > 1e-12 {
+		t.Errorf("bin 5 = %v, want 0.25", h[5])
+	}
+	if math.Abs(h[9]-0.25) > 1e-12 {
+		t.Errorf("bin 9 = %v, want 0.25 (value 1.0 clamps to last bin)", h[9])
+	}
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	if got := Histogram(nil, 5); len(got) != 5 {
+		t.Error("empty input should still return bins")
+	}
+}
+
+func TestTrueMatchSimilarities(t *testing.T) {
+	d := record.NewDataset("s")
+	d.Append(0, map[string]string{"name": "cascade correlation"})
+	d.Append(0, map[string]string{"name": "cascade correlation"})
+	d.Append(1, map[string]string{"name": "something else"})
+	sims := TrueMatchSimilarities(d, []string{"name"}, 2)
+	if len(sims) != 1 {
+		t.Fatalf("sims = %v", sims)
+	}
+	if sims[0] != 1 {
+		t.Errorf("identical match similarity = %v, want 1", sims[0])
+	}
+	// q<=1 uses token Jaccard.
+	exact := TrueMatchSimilarities(d, []string{"name"}, 0)
+	if exact[0] != 1 {
+		t.Errorf("exact similarity = %v, want 1", exact[0])
+	}
+}
+
+func TestNonMatchSampleAvoidsMatches(t *testing.T) {
+	d := datagen.Cora(datagen.CoraConfig{Records: 300, Seed: 5, TypoRate: 0.4, PatternNoise: 0.1})
+	nm := NonMatchSimilaritySample(d, []string{"title", "authors"}, 2, 500, 7)
+	if len(nm) != 500 {
+		t.Fatalf("sample size = %d", len(nm))
+	}
+	for _, s := range nm {
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity out of range: %v", s)
+		}
+	}
+	tm := TrueMatchSimilarities(d, []string{"title", "authors"}, 2)
+	if mean(tm) <= mean(nm) {
+		t.Errorf("true matches (%v) should be more similar than non-matches (%v)", mean(tm), mean(nm))
+	}
+}
+
+func TestSelectQPrefersSeparatingShingles(t *testing.T) {
+	d := datagen.Cora(datagen.CoraConfig{Records: 400, Seed: 3, TypoRate: 0.4, PatternNoise: 0.1})
+	q := SelectQ(d, []string{"title", "authors"}, []int{2, 3, 4}, 1)
+	if q < 2 || q > 4 {
+		t.Fatalf("SelectQ = %d, outside candidates", q)
+	}
+}
+
+func TestNonMatchSampleTinyDataset(t *testing.T) {
+	d := record.NewDataset("tiny")
+	d.Append(0, map[string]string{"x": "a"})
+	if got := NonMatchSimilaritySample(d, []string{"x"}, 2, 10, 1); len(got) != 0 {
+		t.Errorf("single-record dataset should yield empty sample, got %d", len(got))
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil) should be 0")
+	}
+}

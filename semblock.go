@@ -1,0 +1,252 @@
+// Package semblock is a semantic-aware blocking library for entity
+// resolution, reproducing "Semantic-Aware Blocking for Entity Resolution"
+// (Wang, Cui & Liang, IEEE TKDE 28(1), 2016).
+//
+// Blocking groups candidate duplicate records into (possibly overlapping)
+// blocks so that only records within a block are compared by a downstream
+// matcher. This package implements the paper's SA-LSH framework — minhash
+// LSH over textual q-gram similarity, augmented per hash table with w-way
+// AND/OR semantic hash functions derived from taxonomy trees — together
+// with the full apparatus around it: taxonomies and semantic similarity,
+// semhash signatures, parameter tuning, twelve survey baselines,
+// meta-blocking, evaluation measures and synthetic benchmark datasets.
+//
+// # Quick start
+//
+//	d := semblock.NewDataset("pubs")
+//	d.Append(0, map[string]string{"title": "...", "booktitle": "..."})
+//	...
+//	tax := semblock.BibliographicTaxonomy()
+//	fn, _ := semblock.NewCoraSemantics(tax)
+//	schema, _ := semblock.BuildSchema(fn, d)
+//	b, _ := semblock.New(semblock.Config{
+//	    Attrs: []string{"title"}, Q: 4, K: 4, L: 63,
+//	    Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+//	})
+//	blocks, _ := b.Block(d)
+//	for _, pair := range blocks.CandidatePairs().Slice() { ... }
+//
+// The exported identifiers are aliases of the implementation packages
+// under internal/, so the full documented API of those packages is
+// available through this single import.
+package semblock
+
+import (
+	"semblock/internal/baselines"
+	"semblock/internal/blocking"
+	"semblock/internal/er"
+	"semblock/internal/eval"
+	"semblock/internal/lsh"
+	"semblock/internal/metablocking"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+	"semblock/internal/tuning"
+)
+
+// Record model.
+type (
+	// Dataset is an ordered collection of records with optional ground
+	// truth labels.
+	Dataset = record.Dataset
+	// Record is one row: named string attributes plus IDs.
+	Record = record.Record
+	// EntityID labels ground-truth entities.
+	EntityID = record.EntityID
+	// Pair is a canonical unordered record-ID pair.
+	Pair = record.Pair
+	// PairSet is a set of distinct pairs.
+	PairSet = record.PairSet
+)
+
+// UnknownEntity marks records without ground truth.
+const UnknownEntity = record.UnknownEntity
+
+// NewDataset returns an empty dataset.
+func NewDataset(name string) *Dataset { return record.NewDataset(name) }
+
+// ReadCSV and WriteCSV (de)serialise datasets; see internal/record.
+var (
+	ReadCSV  = record.ReadCSV
+	WriteCSV = record.WriteCSV
+)
+
+// Taxonomies and semantic similarity (§4 of the paper).
+type (
+	// Taxonomy is an immutable forest of concept trees.
+	Taxonomy = taxonomy.Taxonomy
+	// Concept is a node of a taxonomy tree.
+	Concept = taxonomy.Concept
+	// Interpretation is a record's set of concepts ζ(r).
+	Interpretation = taxonomy.Interpretation
+	// TaxonomyBuilder assembles taxonomies declaratively.
+	TaxonomyBuilder = taxonomy.Builder
+)
+
+// NewTaxonomy starts a taxonomy definition.
+func NewTaxonomy(name string) *TaxonomyBuilder { return taxonomy.NewBuilder(name) }
+
+// BibliographicTaxonomy returns the paper's Fig. 3 tree t_bib.
+func BibliographicTaxonomy() *Taxonomy { return taxonomy.Bibliographic() }
+
+// VoterTaxonomy returns the 12-leaf person taxonomy used for NC Voter.
+func VoterTaxonomy() *Taxonomy { return taxonomy.Voter() }
+
+// Semantic functions and semhash signatures (§4.2, §4.4).
+type (
+	// SemanticFunction maps records to taxonomy concepts.
+	SemanticFunction = semantic.Function
+	// Pattern is a missing-value pattern row (Table 1).
+	Pattern = semantic.Pattern
+	// PatternFunction interprets records by missing-value patterns.
+	PatternFunction = semantic.PatternFunction
+	// ValueFunction interprets records by value lookup tables.
+	ValueFunction = semantic.ValueFunction
+	// ValueAttr configures one attribute of a ValueFunction.
+	ValueAttr = semantic.ValueAttr
+	// Schema is a semhash function family (Algorithm 1).
+	Schema = semantic.Schema
+	// BitVec is a semhash signature.
+	BitVec = semantic.BitVec
+)
+
+// KeywordRule and Ensemble extend the semantic-function toolbox (§4.2's
+// "using meta-data" and §7's feature-discovery direction).
+type (
+	// KeywordRule maps keyword occurrences to a concept.
+	KeywordRule = semantic.KeywordRule
+	// KeywordFunction interprets records by keyword rules.
+	KeywordFunction = semantic.KeywordFunction
+	// Ensemble combines two semantic functions.
+	Ensemble = semantic.Ensemble
+)
+
+// Semantic-function constructors; see internal/semantic.
+var (
+	NewPatternSemantics = semantic.NewPatternFunction
+	NewValueSemantics   = semantic.NewValueFunction
+	NewKeywordSemantics = semantic.NewKeywordFunction
+	NewEnsemble         = semantic.NewEnsemble
+	NewCoraSemantics    = semantic.NewCoraFunction
+	NewCoraKeywords     = semantic.NewCoraKeywordFunction
+	NewVoterSemantics   = semantic.NewVoterFunction
+	BuildSchema         = semantic.BuildSchema
+	CoraPatterns        = semantic.CoraPatterns
+)
+
+// Core blocking (§5).
+type (
+	// Config configures an LSH or SA-LSH blocker.
+	Config = lsh.Config
+	// SemanticOption upgrades LSH to SA-LSH.
+	SemanticOption = lsh.SemanticOption
+	// Blocker is a configured (SA-)LSH instance.
+	Blocker = lsh.Blocker
+	// Mode selects the w-way composition (∧ or ∨).
+	Mode = lsh.Mode
+	// BlockResult is a set of blocks with derived statistics.
+	BlockResult = blocking.Result
+	// GenericBlocker is the interface every technique implements.
+	GenericBlocker = blocking.Blocker
+)
+
+// w-way semantic hash composition modes.
+const (
+	ModeAND = lsh.ModeAND
+	ModeOR  = lsh.ModeOR
+)
+
+// New builds an LSH (Semantic == nil) or SA-LSH blocker.
+func New(cfg Config) (*Blocker, error) { return lsh.New(cfg) }
+
+// Collision-probability model of §5.1–§5.2.
+var (
+	CollisionProbability   = lsh.CollisionProbability
+	SemanticFactor         = lsh.SemanticFactor
+	SACollisionProbability = lsh.SACollisionProbability
+)
+
+// Evaluation measures (§6).
+type (
+	// Metrics holds PC, PQ, RR, FM and the meta-blocking variants.
+	Metrics = eval.Metrics
+)
+
+// Evaluate scores a blocking result against ground truth.
+var Evaluate = eval.Evaluate
+
+// Parameter tuning (§5.3).
+type (
+	// TuningParams is a solved (k,l) configuration.
+	TuningParams = tuning.Params
+)
+
+// Tuning helpers; see internal/tuning.
+var (
+	ChooseKL              = tuning.ChooseKL
+	MinTablesFor          = tuning.MinTablesFor
+	ThresholdForError     = tuning.ThresholdForError
+	TrueMatchSimilarities = tuning.TrueMatchSimilarities
+	SelectQ               = tuning.SelectQ
+)
+
+// Baseline techniques (Table 3) and meta-blocking (Fig. 12).
+type (
+	// KeySpec defines a blocking key for the baseline techniques.
+	KeySpec = baselines.KeySpec
+	// BaselineSetting couples a configured baseline with its parameters.
+	BaselineSetting = baselines.Setting
+	// MetaGraph is the meta-blocking weighted blocking graph.
+	MetaGraph = metablocking.Graph
+	// WeightScheme is a meta-blocking edge-weighting scheme.
+	WeightScheme = metablocking.WeightScheme
+	// PruneAlgo is a meta-blocking pruning algorithm.
+	PruneAlgo = metablocking.PruneAlgo
+)
+
+// Baseline and meta-blocking entry points.
+var (
+	BaselineGrid   = baselines.ParameterGrid
+	TechniqueOrder = baselines.TechniqueOrder
+	BuildMetaGraph = metablocking.BuildGraph
+	TokenBlocking  = metablocking.TokenBlocking
+)
+
+// LSH variants the paper cites as related techniques: LSH Forest (ref [5])
+// and multi-probe LSH (ref [29]).
+type (
+	// ForestConfig configures LSH-Forest-style blocking with adaptive
+	// prefix depth.
+	ForestConfig = lsh.ForestConfig
+	// Forest is the LSH-Forest blocker.
+	Forest = lsh.Forest
+	// MultiProbeConfig configures multi-probe minhash banding.
+	MultiProbeConfig = lsh.MultiProbeConfig
+	// MultiProbe is the multi-probe blocker.
+	MultiProbe = lsh.MultiProbe
+)
+
+// Variant constructors.
+var (
+	NewForest     = lsh.NewForest
+	NewMultiProbe = lsh.NewMultiProbe
+)
+
+// Downstream entity resolution over blocking output (§1: "our blocking
+// results can be used as input to any ER algorithms").
+type (
+	// Matcher scores and classifies candidate pairs.
+	Matcher = er.Matcher
+	// AttrWeight weights one attribute in the match score.
+	AttrWeight = er.AttrWeight
+	// Resolution is the clustering outcome of resolving a dataset.
+	Resolution = er.Resolution
+	// ResolutionQuality holds pairwise precision/recall/F1.
+	ResolutionQuality = er.Quality
+)
+
+// Resolution entry points.
+var (
+	NewMatcher = er.NewMatcher
+	Resolve    = er.Resolve
+)

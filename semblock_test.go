@@ -1,0 +1,124 @@
+package semblock_test
+
+import (
+	"testing"
+
+	"semblock"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: dataset
+// construction, taxonomy, semantic function, schema, SA-LSH blocking,
+// evaluation and tuning — the paper's pipeline in one test.
+func TestFacadeEndToEnd(t *testing.T) {
+	d := semblock.NewDataset("pubs")
+	conf := map[string]string{"booktitle": "nips"}
+	tr := map[string]string{"institution": "cmu"}
+	add := func(e semblock.EntityID, title string, extra map[string]string) {
+		attrs := map[string]string{"title": title}
+		for k, v := range extra {
+			attrs[k] = v
+		}
+		d.Append(e, attrs)
+	}
+	add(0, "the cascade correlation learning architecture", conf)
+	add(0, "cascade correlation learning architecture", conf)
+	add(1, "the cascade correlation learning architecture", tr)
+	add(2, "a totally different publication about databases", conf)
+
+	tax := semblock.BibliographicTaxonomy()
+	fn, err := semblock.NewCoraSemantics(tax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semblock.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := semblock.New(semblock.Config{
+		Attrs: []string{"title"}, Q: 2, K: 2, L: 8, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 1, Mode: semblock.ModeOR},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covers(0, 1) {
+		t.Error("duplicate conference records should co-block")
+	}
+	if res.Covers(0, 2) {
+		t.Error("same-title conference/TR pair should be filtered semantically")
+	}
+	m, err := semblock.Evaluate(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC == 0 {
+		t.Error("PC should be positive")
+	}
+}
+
+func TestFacadeTuning(t *testing.T) {
+	p, err := semblock.ChooseKL(0.3, 0.2, 0.4, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 || p.L != 63 {
+		t.Errorf("ChooseKL = (%d,%d), want (4,63)", p.K, p.L)
+	}
+	if semblock.MinTablesFor(4, 0.3, 0.4) != 63 {
+		t.Error("MinTablesFor mismatch")
+	}
+	if semblock.CollisionProbability(1, 4, 63) != 1 {
+		t.Error("CollisionProbability(1) should be 1")
+	}
+}
+
+func TestFacadeCustomTaxonomy(t *testing.T) {
+	tax, err := semblock.NewTaxonomy("products").
+		Root("P", "Product").
+		Child("P", "E", "Electronics").
+		Child("P", "C", "Clothing").
+		Child("E", "E1", "Phone").
+		Child("E", "E2", "Laptop").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := tax.MustConcept("E1")
+	laptop := tax.MustConcept("E2")
+	if got := tax.SimConcepts(phone, laptop); got != 0 {
+		t.Errorf("sibling similarity = %v, want 0", got)
+	}
+	e := tax.MustConcept("E")
+	if got := tax.SimConcepts(e, phone); got != 0.5 {
+		t.Errorf("parent/child similarity = %v, want 0.5", got)
+	}
+}
+
+func TestFacadeBaselinesAndMetaBlocking(t *testing.T) {
+	d := semblock.NewDataset("names")
+	d.Append(0, map[string]string{"first": "robert", "last": "smith"})
+	d.Append(0, map[string]string{"first": "robert", "last": "smith"})
+	d.Append(1, map[string]string{"first": "mary", "last": "johnson"})
+	key := semblock.KeySpec{Attrs: []string{"first", "last"}}
+	grid := semblock.BaselineGrid(key, 1)
+	if len(grid) != len(semblock.TechniqueOrder()) {
+		t.Fatalf("grid covers %d techniques, want %d", len(grid), len(semblock.TechniqueOrder()))
+	}
+	res, err := grid["TBlo"][0].Blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covers(0, 1) {
+		t.Error("TBlo should block the exact duplicates")
+	}
+
+	tokens := semblock.TokenBlocking(d, []string{"first", "last"}, 0)
+	g := semblock.BuildMetaGraph(tokens, semblock.WeightScheme(0))
+	if g.NumEdges() == 0 {
+		t.Error("meta graph should have edges")
+	}
+}
