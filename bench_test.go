@@ -126,6 +126,77 @@ func BenchmarkSemhashSignatures(b *testing.B) {
 	}
 }
 
+// --- Streaming indexer benches ------------------------------------------
+
+// streamConfig is the SA-LSH configuration the streaming benches index
+// with, matching BenchmarkBlockSALSH for batch-vs-stream comparison.
+func streamConfig(schema *semblock.Schema) semblock.Config {
+	return semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+	}
+}
+
+// BenchmarkIndexerInsert measures streaming throughput record-at-a-time:
+// one iteration is one Insert plus a Candidates drain. The index is reset
+// after each full pass over the dataset so bucket sizes stay Cora-scale.
+func BenchmarkIndexerInsert(b *testing.B) {
+	d, schema := coraFixture(b)
+	cfg := streamConfig(schema)
+	recs := d.Records()
+	var ix *semblock.Indexer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(recs) == 0 {
+			var err error
+			if ix, err = semblock.NewIndexer(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r := recs[i%len(recs)]
+		ix.Insert(r.Entity, r.Attrs)
+		ix.Candidates()
+	}
+}
+
+// BenchmarkIndexerInsertBatch measures mini-batch streaming throughput:
+// one iteration is one InsertBatch of 256 records plus a drain, exercising
+// the sharded worker pool.
+func BenchmarkIndexerInsertBatch(b *testing.B) {
+	const batch = 256
+	d, schema := coraFixture(b)
+	cfg := streamConfig(schema)
+	recs := d.Records()
+	var rows [][]semblock.Row
+	for lo := 0; lo < len(recs); lo += batch {
+		hi := lo + batch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		chunk := make([]semblock.Row, 0, hi-lo)
+		for _, r := range recs[lo:hi] {
+			chunk = append(chunk, semblock.Row{Entity: r.Entity, Attrs: r.Attrs})
+		}
+		rows = append(rows, chunk)
+	}
+	var ix *semblock.Indexer
+	var inserted int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(rows) == 0 {
+			var err error
+			if ix, err = semblock.NewIndexer(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		inserted += len(ix.InsertBatch(rows[i%len(rows)]))
+		ix.Candidates()
+	}
+	b.ReportMetric(float64(inserted)/float64(b.N), "records/op")
+}
+
 // --- Ablation benches (DESIGN.md §4) ------------------------------------
 
 // BenchmarkAblationSemPlacement compares the paper's per-table random

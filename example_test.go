@@ -65,6 +65,36 @@ func ExampleTaxonomy_SimConcepts() {
 	// simS(c1,c2) = 0.6000
 }
 
+// ExampleIndexer streams records into the online blocking index one at a
+// time: the near-duplicate pair is emitted as a candidate the moment its
+// second record arrives, and the final snapshot equals what a batch Block
+// run over the same three records would produce.
+func ExampleIndexer() {
+	ix, _ := semblock.NewIndexer(semblock.Config{
+		Attrs: []string{"name"}, Q: 2, K: 2, L: 8, Seed: 1,
+	}, semblock.WithWorkers(2))
+
+	arrivals := []map[string]string{
+		{"name": "robert smith"},
+		{"name": "mary johnson"},
+		{"name": "robert smyth"},
+	}
+	for _, attrs := range arrivals {
+		id := ix.Insert(semblock.UnknownEntity, attrs)
+		for _, p := range ix.Candidates() {
+			fmt.Printf("after record %d: candidate pair (%d,%d)\n", id, p.Left(), p.Right())
+		}
+	}
+
+	snapshot := ix.Snapshot()
+	fmt.Println("records indexed:", ix.Len())
+	fmt.Println("distinct candidate pairs:", snapshot.CandidatePairs().Len())
+	// Output:
+	// after record 2: candidate pair (0,2)
+	// records indexed: 3
+	// distinct candidate pairs: 1
+}
+
 // ExampleNewMatcher runs the downstream resolution step over blocking
 // output.
 func ExampleNewMatcher() {

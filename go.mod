@@ -1,0 +1,3 @@
+module semblock
+
+go 1.22

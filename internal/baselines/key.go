@@ -1,23 +1,3 @@
-// Package baselines implements the twelve state-of-the-art blocking
-// techniques the paper compares against (Table 3), as catalogued in
-// Christen's survey (TKDE 24(9), 2012):
-//
-//	TBlo   traditional blocking                        (Fellegi & Sunter)
-//	SorA   array-based sorted neighbourhood            (Hernàndez & Stolfo)
-//	SorII  inverted-index sorted neighbourhood         (Christen)
-//	ASor   adaptive sorted neighbourhood               (Yan et al.)
-//	QGr    q-gram indexing                             (Baxter et al.)
-//	CaTh   threshold-based canopy clustering           (McCallum et al.)
-//	CaNN   nearest-neighbour canopy clustering         (Christen)
-//	StMT   threshold-based string-map blocking         (Jin et al.)
-//	StMNN  nearest-neighbour string-map blocking       (Adly)
-//	SuA    suffix-array blocking                       (Aizawa & Oyama)
-//	SuAS   suffix-array blocking over all substrings   (Aizawa & Oyama)
-//	RSuA   robust suffix-array blocking                (de Vries et al.)
-//
-// Every blocker implements blocking.Blocker and is configured through a
-// plain struct so the experiment harness can enumerate the survey's
-// parameter grids.
 package baselines
 
 import (

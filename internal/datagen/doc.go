@@ -1,0 +1,8 @@
+// Package datagen synthesises the two evaluation datasets of the paper —
+// a Cora-like bibliographic dataset and an NC-Voter-like person dataset —
+// with controlled, seeded corruption. See DESIGN.md §2 for the substitution
+// rationale: the real files are not distributable with this repository, so
+// these generators reproduce the *structure* the experiments exercise
+// (duplicate-cluster shapes, typo channels, missing-value patterns,
+// uncertain categorical codes) rather than the original bytes.
+package datagen

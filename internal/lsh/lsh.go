@@ -11,17 +11,13 @@
 package lsh
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"semblock/internal/blocking"
 	"semblock/internal/minhash"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
-	"semblock/internal/textual"
 )
 
 // Mode selects how a w-way semantic hash function combines its w underlying
@@ -95,30 +91,17 @@ type Config struct {
 
 // Blocker is a configured (SA-)LSH blocking instance.
 type Blocker struct {
-	cfg Config
-	fam *minhash.Family
+	cfg    Config
+	signer *Signer
 }
 
 // New validates the configuration and builds a blocker.
 func New(cfg Config) (*Blocker, error) {
-	if len(cfg.Attrs) == 0 {
-		return nil, fmt.Errorf("lsh: no blocking attributes configured")
+	s, err := NewSigner(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Q <= 0 {
-		return nil, fmt.Errorf("lsh: q-gram size must be positive, got %d", cfg.Q)
-	}
-	if cfg.K <= 0 || cfg.L <= 0 {
-		return nil, fmt.Errorf("lsh: k and l must be positive, got k=%d l=%d", cfg.K, cfg.L)
-	}
-	if s := cfg.Semantic; s != nil {
-		if s.Schema == nil {
-			return nil, fmt.Errorf("lsh: semantic option requires a schema")
-		}
-		if s.W <= 0 || s.W > s.Schema.Bits() {
-			return nil, fmt.Errorf("lsh: w must be in [1,%d], got %d", s.Schema.Bits(), s.W)
-		}
-	}
-	return &Blocker{cfg: cfg, fam: minhash.NewFamily(cfg.K*cfg.L, cfg.Seed)}, nil
+	return &Blocker{cfg: cfg, signer: s}, nil
 }
 
 // Name returns "lsh" or "sa-lsh".
@@ -135,7 +118,7 @@ func (b *Blocker) Config() Config { return b.cfg }
 // Block groups the dataset into blocks. Runtime is O(n · k · l) hash work
 // plus bucket bookkeeping; signatures are computed in parallel.
 func (b *Blocker) Block(d *record.Dataset) (*blocking.Result, error) {
-	sigs := b.signatures(d)
+	sigs := b.signer.SignDataset(d)
 
 	var semSigs []semantic.BitVec
 	if b.cfg.Semantic != nil {
@@ -143,41 +126,32 @@ func (b *Blocker) Block(d *record.Dataset) (*blocking.Result, error) {
 	}
 
 	var blocks [][]record.ID
-	k, l := b.cfg.K, b.cfg.L
-	for table := 0; table < l; table++ {
-		var bits []int
-		if s := b.cfg.Semantic; s != nil {
-			bitTable := table
-			if s.GlobalBits {
-				bitTable = 0
-			}
-			bits = selectBits(b.cfg.Seed, bitTable, s.W, s.Schema.Bits())
-		}
+	postFilter := b.cfg.Semantic != nil &&
+		b.cfg.Semantic.Mode == ModeOR && b.cfg.Semantic.ORStrategy == PostFilter
+	var keys []uint64
+	for table := 0; table < b.cfg.L; table++ {
 		buckets := make(map[uint64][]record.ID)
 		for _, r := range d.Records() {
-			sig := sigs[r.ID][table*k : (table+1)*k]
-			key := minhash.BandKey(table, sig)
-			s := b.cfg.Semantic
-			switch {
-			case s == nil:
+			if postFilter {
+				// Bucket on the minhash band alone; semantic splitting
+				// happens once the table's buckets are complete.
+				key := minhash.BandKey(table, b.signer.Band(table, sigs[r.ID]))
 				buckets[key] = append(buckets[key], r.ID)
-			case s.Mode == ModeAND:
-				if allBitsSet(semSigs[r.ID], bits) {
-					buckets[key] = append(buckets[key], r.ID)
-				}
-			case s.ORStrategy == BucketPerBit:
-				for _, bit := range bits {
-					if semSigs[r.ID].Get(bit) {
-						buckets[mixBit(key, bit)] = append(buckets[mixBit(key, bit)], r.ID)
-					}
-				}
-			default: // ModeOR with PostFilter
+				continue
+			}
+			var sem semantic.BitVec
+			if semSigs != nil {
+				sem = semSigs[r.ID]
+			}
+			keys = b.signer.BucketKeys(table, sigs[r.ID], sem, keys[:0])
+			for _, key := range keys {
 				buckets[key] = append(buckets[key], r.ID)
 			}
 		}
-		if s := b.cfg.Semantic; s != nil && s.Mode == ModeOR && s.ORStrategy == PostFilter {
+		if postFilter {
+			bits := b.signer.TableBits(table)
 			for _, ids := range buckets {
-				blocks = append(blocks, splitByBits(ids, semSigs, bits)...)
+				blocks = append(blocks, SplitByBits(ids, semSigs, bits)...)
 			}
 			continue
 		}
@@ -188,42 +162,6 @@ func (b *Blocker) Block(d *record.Dataset) (*blocking.Result, error) {
 		}
 	}
 	return blocking.NewResult(b.Name(), blocks), nil
-}
-
-// signatures computes the minhash signatures of all records in parallel.
-func (b *Blocker) signatures(d *record.Dataset) [][]uint64 {
-	n := d.Len()
-	sigs := make([][]uint64, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				r := d.Record(record.ID(i))
-				grams := textual.QGrams(r.Key(b.cfg.Attrs...), b.cfg.Q)
-				sigs[i] = b.fam.Signature(grams)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return sigs
 }
 
 // selectBits chooses the w distinct semhash-function indices of one hash
@@ -250,9 +188,9 @@ func mixBit(key uint64, bit int) uint64 {
 	return minhash.BandKey(int(key%1024)+bit+7, []uint64{key, uint64(bit)})
 }
 
-// splitByBits implements the PostFilter OR strategy: one sub-block per
+// SplitByBits implements the PostFilter OR strategy: one sub-block per
 // selected bit, containing the bucket's records having that bit set.
-func splitByBits(ids []record.ID, semSigs []semantic.BitVec, bits []int) [][]record.ID {
+func SplitByBits(ids []record.ID, semSigs []semantic.BitVec, bits []int) [][]record.ID {
 	var out [][]record.ID
 	for _, bit := range bits {
 		var sub []record.ID

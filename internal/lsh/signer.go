@@ -1,0 +1,156 @@
+package lsh
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semblock/internal/minhash"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/textual"
+)
+
+// Signer computes the per-record signature material of an (SA-)LSH
+// configuration: the k·l-component minhash signature, the semhash signature
+// (for SA-LSH), and the w semantic-bit choices of every hash table. It is
+// the stateless core shared by the batch Blocker and the streaming Indexer
+// (internal/stream): both paths derive bucket membership exclusively from a
+// Signer, which is what guarantees that a streamed index snapshot and a
+// batch Block run over the same records produce the same blocks.
+type Signer struct {
+	cfg  Config
+	fam  *minhash.Family
+	bits [][]int // per-table semantic bit choices; nil without Semantic
+}
+
+// NewSigner validates the configuration and precomputes the per-table
+// semantic bit choices.
+func NewSigner(cfg Config) (*Signer, error) {
+	if len(cfg.Attrs) == 0 {
+		return nil, fmt.Errorf("lsh: no blocking attributes configured")
+	}
+	if cfg.Q <= 0 {
+		return nil, fmt.Errorf("lsh: q-gram size must be positive, got %d", cfg.Q)
+	}
+	if cfg.K <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("lsh: k and l must be positive, got k=%d l=%d", cfg.K, cfg.L)
+	}
+	if s := cfg.Semantic; s != nil {
+		if s.Schema == nil {
+			return nil, fmt.Errorf("lsh: semantic option requires a schema")
+		}
+		if s.W <= 0 || s.W > s.Schema.Bits() {
+			return nil, fmt.Errorf("lsh: w must be in [1,%d], got %d", s.Schema.Bits(), s.W)
+		}
+	}
+	s := &Signer{cfg: cfg, fam: minhash.NewFamily(cfg.K*cfg.L, cfg.Seed)}
+	if sem := cfg.Semantic; sem != nil {
+		s.bits = make([][]int, cfg.L)
+		for t := 0; t < cfg.L; t++ {
+			bitTable := t
+			if sem.GlobalBits {
+				bitTable = 0
+			}
+			s.bits[t] = selectBits(cfg.Seed, bitTable, sem.W, sem.Schema.Bits())
+		}
+	}
+	return s, nil
+}
+
+// Config returns the signer's configuration.
+func (s *Signer) Config() Config { return s.cfg }
+
+// Semantic reports whether the signer is configured for SA-LSH.
+func (s *Signer) Semantic() bool { return s.cfg.Semantic != nil }
+
+// Sign computes the k·l-component minhash signature of one record.
+func (s *Signer) Sign(r *record.Record) []uint64 {
+	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
+	return s.fam.Signature(grams)
+}
+
+// SemSign computes the semhash signature of one record. Without a semantic
+// option it returns the zero BitVec, which callers must not inspect.
+func (s *Signer) SemSign(r *record.Record) semantic.BitVec {
+	if s.cfg.Semantic == nil {
+		return semantic.BitVec{}
+	}
+	return s.cfg.Semantic.Schema.Signature(r)
+}
+
+// SignDataset computes the minhash signatures of every record in parallel,
+// indexed by record ID.
+func (s *Signer) SignDataset(d *record.Dataset) [][]uint64 {
+	n := d.Len()
+	sigs := make([][]uint64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sigs[i] = s.Sign(d.Record(record.ID(i)))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sigs
+}
+
+// Band returns the k-slice of a full signature belonging to one hash table.
+func (s *Signer) Band(table int, sig []uint64) []uint64 {
+	return sig[table*s.cfg.K : (table+1)*s.cfg.K]
+}
+
+// TableBits returns the semantic bit choice of one hash table (nil without
+// a semantic option). The slice is shared; callers must not mutate it.
+func (s *Signer) TableBits(table int) []int {
+	if s.bits == nil {
+		return nil
+	}
+	return s.bits[table]
+}
+
+// BucketKeys appends to dst the bucket keys the record files under in one
+// hash table and returns the extended slice. The keying is the normalised
+// bucket-per-bit form: plain LSH yields the band key; AND mode yields the
+// band key iff all w selected semhash bits are set (nothing otherwise); OR
+// mode yields one mixed key per selected set bit. Two records collide in a
+// table iff they share a key, so this single method defines block
+// membership for both batch and streaming construction.
+func (s *Signer) BucketKeys(table int, sig []uint64, sem semantic.BitVec, dst []uint64) []uint64 {
+	key := minhash.BandKey(table, s.Band(table, sig))
+	opt := s.cfg.Semantic
+	switch {
+	case opt == nil:
+		dst = append(dst, key)
+	case opt.Mode == ModeAND:
+		if allBitsSet(sem, s.bits[table]) {
+			dst = append(dst, key)
+		}
+	default: // ModeOR: one sub-bucket per selected set bit
+		for _, bit := range s.bits[table] {
+			if sem.Get(bit) {
+				dst = append(dst, mixBit(key, bit))
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,5 @@
+// Package semantic implements the paper's semantic layer (§4.2, §4.4):
+// semantic functions ζ mapping records to taxonomy concepts, and semhash
+// signature generation (Algorithm 1) turning interpretations into compact
+// binary vectors that preserve semantic similarity (Prop 4.3).
+package semantic

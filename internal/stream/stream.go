@@ -1,0 +1,307 @@
+// Package stream implements the incremental counterpart of the batch
+// (SA-)LSH blocker: an online index into which records are inserted one at
+// a time or in mini-batches, emitting candidate pairs as hash-bucket
+// collisions occur instead of recomputing blocks from scratch.
+//
+// The Indexer shares its signature core (lsh.Signer) with the batch
+// Blocker, so for a fixed configuration a snapshot of the index after
+// streaming a dataset in record order is block-for-block identical to a
+// batch Block run over the same dataset — the parity the tests assert.
+//
+// Concurrency model: minhash/semhash signatures of a mini-batch are
+// computed by a pool of workers (runtime.NumCPU() by default); the l hash
+// tables are distributed round-robin over the same number of shards, each
+// shard guarding its tables' bucket maps with its own mutex, so bucket
+// updates of one batch proceed in parallel across shards while staying
+// sequential (in record order) within each shard. Insert may also be called
+// from many goroutines concurrently; candidate-pair output is deduplicated
+// globally either way.
+package stream
+
+import (
+	"runtime"
+	"sync"
+
+	"semblock/internal/blocking"
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+)
+
+// Row is one record to insert: the optional ground-truth entity label and
+// the attribute map. It mirrors record.Dataset.Append's parameters.
+type Row struct {
+	// Entity is the ground-truth label (record.UnknownEntity if unlabeled).
+	Entity record.EntityID
+	// Attrs maps attribute names to values; ownership passes to the index.
+	Attrs map[string]string
+}
+
+// Option customises an Indexer.
+type Option func(*Indexer)
+
+// WithWorkers sets the number of signature workers and bucket shards
+// (default runtime.NumCPU()). The worker count never changes which
+// candidates are found, only how the work is spread.
+func WithWorkers(n int) Option {
+	return func(ix *Indexer) {
+		if n > 0 {
+			ix.workers = n
+		}
+	}
+}
+
+// WithName overrides the technique name stamped on snapshots (default: the
+// batch blocker's name, "lsh" or "sa-lsh", for result parity).
+func WithName(name string) Option {
+	return func(ix *Indexer) { ix.name = name }
+}
+
+// Indexer is an online (SA-)LSH blocking index. The zero value is not
+// usable; construct with NewIndexer.
+type Indexer struct {
+	signer  *lsh.Signer
+	workers int
+	name    string
+
+	mu      sync.Mutex // guards dataset growth and the pair ledger
+	dataset *record.Dataset
+	seen    record.PairSet // every candidate pair ever emitted
+	pending []record.Pair  // emitted but not yet drained by Candidates
+
+	shards []*shard
+}
+
+// shard owns a subset of the l hash tables and their bucket maps.
+type shard struct {
+	mu      sync.Mutex
+	tables  []int                    // table indices owned by this shard
+	buckets []map[uint64][]record.ID // parallel to tables
+}
+
+// NewIndexer builds an empty streaming index for the given (SA-)LSH
+// configuration. For SA-LSH the semhash schema must be built up front
+// (e.g. from a taxonomy and a reference sample); the schema is fixed for
+// the lifetime of the index.
+func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
+	signer, err := lsh.NewSigner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := "lsh"
+	if cfg.Semantic != nil {
+		name = "sa-lsh"
+	}
+	ix := &Indexer{
+		signer:  signer,
+		workers: runtime.NumCPU(),
+		name:    name,
+		dataset: record.NewDataset("stream"),
+		seen:    record.NewPairSet(0),
+	}
+	for _, opt := range opts {
+		opt(ix)
+	}
+	nShards := ix.workers
+	if nShards > cfg.L {
+		nShards = cfg.L
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	ix.shards = make([]*shard, nShards)
+	for i := range ix.shards {
+		ix.shards[i] = &shard{}
+	}
+	for t := 0; t < cfg.L; t++ {
+		sh := ix.shards[t%nShards]
+		sh.tables = append(sh.tables, t)
+		sh.buckets = append(sh.buckets, make(map[uint64][]record.ID))
+	}
+	return ix, nil
+}
+
+// Config returns the index's blocking configuration.
+func (ix *Indexer) Config() lsh.Config { return ix.signer.Config() }
+
+// Len returns the number of records inserted so far.
+func (ix *Indexer) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.dataset.Len()
+}
+
+// Insert adds one record to the index and returns its assigned ID. New
+// candidate pairs discovered by the insertion become available through
+// Candidates. Safe for concurrent use.
+func (ix *Indexer) Insert(entity record.EntityID, attrs map[string]string) record.ID {
+	ix.mu.Lock()
+	r := ix.dataset.Append(entity, attrs)
+	ix.mu.Unlock()
+
+	sig := ix.signer.Sign(r)
+	sem := ix.signer.SemSign(r)
+	var found []record.Pair
+	keys := make([]uint64, 0, 8)
+	for _, sh := range ix.shards {
+		found = sh.insert(ix.signer, r.ID, sig, sem, keys, found)
+	}
+	ix.commit(found)
+	return r.ID
+}
+
+// InsertBatch adds a mini-batch of records and returns their assigned IDs.
+// Signatures are computed by the worker pool and the shards' bucket maps
+// are updated in parallel, one goroutine per shard, keeping per-bucket
+// record order equal to insertion order. Safe for concurrent use.
+func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
+	if len(rows) == 0 {
+		return nil
+	}
+	recs := make([]*record.Record, len(rows))
+	ids := make([]record.ID, len(rows))
+	ix.mu.Lock()
+	for i, row := range rows {
+		recs[i] = ix.dataset.Append(row.Entity, row.Attrs)
+		ids[i] = recs[i].ID
+	}
+	ix.mu.Unlock()
+
+	// Stage 1: signature computation, chunked over the worker pool.
+	sigs := make([][]uint64, len(recs))
+	sems := make([]semantic.BitVec, len(recs))
+	workers := ix.workers
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(recs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sigs[i] = ix.signer.Sign(recs[i])
+				sems[i] = ix.signer.SemSign(recs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Stage 2: bucket updates, one goroutine per shard, records in order.
+	foundPerShard := make([][]record.Pair, len(ix.shards))
+	for si, sh := range ix.shards {
+		wg.Add(1)
+		go func(si int, sh *shard) {
+			defer wg.Done()
+			var found []record.Pair
+			keys := make([]uint64, 0, 8)
+			for i, r := range recs {
+				found = sh.insert(ix.signer, r.ID, sigs[i], sems[i], keys, found)
+			}
+			foundPerShard[si] = found
+		}(si, sh)
+	}
+	wg.Wait()
+	for _, found := range foundPerShard {
+		ix.commit(found)
+	}
+	return ids
+}
+
+// insert files the record into every table of the shard and appends the
+// (not yet deduplicated) collision pairs to found.
+func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem semantic.BitVec, keys []uint64, found []record.Pair) []record.Pair {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, t := range sh.tables {
+		keys = signer.BucketKeys(t, sig, sem, keys[:0])
+		for _, key := range keys {
+			members := sh.buckets[i][key]
+			for _, other := range members {
+				found = append(found, record.MakePair(other, id))
+			}
+			sh.buckets[i][key] = append(members, id)
+		}
+	}
+	return found
+}
+
+// commit merges freshly found collision pairs into the global ledger,
+// queueing the never-seen-before ones for Candidates.
+func (ix *Indexer) commit(found []record.Pair) {
+	if len(found) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, p := range found {
+		if _, dup := ix.seen[p]; !dup {
+			ix.seen.AddPair(p)
+			ix.pending = append(ix.pending, p)
+		}
+	}
+}
+
+// Candidates drains and returns the candidate pairs discovered since the
+// previous call (nil if none). Across the lifetime of the index the union
+// of all drained batches equals Snapshot().CandidatePairs(). Order within a
+// batch is discovery order; it is deterministic for single-goroutine
+// insertion with a fixed configuration and worker count.
+func (ix *Indexer) Candidates() []record.Pair {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := ix.pending
+	ix.pending = nil
+	return out
+}
+
+// PairCount returns the total number of distinct candidate pairs emitted so
+// far (drained or not).
+func (ix *Indexer) PairCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.seen.Len()
+}
+
+// Snapshot materialises the current index contents as a batch-style block
+// result: every hash bucket with at least two records becomes a block. For
+// a fixed configuration the result is equal (up to block order) to running
+// the batch Blocker over the same records, and its CandidatePairs are
+// exactly the pairs emitted so far. Safe to call while insertions continue;
+// the snapshot then reflects some consistent prefix per shard.
+func (ix *Indexer) Snapshot() *blocking.Result {
+	var blocks [][]record.ID
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+		for _, buckets := range sh.buckets {
+			for _, ids := range buckets {
+				if len(ids) >= 2 {
+					blocks = append(blocks, append([]record.ID(nil), ids...))
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return blocking.NewResult(ix.name, blocks)
+}
+
+// Dataset returns a copy of the inserted records as a dataset (IDs match
+// the IDs returned by Insert/InsertBatch), e.g. for evaluating a snapshot
+// against ground truth.
+func (ix *Indexer) Dataset() *record.Dataset {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := record.NewDataset(ix.dataset.Name)
+	for _, r := range ix.dataset.Records() {
+		out.Append(r.Entity, r.Attrs)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+// fixture builds a small Cora-like dataset plus its semhash schema.
+func fixture(t testing.TB, n int) (*record.Dataset, *semantic.Schema) {
+	t.Helper()
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = n
+	d := datagen.Cora(cfg)
+	fn, err := semantic.NewCoraFunction(taxonomy.Bibliographic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semantic.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, schema
+}
+
+// canonical renders a block set as a sorted multiset of sorted blocks so
+// that two results can be compared independent of block/bucket order.
+func canonical(blocks [][]record.ID) []string {
+	out := make([]string, 0, len(blocks))
+	for _, b := range blocks {
+		ids := append([]record.ID(nil), b...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, fmt.Sprint(ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// assertParity streams the dataset into an index (one record at a time)
+// and checks the snapshot against a batch Block run of the same config.
+func assertParity(t *testing.T, cfg lsh.Config, d *record.Dataset, opts ...Option) {
+	t.Helper()
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := NewIndexer(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []record.Pair
+	for _, r := range d.Records() {
+		if id := ix.Insert(r.Entity, r.Attrs); id != r.ID {
+			t.Fatalf("insert assigned ID %d, want %d", id, r.ID)
+		}
+		emitted = append(emitted, ix.Candidates()...)
+	}
+	got := ix.Snapshot()
+
+	if g, w := canonical(got.Blocks), canonical(want.Blocks); !equal(g, w) {
+		t.Fatalf("snapshot blocks differ from batch: %d vs %d blocks", len(g), len(w))
+	}
+	if got.Technique != want.Technique {
+		t.Errorf("technique %q, want %q", got.Technique, want.Technique)
+	}
+	wantPairs := want.CandidatePairs()
+	if len(emitted) != wantPairs.Len() {
+		t.Fatalf("emitted %d candidate pairs, batch has %d", len(emitted), wantPairs.Len())
+	}
+	for _, p := range emitted {
+		if !wantPairs.Has(p.Left(), p.Right()) {
+			t.Fatalf("emitted pair (%d,%d) absent from batch output", p.Left(), p.Right())
+		}
+	}
+	if ix.PairCount() != wantPairs.Len() {
+		t.Errorf("PairCount %d, want %d", ix.PairCount(), wantPairs.Len())
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParityLSH(t *testing.T) {
+	d, _ := fixture(t, 300)
+	assertParity(t, lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7}, d)
+}
+
+func TestParitySALSH(t *testing.T) {
+	d, schema := fixture(t, 300)
+	base := lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7}
+	cases := []struct {
+		name string
+		sem  lsh.SemanticOption
+	}{
+		{"and", lsh.SemanticOption{Schema: schema, W: 2, Mode: lsh.ModeAND}},
+		{"or-bucket-per-bit", lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR, ORStrategy: lsh.BucketPerBit}},
+		{"or-post-filter", lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR, ORStrategy: lsh.PostFilter}},
+		{"or-global-bits", lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR, GlobalBits: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			sem := tc.sem
+			cfg.Semantic = &sem
+			assertParity(t, cfg, d)
+		})
+	}
+}
+
+// TestParityWorkers checks that the worker/shard count does not change the
+// result.
+func TestParityWorkers(t *testing.T) {
+	d, schema := fixture(t, 200)
+	cfg := lsh.Config{
+		Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 10, Seed: 3,
+		Semantic: &lsh.SemanticOption{Schema: schema, W: 2, Mode: lsh.ModeOR},
+	}
+	for _, workers := range []int{1, 2, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			assertParity(t, cfg, d, WithWorkers(workers))
+		})
+	}
+}
+
+// TestInsertBatchParity streams the dataset in uneven mini-batches and
+// checks snapshot parity plus the Candidates drain invariant.
+func TestInsertBatchParity(t *testing.T) {
+	d, schema := fixture(t, 300)
+	cfg := lsh.Config{
+		Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7,
+		Semantic: &lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR},
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := NewIndexer(cfg, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := record.NewPairSet(0)
+	recs := d.Records()
+	for lo, step := 0, 1; lo < len(recs); lo, step = lo+step, step*2+1 {
+		hi := lo + step
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		rows := make([]Row, 0, hi-lo)
+		for _, r := range recs[lo:hi] {
+			rows = append(rows, Row{Entity: r.Entity, Attrs: r.Attrs})
+		}
+		ids := ix.InsertBatch(rows)
+		if len(ids) != hi-lo || ids[0] != record.ID(lo) {
+			t.Fatalf("batch [%d:%d) assigned ids %v", lo, hi, ids)
+		}
+		for _, p := range ix.Candidates() {
+			drained.AddPair(p)
+		}
+	}
+	got := ix.Snapshot()
+	if g, w := canonical(got.Blocks), canonical(want.Blocks); !equal(g, w) {
+		t.Fatalf("snapshot blocks differ from batch: %d vs %d blocks", len(g), len(w))
+	}
+	wantPairs := want.CandidatePairs()
+	if drained.Len() != wantPairs.Len() || drained.Intersect(wantPairs) != wantPairs.Len() {
+		t.Fatalf("drained %d pairs, batch has %d (overlap %d)",
+			drained.Len(), wantPairs.Len(), drained.Intersect(wantPairs))
+	}
+}
+
+// TestConcurrentInsert hammers Insert from many goroutines and verifies the
+// final snapshot still matches a batch run over the records in their
+// (nondeterministic) assigned order.
+func TestConcurrentInsert(t *testing.T) {
+	d, _ := fixture(t, 240)
+	cfg := lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 2, L: 8, Seed: 5}
+	ix, err := NewIndexer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	recs := d.Records()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(recs); i += 8 {
+				ix.Insert(recs[i].Entity, recs[i].Attrs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != len(recs) {
+		t.Fatalf("inserted %d records, index has %d", len(recs), ix.Len())
+	}
+
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(ix.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Snapshot()
+	gotPairs, wantPairs := got.CandidatePairs(), want.CandidatePairs()
+	if gotPairs.Len() != wantPairs.Len() || gotPairs.Intersect(wantPairs) != wantPairs.Len() {
+		t.Fatalf("concurrent snapshot has %d pairs, batch %d (overlap %d)",
+			gotPairs.Len(), wantPairs.Len(), gotPairs.Intersect(wantPairs))
+	}
+	if ix.PairCount() != wantPairs.Len() {
+		t.Errorf("PairCount %d, want %d", ix.PairCount(), wantPairs.Len())
+	}
+}
+
+// TestEmptyAndValidation covers the trivial states and config errors.
+func TestEmptyAndValidation(t *testing.T) {
+	ix, err := NewIndexer(lsh.Config{Attrs: []string{"a"}, Q: 2, K: 2, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Snapshot(); res.NumBlocks() != 0 {
+		t.Errorf("empty index snapshot has %d blocks", res.NumBlocks())
+	}
+	if ps := ix.Candidates(); ps != nil {
+		t.Errorf("empty index emitted %v", ps)
+	}
+	if ids := ix.InsertBatch(nil); ids != nil {
+		t.Errorf("empty batch returned %v", ids)
+	}
+	if _, err := NewIndexer(lsh.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

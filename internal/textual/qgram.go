@@ -1,10 +1,3 @@
-// Package textual provides the string-similarity substrate used throughout
-// the repository: q-gram shingling, set/sequence similarity metrics
-// (Jaccard, Dice, Levenshtein, Jaro, Jaro-Winkler, longest common
-// substring), TF-IDF cosine similarity, and Soundex phonetic encoding.
-//
-// Every similarity function returns a value in [0,1] where 1 means
-// identical, matching the paper's convention sim = 1 - distance.
 package textual
 
 import (

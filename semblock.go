@@ -26,6 +26,18 @@
 //	blocks, _ := b.Block(d)
 //	for _, pair := range blocks.CandidatePairs().Slice() { ... }
 //
+// # Streaming
+//
+// The same configuration drives an online index that emits candidate
+// pairs incrementally as records arrive:
+//
+//	ix, _ := semblock.NewIndexer(cfg)
+//	for rec := range source {
+//	    ix.Insert(semblock.UnknownEntity, rec)
+//	    for _, pair := range ix.Candidates() { ... }
+//	}
+//	snapshot := ix.Snapshot() // equals the batch Block over the same records
+//
 // The exported identifiers are aliases of the implementation packages
 // under internal/, so the full documented API of those packages is
 // available through this single import.
@@ -40,6 +52,7 @@ import (
 	"semblock/internal/metablocking"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
+	"semblock/internal/stream"
 	"semblock/internal/taxonomy"
 	"semblock/internal/tuning"
 )
@@ -158,6 +171,30 @@ const (
 
 // New builds an LSH (Semantic == nil) or SA-LSH blocker.
 func New(cfg Config) (*Blocker, error) { return lsh.New(cfg) }
+
+// Streaming/incremental blocking: an online (SA-)LSH index that ingests
+// records one at a time or in mini-batches and emits candidate pairs as
+// collisions occur. A Snapshot over streamed records equals the batch
+// Block output on the same dataset.
+type (
+	// Indexer is the online blocking index; see internal/stream.
+	Indexer = stream.Indexer
+	// Row is one record to insert into an Indexer.
+	Row = stream.Row
+	// IndexerOption customises an Indexer (workers, snapshot name).
+	IndexerOption = stream.Option
+)
+
+// NewIndexer builds an empty streaming index for an (SA-)LSH configuration.
+func NewIndexer(cfg Config, opts ...IndexerOption) (*Indexer, error) {
+	return stream.NewIndexer(cfg, opts...)
+}
+
+// Indexer options.
+var (
+	WithWorkers     = stream.WithWorkers
+	WithIndexerName = stream.WithName
+)
 
 // Collision-probability model of §5.1–§5.2.
 var (

@@ -122,3 +122,52 @@ func TestFacadeBaselinesAndMetaBlocking(t *testing.T) {
 		t.Error("meta graph should have edges")
 	}
 }
+
+// TestFacadeStreamingParity drives the streaming indexer through the
+// public facade: records streamed in mini-batches must yield exactly the
+// candidate pairs of a batch Block run with the same configuration.
+func TestFacadeStreamingParity(t *testing.T) {
+	d := semblock.NewDataset("pubs")
+	titles := []string{
+		"the cascade correlation learning architecture",
+		"cascade correlation learning architecture",
+		"a theory of learning in networks",
+		"theory of learning in networks",
+		"semantic blocking for entity resolution",
+		"semantic aware blocking for entity resolution",
+	}
+	for i, title := range titles {
+		d.Append(semblock.EntityID(i/2), map[string]string{"title": title})
+	}
+	cfg := semblock.Config{Attrs: []string{"title"}, Q: 2, K: 2, L: 8, Seed: 1}
+
+	b, err := semblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := semblock.NewIndexer(cfg, semblock.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]semblock.Row, 0, d.Len())
+	for _, r := range d.Records() {
+		rows = append(rows, semblock.Row{Entity: r.Entity, Attrs: r.Attrs})
+	}
+	ix.InsertBatch(rows[:3])
+	ix.InsertBatch(rows[3:])
+
+	got := ix.Snapshot()
+	gp, wp := got.CandidatePairs(), want.CandidatePairs()
+	if gp.Len() != wp.Len() || gp.Intersect(wp) != wp.Len() {
+		t.Fatalf("streaming found %d pairs, batch %d (overlap %d)",
+			gp.Len(), wp.Len(), gp.Intersect(wp))
+	}
+	if !want.Covers(0, 1) || !got.Covers(0, 1) {
+		t.Error("both paths should co-block the near-duplicate titles 0 and 1")
+	}
+}
