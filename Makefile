@@ -1,0 +1,20 @@
+# Developer entry points. CI runs the same targets.
+
+.PHONY: build test race vet bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Runs the blocking/pipeline benchmarks and writes BENCH_pipeline.json so
+# the perf trajectory is tracked across PRs. BENCHTIME=1x for a smoke run.
+bench:
+	./scripts/bench.sh

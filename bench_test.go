@@ -197,6 +197,88 @@ func BenchmarkIndexerInsertBatch(b *testing.B) {
 	b.ReportMetric(float64(inserted)/float64(b.N), "records/op")
 }
 
+// --- Pipeline / parallel table-build engine benches ----------------------
+
+// BenchmarkPipelineBlock measures the batch Block path — now built on the
+// parallel table-build engine — over a 10k-record synthetic dataset at the
+// published parameters. The "serial" sub-benchmark pins both worker pools
+// (signatures and table builds) to one goroutine, a fully single-threaded
+// run; "parallel" uses the full GOMAXPROCS pools. At GOMAXPROCS >= 4 the
+// parallel run should be >= 2x faster than serial: both stages spread
+// across the cores, and the l=63 table builds — single-threaded in the
+// seed — parallelise with them.
+func BenchmarkPipelineBlock(b *testing.B) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 10000
+	d := datagen.Cora(cfg)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			blk, err := semblock.New(semblock.Config{
+				Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+				Workers: bc.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.Block(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures the full composed dataflow — SA-LSH
+// blocking, CBS/WEP meta-blocking pruning, concurrent matching — reporting
+// end-to-end resolution F1 alongside speed.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	d, schema := coraFixture(b)
+	blk, err := semblock.New(semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "title", Weight: 0.6},
+		{Attr: "authors", Weight: 0.4},
+	}, 0.55)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := semblock.NewPipeline(blk,
+		semblock.WithPruning(semblock.WeightSchemeCBS, semblock.PruneWEP),
+		semblock.WithMatcher(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f1 float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.Run(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := out.Resolution.Evaluate(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = q.F1
+	}
+	b.ReportMetric(f1, "f1")
+}
+
 // --- Ablation benches (DESIGN.md §4) ------------------------------------
 
 // BenchmarkAblationSemPlacement compares the paper's per-table random

@@ -17,12 +17,21 @@
 // indexer in mini-batches instead of one batch Block call, printing either
 // the candidate pairs as they are discovered (-pairs) or a progress line
 // per batch plus a final snapshot summary with insert throughput.
+//
+// The "pipeline" subcommand chains blocking → optional meta-blocking
+// pruning → optional matching into one run and reports per-stage counts
+// and timings:
+//
+//	semblock pipeline -demo cora -semantic cora -meta CBS/WEP \
+//	    -match title=0.6,authors=0.4 -threshold 0.55
+//	semblock pipeline -demo cora -match title=1 -stream -batch 128
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,9 +43,12 @@ import (
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "stream" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "stream":
 		err = runStream(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "pipeline":
+		err = runPipeline(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {
@@ -212,6 +224,201 @@ func runStream(args []string) error {
 		fmt.Printf("PC=%.4f PQ=%.4f RR=%.4f FM=%.4f\n", m.PC, m.PQ, m.RR, m.FM)
 	}
 	return nil
+}
+
+// runPipeline implements the "pipeline" subcommand: one composable
+// blocking → pruning → matching run, batch or streaming.
+func runPipeline(args []string) error {
+	fs := flag.NewFlagSet("semblock pipeline", flag.ExitOnError)
+	var (
+		input     = fs.String("input", "", "input CSV (header row; optional entity_id column)")
+		demo      = fs.String("demo", "", "generate a synthetic dataset instead: 'cora' or 'voter'")
+		attrsArg  = fs.String("attrs", "", "comma-separated blocking attributes")
+		q         = fs.Int("q", 2, "q-gram size")
+		k         = fs.Int("k", 4, "minhash functions per hash table")
+		l         = fs.Int("l", 16, "number of hash tables")
+		w         = fs.Int("w", 0, "w-way semantic hash width (0 = half the signature bits)")
+		mode      = fs.String("mode", "or", "w-way composition: 'and' or 'or'")
+		sem       = fs.String("semantic", "", "semantic function: '', 'cora' or 'voter'")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "table-build / scoring workers (0 = GOMAXPROCS)")
+		meta      = fs.String("meta", "", "meta-blocking pruning stage SCHEME/ALGO, e.g. CBS/WEP (schemes: ARCS CBS ECBS JS EJS; algos: WEP CEP WNP CNP)")
+		match     = fs.String("match", "", "matching stage attr=weight list, e.g. title=0.6,authors=0.4")
+		threshold = fs.Float64("threshold", 0.5, "match classification threshold in [0,1]")
+		streamed  = fs.Bool("stream", false, "run in streaming mode through an incremental index")
+		batch     = fs.Int("batch", 256, "pair-batch / row mini-batch size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, defaults, err := loadDataset(*input, *demo)
+	if err != nil {
+		return err
+	}
+	attrs := defaults
+	if *attrsArg != "" {
+		attrs = strings.Split(*attrsArg, ",")
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("no blocking attributes: pass -attrs")
+	}
+
+	cfg := semblock.Config{Attrs: attrs, Q: *q, K: *k, L: *l, Seed: *seed, Workers: *workers}
+	if *sem != "" {
+		opt, err := semanticOption(*sem, d, *w, *mode)
+		if err != nil {
+			return err
+		}
+		cfg.Semantic = opt
+	}
+	b, err := semblock.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var opts []semblock.PipelineOption
+	if *workers > 0 {
+		opts = append(opts, semblock.WithPipelineWorkers(*workers))
+	}
+	opts = append(opts, semblock.WithBatchSize(*batch))
+	if *meta != "" {
+		scheme, algo, err := parseMeta(*meta)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, semblock.WithPruning(scheme, algo))
+	}
+	if *match != "" {
+		m, err := parseMatcher(*match, *threshold)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, semblock.WithMatcher(m))
+	}
+	p, err := semblock.NewPipeline(b, opts...)
+	if err != nil {
+		return err
+	}
+
+	var out *semblock.PipelineResult
+	if *streamed {
+		ix, err := semblock.NewIndexer(cfg)
+		if err != nil {
+			return err
+		}
+		rows := make(chan semblock.Row)
+		go func() {
+			defer close(rows)
+			for _, r := range d.Records() {
+				rows <- semblock.Row{Entity: r.Entity, Attrs: r.Attrs}
+			}
+		}()
+		out, err = p.RunStream(ix, rows)
+		if err != nil {
+			return err
+		}
+	} else {
+		out, err = p.Run(d)
+		if err != nil {
+			return err
+		}
+	}
+
+	modeName := "batch"
+	if *streamed {
+		modeName = "streaming"
+	}
+	fmt.Printf("pipeline:          %s (%s)\n", out.Blocks.Technique, modeName)
+	fmt.Printf("records:           %d\n", out.Stats.Records)
+	fmt.Printf("blocking:          %d blocks, %d comparisons (%v)\n",
+		out.Stats.Blocks, out.Stats.Comparisons, out.Stats.BlockTime.Round(time.Microsecond))
+	if out.Pruned != nil {
+		fmt.Printf("pruning:           %d -> %d comparisons (%v)\n",
+			out.Stats.Comparisons, out.Stats.PrunedComparisons, out.Stats.PruneTime.Round(time.Microsecond))
+	}
+	if out.Matches != nil || out.Stats.PairsScored > 0 {
+		fmt.Printf("matching:          %d of %d scored pairs matched (%v)\n",
+			out.Stats.Matches, out.Stats.PairsScored, out.Stats.MatchTime.Round(time.Microsecond))
+	}
+	if out.Resolution != nil {
+		fmt.Printf("clusters:          %d\n", out.Resolution.NumClusters)
+		if d.Labeled() {
+			quality, err := out.Resolution.Evaluate(d)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resolution:        P=%.4f R=%.4f F1=%.4f\n",
+				quality.Precision, quality.Recall, quality.F1)
+		}
+	}
+	if d.Labeled() {
+		m, err := semblock.Evaluate(out.Final, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("blocking quality:  PC=%.4f PQ=%.4f RR=%.4f FM=%.4f\n", m.PC, m.PQ, m.RR, m.FM)
+	}
+	return nil
+}
+
+// parseMeta parses a SCHEME/ALGO pruning spec like "CBS/WEP".
+func parseMeta(s string) (semblock.WeightScheme, semblock.PruneAlgo, error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("meta spec %q: want SCHEME/ALGO, e.g. CBS/WEP", s)
+	}
+	var scheme semblock.WeightScheme
+	switch strings.ToUpper(parts[0]) {
+	case "ARCS":
+		scheme = semblock.WeightSchemeARCS
+	case "CBS":
+		scheme = semblock.WeightSchemeCBS
+	case "ECBS":
+		scheme = semblock.WeightSchemeECBS
+	case "JS":
+		scheme = semblock.WeightSchemeJS
+	case "EJS":
+		scheme = semblock.WeightSchemeEJS
+	default:
+		return 0, 0, fmt.Errorf("unknown weight scheme %q (want ARCS, CBS, ECBS, JS or EJS)", parts[0])
+	}
+	var algo semblock.PruneAlgo
+	switch strings.ToUpper(parts[1]) {
+	case "WEP":
+		algo = semblock.PruneWEP
+	case "CEP":
+		algo = semblock.PruneCEP
+	case "WNP":
+		algo = semblock.PruneWNP
+	case "CNP":
+		algo = semblock.PruneCNP
+	default:
+		return 0, 0, fmt.Errorf("unknown prune algorithm %q (want WEP, CEP, WNP or CNP)", parts[1])
+	}
+	return scheme, algo, nil
+}
+
+// parseMatcher parses an attr=weight list like "title=0.6,authors=0.4".
+func parseMatcher(s string, threshold float64) (*semblock.Matcher, error) {
+	var weights []semblock.AttrWeight
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		w := 1.0
+		if len(kv) == 2 {
+			parsed, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("match weight %q: %v", part, err)
+			}
+			w = parsed
+		}
+		attr := strings.TrimSpace(kv[0])
+		if attr == "" {
+			return nil, fmt.Errorf("match spec %q has an empty attribute", s)
+		}
+		weights = append(weights, semblock.AttrWeight{Attr: attr, Weight: w})
+	}
+	return semblock.NewMatcher(weights, threshold)
 }
 
 // loadDataset reads the CSV or generates a demo dataset, returning default

@@ -95,6 +95,34 @@ func ExampleIndexer() {
 	// distinct candidate pairs: 1
 }
 
+// ExampleNewPipeline chains blocking and concurrent matching into one
+// composable run: the pipeline blocks the dataset through the parallel
+// table-build engine, scores the candidate pairs over a worker pool, and
+// returns the matches plus their transitive clustering.
+func ExampleNewPipeline() {
+	d := semblock.NewDataset("people")
+	d.Append(0, map[string]string{"name": "robert smith"})
+	d.Append(0, map[string]string{"name": "robert smyth"})
+	d.Append(1, map[string]string{"name": "mary johnson"})
+	d.Append(1, map[string]string{"name": "mary jonson"})
+
+	b, _ := semblock.New(semblock.Config{Attrs: []string{"name"}, Q: 2, K: 2, L: 6, Seed: 1})
+	m, _ := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "name", Weight: 1, Sim: "jaro_winkler"},
+	}, 0.9)
+	p, _ := semblock.NewPipeline(b, semblock.WithMatcher(m))
+
+	out, _ := p.Run(d)
+	for _, match := range out.Matches {
+		fmt.Printf("matched (%d,%d)\n", match.Pair.Left(), match.Pair.Right())
+	}
+	fmt.Println("clusters:", out.Resolution.NumClusters)
+	// Output:
+	// matched (0,1)
+	// matched (2,3)
+	// clusters: 2
+}
+
 // ExampleNewMatcher runs the downstream resolution step over blocking
 // output.
 func ExampleNewMatcher() {

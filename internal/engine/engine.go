@@ -1,0 +1,184 @@
+// Package engine implements the shared parallel table-build core of the
+// (SA-)LSH blocking paths: a worker pool builds each of the l hash tables
+// concurrently from precomputed per-record key material, and a merge step
+// concatenates the per-table blocks in table order so the output is fully
+// deterministic for a fixed configuration.
+//
+// The package owns the one bucket data structure both construction modes
+// share. The batch path (lsh.Blocker.Block) fills fresh Tables in parallel,
+// one worker per table; the streaming path (stream.Indexer) fills the same
+// Tables incrementally inside its shards and exports them on Snapshot. Both
+// paths insert with Table.Insert and export with AppendBlocks, which is
+// what enforces the batch/stream parity guarantee by construction: a
+// streamed snapshot and a batch build over the same records run the same
+// bucketing and the same export code, so they can only differ if the
+// per-record keys differ — and those come from the single shared
+// lsh.Signer.BucketKeys.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semblock/internal/record"
+)
+
+// Table is one hash table's bucket store. Buckets remember first-touch
+// order (the order their keys were first inserted), so exports are
+// deterministic regardless of Go map iteration order. The zero value is
+// not usable; construct with NewTable.
+type Table struct {
+	index   map[uint64]int32 // key -> position in buckets
+	buckets []bucket
+}
+
+type bucket struct {
+	key uint64
+	ids []record.ID
+}
+
+// NewTable returns an empty table. sizeHint is the expected number of
+// distinct keys — pass the dataset cardinality for batch builds (each
+// record files under at most a few keys per table) or 0 when unknown.
+func NewTable(sizeHint int) *Table {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Table{index: make(map[uint64]int32, sizeHint)}
+}
+
+// Insert files id under key and returns the bucket's previous members —
+// the records id now collides with. The returned slice is shared with the
+// table; callers must only read it, and only until the next Insert.
+func (t *Table) Insert(key uint64, id record.ID) []record.ID {
+	if i, ok := t.index[key]; ok {
+		b := &t.buckets[i]
+		prior := b.ids
+		b.ids = append(b.ids, id)
+		return prior
+	}
+	t.index[key] = int32(len(t.buckets))
+	t.buckets = append(t.buckets, bucket{key: key, ids: []record.ID{id}})
+	return nil
+}
+
+// Len returns the number of distinct buckets (including singletons).
+func (t *Table) Len() int { return len(t.buckets) }
+
+// Buckets calls fn for every bucket in first-touch order. The ids slice is
+// shared with the table; fn must not retain or mutate it.
+func (t *Table) Buckets(fn func(key uint64, ids []record.ID)) {
+	for i := range t.buckets {
+		fn(t.buckets[i].key, t.buckets[i].ids)
+	}
+}
+
+// AppendBlocks appends every bucket of t with at least minSize members to
+// dst, in first-touch order, and returns the extended slice. When copyIDs
+// is true the member slices are copied, for exports that must outlive
+// subsequent inserts (streaming snapshots); batch builds, whose tables are
+// discarded after the merge, pass false and alias the bucket storage.
+//
+// This is the single block-export routine of both construction modes.
+func AppendBlocks(dst [][]record.ID, t *Table, minSize int, copyIDs bool) [][]record.ID {
+	for i := range t.buckets {
+		ids := t.buckets[i].ids
+		if len(ids) < minSize {
+			continue
+		}
+		if copyIDs {
+			ids = append([]record.ID(nil), ids...)
+		}
+		dst = append(dst, ids)
+	}
+	return dst
+}
+
+// KeyFunc returns the bucket keys a record files under in one hash table,
+// appended to dst (callers pass dst[:0] to reuse the buffer). It must be
+// safe for concurrent calls with distinct dst buffers: Build invokes it
+// from every worker.
+type KeyFunc func(table int, id record.ID, dst []uint64) []uint64
+
+// FinishFunc converts one completed table into its blocks. The default
+// (used when Spec.Finish is nil) keeps every bucket with >= 2 members in
+// first-touch order; the PostFilter OR strategy substitutes a splitting
+// pass here. The returned blocks may alias the table's bucket storage.
+type FinishFunc func(table int, t *Table) [][]record.ID
+
+// Spec describes one parallel table build.
+type Spec struct {
+	// Tables is the number of hash tables (the blocker's l).
+	Tables int
+	// Records is the dataset cardinality n; every table sees records
+	// 0..n-1 in ID order. It also sizes each table's bucket map.
+	Records int
+	// Keys yields the bucket keys of a record in a table.
+	Keys KeyFunc
+	// Finish post-processes one completed table (nil = buckets >= 2).
+	Finish FinishFunc
+	// Workers caps the worker pool (0 = GOMAXPROCS). Build never uses
+	// more workers than tables. The worker count does not change the
+	// output, only how the tables are spread over goroutines.
+	Workers int
+}
+
+// Build constructs every table of the spec concurrently and returns the
+// concatenation of the per-table blocks in table order. Within a table,
+// blocks appear in bucket first-touch order and bucket members in record
+// ID order, so the result is byte-for-byte deterministic for a fixed
+// configuration — independent of the worker count.
+func Build(spec Spec) [][]record.ID {
+	if spec.Tables <= 0 {
+		return nil
+	}
+	finish := spec.Finish
+	if finish == nil {
+		finish = func(_ int, t *Table) [][]record.ID {
+			return AppendBlocks(nil, t, 2, false)
+		}
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Tables {
+		workers = spec.Tables
+	}
+	perTable := make([][][]record.ID, spec.Tables)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := make([]uint64, 0, 8)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= spec.Tables {
+					return
+				}
+				tb := NewTable(spec.Records)
+				for id := 0; id < spec.Records; id++ {
+					keys = spec.Keys(t, record.ID(id), keys[:0])
+					for _, k := range keys {
+						tb.Insert(k, record.ID(id))
+					}
+				}
+				perTable[t] = finish(t, tb)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, blocks := range perTable {
+		total += len(blocks)
+	}
+	out := make([][]record.ID, 0, total)
+	for _, blocks := range perTable {
+		out = append(out, blocks...)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"semblock/internal/record"
+)
+
+// modKeys files record id under id % (table+2): a tiny deterministic
+// multi-table keying with collisions in every table.
+func modKeys(table int, id record.ID, dst []uint64) []uint64 {
+	return append(dst, uint64(int(id)%(table+2)))
+}
+
+func TestTableInsertOrder(t *testing.T) {
+	tb := NewTable(8)
+	if got := tb.Insert(7, 0); got != nil {
+		t.Fatalf("first insert returned members %v", got)
+	}
+	if got := tb.Insert(9, 1); got != nil {
+		t.Fatalf("fresh key returned members %v", got)
+	}
+	got := tb.Insert(7, 2)
+	if !reflect.DeepEqual(got, []record.ID{0}) {
+		t.Fatalf("collision returned %v, want [0]", got)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("table has %d buckets, want 2", tb.Len())
+	}
+	// Export preserves first-touch key order (7 before 9) and member order.
+	blocks := AppendBlocks(nil, tb, 1, false)
+	want := [][]record.ID{{0, 2}, {1}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("blocks %v, want %v", blocks, want)
+	}
+	if blocks = AppendBlocks(nil, tb, 2, false); len(blocks) != 1 {
+		t.Fatalf("minSize=2 kept %d blocks, want 1", len(blocks))
+	}
+}
+
+func TestAppendBlocksCopy(t *testing.T) {
+	tb := NewTable(0)
+	tb.Insert(1, 0)
+	tb.Insert(1, 1)
+	snap := AppendBlocks(nil, tb, 2, true)
+	tb.Insert(1, 2) // grow the bucket after the snapshot
+	if !reflect.DeepEqual(snap[0], []record.ID{0, 1}) {
+		t.Fatalf("copied snapshot mutated: %v", snap[0])
+	}
+}
+
+// TestBuildDeterministic asserts the worker count never changes the output,
+// block-for-block in order — the engine's core guarantee.
+func TestBuildDeterministic(t *testing.T) {
+	const tables, records = 17, 500
+	base := Build(Spec{Tables: tables, Records: records, Keys: modKeys, Workers: 1})
+	if len(base) == 0 {
+		t.Fatal("serial build produced no blocks")
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := Build(Spec{Tables: tables, Records: records, Keys: modKeys, Workers: workers})
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("parallel build (workers=%d) differs from serial: %d vs %d blocks",
+					workers, len(got), len(base))
+			}
+		})
+	}
+}
+
+// TestBuildFinish checks the Finish hook sees each completed table exactly
+// once and its output lands merged in table order.
+func TestBuildFinish(t *testing.T) {
+	const tables = 5
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	blocks := Build(Spec{
+		Tables:  tables,
+		Records: 10,
+		Keys:    modKeys,
+		Workers: 3,
+		Finish: func(table int, tb *Table) [][]record.ID {
+			mu.Lock()
+			seen[table]++
+			mu.Unlock()
+			// One sentinel block per table: {table}.
+			return [][]record.ID{{record.ID(table)}}
+		},
+	})
+	for tab := 0; tab < tables; tab++ {
+		if seen[tab] != 1 {
+			t.Fatalf("table %d finished %d times", tab, seen[tab])
+		}
+		if blocks[tab][0] != record.ID(tab) {
+			t.Fatalf("merge order broken at %d: %v", tab, blocks)
+		}
+	}
+}
+
+// TestBuildConcurrent is the -race exercise over concurrent table builds:
+// many tables, shared KeyFunc closure, maximum worker fan-out.
+func TestBuildConcurrent(t *testing.T) {
+	const tables, records = 64, 300
+	blocks := Build(Spec{Tables: tables, Records: records, Keys: modKeys, Workers: 32})
+	// Every table t buckets ids mod (t+2), so table t contributes exactly
+	// t+2 blocks (records >> tables) and the total is known.
+	want := 0
+	for tab := 0; tab < tables; tab++ {
+		want += tab + 2
+	}
+	if len(blocks) != want {
+		t.Fatalf("concurrent build produced %d blocks, want %d", len(blocks), want)
+	}
+}
+
+func TestBuildEdgeCases(t *testing.T) {
+	if got := Build(Spec{Tables: 0, Records: 5, Keys: modKeys}); got != nil {
+		t.Errorf("zero tables produced %v", got)
+	}
+	if got := Build(Spec{Tables: 3, Records: 0, Keys: modKeys}); len(got) != 0 {
+		t.Errorf("zero records produced %v", got)
+	}
+	// Keys yielding nothing (e.g. AND mode excluding all records).
+	none := func(int, record.ID, []uint64) []uint64 { return nil }
+	if got := Build(Spec{Tables: 3, Records: 5, Keys: func(_ int, _ record.ID, dst []uint64) []uint64 { return none(0, 0, dst) }}); len(got) != 0 {
+		t.Errorf("empty keying produced %v", got)
+	}
+}

@@ -91,6 +91,11 @@ func (m *Matcher) Match(a, b *record.Record) bool {
 	return m.Score(a, b) >= m.threshold
 }
 
+// Threshold returns the matcher's classification threshold, so callers
+// that score pairs themselves (the concurrent pipeline matcher) classify
+// exactly as Match does.
+func (m *Matcher) Threshold() float64 { return m.threshold }
+
 // Resolution is the outcome of resolving a dataset.
 type Resolution struct {
 	// MatchedPairs are the candidate pairs classified as matches.
@@ -106,7 +111,6 @@ type Resolution struct {
 // Resolve runs the matcher over every distinct candidate pair of the
 // blocking result and clusters matches transitively.
 func Resolve(d *record.Dataset, res *blocking.Result, m *Matcher) *Resolution {
-	uf := newUnionFind(d.Len())
 	var matched []record.Pair
 	var compared int64
 	for p := range res.CandidatePairs() {
@@ -114,15 +118,26 @@ func Resolve(d *record.Dataset, res *blocking.Result, m *Matcher) *Resolution {
 		a, b := d.Record(p.Left()), d.Record(p.Right())
 		if m.Match(a, b) {
 			matched = append(matched, p)
-			uf.union(int(p.Left()), int(p.Right()))
 		}
 	}
+	return NewResolution(d.Len(), matched, compared)
+}
+
+// NewResolution assembles a Resolution from already-classified match pairs:
+// the pairs are sorted canonically and clustered transitively over n
+// records. It is the clustering back-end shared by Resolve and by callers
+// that score pairs themselves (e.g. the concurrent pipeline matcher).
+func NewResolution(n int, matched []record.Pair, compared int64) *Resolution {
 	record.SortPairs(matched)
-	clusters, n := uf.labels()
+	uf := newUnionFind(n)
+	for _, p := range matched {
+		uf.union(int(p.Left()), int(p.Right()))
+	}
+	clusters, numClusters := uf.labels()
 	return &Resolution{
 		MatchedPairs: matched,
 		Clusters:     clusters,
-		NumClusters:  n,
+		NumClusters:  numClusters,
 		Compared:     compared,
 	}
 }

@@ -1,0 +1,145 @@
+package lsh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/record"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+// coraFixture builds a mid-size synthetic Cora dataset plus its semhash
+// schema for the parallel-engine tests.
+func coraFixture(t *testing.T, n int) (*record.Dataset, *semantic.Schema) {
+	t.Helper()
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = n
+	d := datagen.Cora(cfg)
+	fn, err := semantic.NewCoraFunction(taxonomy.Bibliographic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semantic.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, schema
+}
+
+// canonicalBlocks renders a block set as a sorted multiset of sorted blocks.
+func canonicalBlocks(blocks [][]record.ID) []string {
+	out := make([]string, 0, len(blocks))
+	for _, b := range blocks {
+		ids := append([]record.ID(nil), b...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, fmt.Sprint(ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestORStrategyParityParallel asserts BucketPerBit and PostFilter produce
+// identical block multisets under the parallel table-build engine, across
+// worker counts. Run with -race (the CI race job does) this also exercises
+// concurrent table builds over the shared signature matrices.
+func TestORStrategyParityParallel(t *testing.T) {
+	d, schema := coraFixture(t, 400)
+	base := Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 16, Seed: 9}
+
+	var want []string
+	for _, workers := range []int{1, 4, 16} {
+		results := make(map[ORStrategy][]string)
+		for _, strat := range []ORStrategy{BucketPerBit, PostFilter} {
+			cfg := base
+			cfg.Workers = workers
+			cfg.Semantic = &SemanticOption{Schema: schema, W: 3, Mode: ModeOR, ORStrategy: strat}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Block(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[strat] = canonicalBlocks(res.Blocks)
+		}
+		got := results[BucketPerBit]
+		if len(got) == 0 {
+			t.Fatalf("workers=%d: no blocks produced", workers)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(results[PostFilter]) {
+			t.Fatalf("workers=%d: OR strategies disagree: %d vs %d blocks",
+				workers, len(got), len(results[PostFilter]))
+		}
+		if want == nil {
+			want = got
+		} else if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d changed the block set: %d vs %d blocks", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestBlockDeterministicOrder asserts the engine's stronger-than-seed
+// guarantee: the block *order* (not just the multiset) is identical across
+// worker counts.
+func TestBlockDeterministicOrder(t *testing.T) {
+	d, _ := coraFixture(t, 300)
+	var want [][]record.ID
+	for _, workers := range []int{1, 3, 8} {
+		b, err := New(Config{Attrs: []string{"authors", "title"}, Q: 3, K: 2, L: 12, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Block(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res.Blocks
+			continue
+		}
+		if fmt.Sprint(res.Blocks) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d changed block order", workers)
+		}
+	}
+}
+
+// TestSparseIDsRejected covers the dense-ID guard: a dataset whose record
+// IDs are not 0..n-1 must yield a typed *SparseIDError instead of silently
+// blocking with mis-assigned signatures.
+func TestSparseIDsRejected(t *testing.T) {
+	d := record.NewDataset("sparse")
+	d.Append(0, map[string]string{"title": "a record"})
+	d.Append(1, map[string]string{"title": "another record"})
+	d.Records()[1].ID = 5 // simulate an externally mutated / hand-built dataset
+
+	b, err := New(Config{Attrs: []string{"title"}, Q: 2, K: 2, L: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Block(d)
+	var sparse *SparseIDError
+	if !errors.As(err, &sparse) {
+		t.Fatalf("Block returned %v, want *SparseIDError", err)
+	}
+	if sparse.Index != 1 || sparse.ID != 5 || sparse.Dataset != "sparse" {
+		t.Fatalf("error fields = %+v", sparse)
+	}
+	if _, err := NewSigner(Config{Attrs: []string{"title"}, Q: 2, K: 2, L: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateDenseIDs(d); err == nil {
+		t.Fatal("ValidateDenseIDs accepted sparse dataset")
+	}
+	d.Records()[1].ID = 1
+	if err := ValidateDenseIDs(d); err != nil {
+		t.Fatalf("ValidateDenseIDs rejected dense dataset: %v", err)
+	}
+	if _, err := b.Block(d); err != nil {
+		t.Fatalf("Block failed on repaired dataset: %v", err)
+	}
+}

@@ -11,10 +11,12 @@
 package lsh
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"semblock/internal/blocking"
+	"semblock/internal/engine"
 	"semblock/internal/minhash"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
@@ -85,8 +87,42 @@ type Config struct {
 	// Seed drives every random choice (hash seeds, semantic function
 	// selection); fixed seed ⇒ fully deterministic blocking.
 	Seed int64
+	// Workers caps the worker pools of the batch Block path — both the
+	// signature stage and the l concurrent table builds (0 = GOMAXPROCS).
+	// It never changes the blocking output, only how the work is spread
+	// over goroutines; Workers: 1 reproduces a fully single-threaded run.
+	Workers int
 	// Semantic, when non-nil, upgrades the blocker from LSH to SA-LSH.
 	Semantic *SemanticOption
+}
+
+// SparseIDError reports a dataset whose record IDs are not dense 0..n-1 in
+// record order — the layout the signature and table-build paths index by.
+// Datasets grown through Dataset.Append always satisfy it; the error guards
+// hand-assembled or externally mutated records.
+type SparseIDError struct {
+	// Dataset is the offending dataset's name.
+	Dataset string
+	// Index is the record's position in the dataset.
+	Index int
+	// ID is the record's actual ID (expected to equal Index).
+	ID record.ID
+}
+
+func (e *SparseIDError) Error() string {
+	return fmt.Sprintf("lsh: dataset %q is not densely indexed: record at position %d has ID %d (want %d)",
+		e.Dataset, e.Index, e.ID, e.Index)
+}
+
+// ValidateDenseIDs checks that record IDs are exactly 0..n-1 in record
+// order, returning a *SparseIDError otherwise.
+func ValidateDenseIDs(d *record.Dataset) error {
+	for i, r := range d.Records() {
+		if r.ID != record.ID(i) {
+			return &SparseIDError{Dataset: d.Name, Index: i, ID: r.ID}
+		}
+	}
+	return nil
 }
 
 // Blocker is a configured (SA-)LSH blocking instance.
@@ -116,52 +152,51 @@ func (b *Blocker) Name() string {
 func (b *Blocker) Config() Config { return b.cfg }
 
 // Block groups the dataset into blocks. Runtime is O(n · k · l) hash work
-// plus bucket bookkeeping; signatures are computed in parallel.
+// plus bucket bookkeeping; both the signature computation and the l table
+// builds run on worker pools (the latter through internal/engine, capped by
+// Config.Workers). Returns *SparseIDError if the dataset's record IDs are
+// not dense 0..n-1.
 func (b *Blocker) Block(d *record.Dataset) (*blocking.Result, error) {
-	sigs := b.signer.SignDataset(d)
+	sigs, err := b.signer.SignDataset(d)
+	if err != nil {
+		return nil, err
+	}
 
 	var semSigs []semantic.BitVec
 	if b.cfg.Semantic != nil {
 		semSigs = b.cfg.Semantic.Schema.SignatureMatrix(d)
 	}
 
-	var blocks [][]record.ID
 	postFilter := b.cfg.Semantic != nil &&
 		b.cfg.Semantic.Mode == ModeOR && b.cfg.Semantic.ORStrategy == PostFilter
-	var keys []uint64
-	for table := 0; table < b.cfg.L; table++ {
-		buckets := make(map[uint64][]record.ID)
-		for _, r := range d.Records() {
+	spec := engine.Spec{
+		Tables:  b.cfg.L,
+		Records: d.Len(),
+		Workers: b.cfg.Workers,
+		Keys: func(table int, id record.ID, dst []uint64) []uint64 {
 			if postFilter {
 				// Bucket on the minhash band alone; semantic splitting
 				// happens once the table's buckets are complete.
-				key := minhash.BandKey(table, b.signer.Band(table, sigs[r.ID]))
-				buckets[key] = append(buckets[key], r.ID)
-				continue
+				return append(dst, minhash.BandKey(table, b.signer.Band(table, sigs[id])))
 			}
 			var sem semantic.BitVec
 			if semSigs != nil {
-				sem = semSigs[r.ID]
+				sem = semSigs[id]
 			}
-			keys = b.signer.BucketKeys(table, sigs[r.ID], sem, keys[:0])
-			for _, key := range keys {
-				buckets[key] = append(buckets[key], r.ID)
-			}
-		}
-		if postFilter {
+			return b.signer.BucketKeys(table, sigs[id], sem, dst)
+		},
+	}
+	if postFilter {
+		spec.Finish = func(table int, t *engine.Table) [][]record.ID {
 			bits := b.signer.TableBits(table)
-			for _, ids := range buckets {
-				blocks = append(blocks, SplitByBits(ids, semSigs, bits)...)
-			}
-			continue
-		}
-		for _, ids := range buckets {
-			if len(ids) >= 2 {
-				blocks = append(blocks, ids)
-			}
+			var out [][]record.ID
+			t.Buckets(func(_ uint64, ids []record.ID) {
+				out = append(out, SplitByBits(ids, semSigs, bits)...)
+			})
+			return out
 		}
 	}
-	return blocking.NewResult(b.Name(), blocks), nil
+	return blocking.NewResult(b.Name(), engine.Build(spec)), nil
 }
 
 // selectBits chooses the w distinct semhash-function indices of one hash
@@ -183,9 +218,14 @@ func allBitsSet(v semantic.BitVec, bits []int) bool {
 	return true
 }
 
-// mixBit folds a semhash bit index into a bucket key.
+// mixBit folds a semhash bit index into a bucket key: the bit index is
+// diffused by one SplitMix64 round before being xor-folded into the band
+// key, and the combination is finalised by a second round, so every (key,
+// bit) input maps to a well-separated 64-bit sub-bucket key. The +1 keeps
+// bit 0 away from Mix64's (perfectly valid but aesthetically suspect)
+// zero fixed input.
 func mixBit(key uint64, bit int) uint64 {
-	return minhash.BandKey(int(key%1024)+bit+7, []uint64{key, uint64(bit)})
+	return minhash.Mix64(key ^ minhash.Mix64(uint64(bit)+1))
 }
 
 // SplitByBits implements the PostFilter OR strategy: one sub-block per

@@ -1,0 +1,77 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMixBitCollisionRate is the collision-rate regression test for the
+// splitmix64-based mixBit: over a large population of distinct (key, bit)
+// inputs the mixed keys must be collision-free. For 2^18 uniform 64-bit
+// outputs the birthday bound puts the expected number of collisions at
+// ~2e-9, so a single collision indicates a broken mixer (the previous
+// ad-hoc mixing folded the key through `int(key%1024)+bit+7`, which loses
+// entropy for correlated keys).
+func TestMixBitCollisionRate(t *testing.T) {
+	const keys, bits = 4096, 64 // 2^18 inputs
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[uint64][2]uint64, keys*bits)
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		for bit := 0; bit < bits; bit++ {
+			mixed := mixBit(key, bit)
+			if prev, dup := seen[mixed]; dup {
+				if prev[0] == key && prev[1] == uint64(bit) {
+					continue // duplicate input (astronomically unlikely), not a mixer collision
+				}
+				t.Fatalf("mixBit collision: (%#x,%d) and (%#x,%d) both map to %#x",
+					prev[0], prev[1], key, bit, mixed)
+			}
+			seen[mixed] = [2]uint64{key, uint64(bit)}
+		}
+	}
+}
+
+// TestMixBitSeparatesBits asserts the property the OR bucket-per-bit
+// strategy depends on: for one band key, different selected bits must land
+// in different sub-buckets.
+func TestMixBitSeparatesBits(t *testing.T) {
+	for _, key := range []uint64{0, 1, ^uint64(0), 0x9e3779b97f4a7c15} {
+		seen := make(map[uint64]int)
+		for bit := 0; bit < 256; bit++ {
+			mixed := mixBit(key, bit)
+			if prev, dup := seen[mixed]; dup {
+				t.Fatalf("key %#x: bits %d and %d share sub-bucket %#x", key, prev, bit, mixed)
+			}
+			seen[mixed] = bit
+		}
+	}
+}
+
+// TestMixBitAvalanche spot-checks output diffusion: flipping one input key
+// bit must flip a healthy fraction of output bits on average (a property
+// the old `key%1024` mixing lacked for high key bits).
+func TestMixBitAvalanche(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 2000
+	var flipped int
+	for i := 0; i < trials; i++ {
+		key := rng.Uint64()
+		pos := uint(rng.Intn(64))
+		a := mixBit(key, 3)
+		b := mixBit(key^(1<<pos), 3)
+		flipped += popcount(a ^ b)
+	}
+	avg := float64(flipped) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f output bits flipped per input bit, want ~32 (24..40)", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -80,11 +80,19 @@ func (s *Signer) SemSign(r *record.Record) semantic.BitVec {
 }
 
 // SignDataset computes the minhash signatures of every record in parallel,
-// indexed by record ID.
-func (s *Signer) SignDataset(d *record.Dataset) [][]uint64 {
+// indexed by record ID. The indexing relies on record IDs being dense
+// 0..n-1 (the invariant Dataset.Append maintains); a dataset violating it
+// yields a *SparseIDError instead of silently mis-assigning signatures.
+func (s *Signer) SignDataset(d *record.Dataset) ([][]uint64, error) {
+	if err := ValidateDenseIDs(d); err != nil {
+		return nil, err
+	}
 	n := d.Len()
 	sigs := make([][]uint64, n)
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -111,7 +119,7 @@ func (s *Signer) SignDataset(d *record.Dataset) [][]uint64 {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return sigs
+	return sigs, nil
 }
 
 // Band returns the k-slice of a full signature belonging to one hash table.

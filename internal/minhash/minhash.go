@@ -53,6 +53,11 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix64 applies the SplitMix64 finalizer, the repository's standard 64-bit
+// mixer, exported for key derivation outside the package (e.g. folding
+// semhash bit indices into bucket keys).
+func Mix64(x uint64) uint64 { return splitmix64(x) }
+
 // Signature computes the minhash signature of a shingle multiset.
 // Duplicate shingles are harmless (min is idempotent). The sig slice is
 // allocated per call; use SignatureInto to reuse buffers in hot loops.

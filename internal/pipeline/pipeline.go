@@ -1,0 +1,427 @@
+// Package pipeline composes the repository's stages — blocking, optional
+// meta-blocking pruning, optional pairwise matching — into one configurable
+// dataflow, closing the loop the paper opens ("our blocking results can be
+// used as input to any ER algorithms", §1) the way meta-blocking systems
+// treat candidate generation: as a staged, prunable pipeline rather than
+// disconnected one-shot calls.
+//
+// A Pipeline is built once from any blocking.Blocker (SA-LSH, Forest,
+// MultiProbe, or any of the twelve baselines) plus options, and then runs
+// in two modes:
+//
+//   - Batch: Run(dataset) blocks the dataset (the (SA-)LSH blockers use the
+//     parallel table-build engine underneath), optionally restructures the
+//     block collection with a meta-blocking weight scheme + prune algorithm,
+//     and scores the surviving candidate pairs concurrently — pair batches
+//     fan out over a channel to a scoring worker pool and matches fan back
+//     in.
+//   - Streaming: RunStream(indexer, rows) drives a live stream.Indexer:
+//     rows are inserted in mini-batches, candidate pairs drained from
+//     Indexer.Candidates() after every batch are scored by the same
+//     concurrent worker pool while later batches are still being inserted,
+//     and matches can be observed live through WithMatchSink. Pruning, a
+//     global operation over the final block collection, is applied to the
+//     closing Snapshot, and the collected matches are filtered to the
+//     pruned collection.
+//
+// Both modes produce the same Result shape, and for a fixed configuration
+// the streaming run's final blocks, matches and clustering equal the batch
+// run's — a consequence of the batch/stream parity the shared
+// internal/engine table store enforces plus the closing match filter. (The
+// live sink and Stats.PairsScored still reflect the pre-pruning stream;
+// see RunStream.)
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semblock/internal/blocking"
+	"semblock/internal/er"
+	"semblock/internal/metablocking"
+	"semblock/internal/record"
+	"semblock/internal/stream"
+)
+
+// Match is one scored candidate pair that met the matcher's threshold.
+type Match struct {
+	// Pair is the canonical record pair.
+	Pair record.Pair
+	// Score is the matcher's weighted similarity in [0,1].
+	Score float64
+}
+
+// Stats aggregates per-stage counters and timings of one pipeline run.
+type Stats struct {
+	// Records is the dataset cardinality.
+	Records int
+	// Blocks / Comparisons describe the blocking stage output.
+	Blocks      int
+	Comparisons int64
+	// PrunedComparisons is the comparison count after the pruning stage
+	// (equal to Comparisons when no pruning stage is configured).
+	PrunedComparisons int64
+	// PairsScored is the number of distinct pairs the matcher evaluated.
+	PairsScored int64
+	// Matches is the number of pairs at or above the threshold.
+	Matches int
+	// BlockTime, PruneTime and MatchTime are wall-clock stage durations.
+	// In streaming mode BlockTime covers insertion and MatchTime overlaps
+	// it (scoring runs while later batches insert).
+	BlockTime, PruneTime, MatchTime time.Duration
+}
+
+// Result is the output of one pipeline run.
+type Result struct {
+	// Blocks is the blocking-stage output.
+	Blocks *blocking.Result
+	// Pruned is the restructured collection after meta-blocking pruning
+	// (nil when no pruning stage is configured).
+	Pruned *blocking.Result
+	// Final is the collection the matching stage consumed: Pruned when a
+	// pruning stage is configured, Blocks otherwise.
+	Final *blocking.Result
+	// Matches holds the scored matches in canonical pair order (nil when
+	// no matcher is configured).
+	Matches []Match
+	// Resolution is the transitive clustering of the matches (nil when no
+	// matcher is configured).
+	Resolution *er.Resolution
+	// Stats holds per-stage counters and timings.
+	Stats Stats
+}
+
+// Pipeline is a configured blocking→pruning→matching dataflow. Construct
+// with New; a Pipeline is immutable and safe for concurrent runs.
+type Pipeline struct {
+	blocker blocking.Blocker
+	prune   *pruneStage
+	matcher *er.Matcher
+	sink    func(Match)
+	workers int
+	batch   int
+}
+
+type pruneStage struct {
+	scheme metablocking.WeightScheme
+	algo   metablocking.PruneAlgo
+}
+
+// Option customises a Pipeline.
+type Option func(*Pipeline)
+
+// WithPruning inserts a meta-blocking stage between blocking and matching:
+// the block collection is rebuilt as a weighted blocking graph under the
+// scheme and restructured by the prune algorithm.
+func WithPruning(scheme metablocking.WeightScheme, algo metablocking.PruneAlgo) Option {
+	return func(p *Pipeline) { p.prune = &pruneStage{scheme: scheme, algo: algo} }
+}
+
+// WithMatcher appends a matching stage: surviving candidate pairs are
+// scored concurrently and classified against the matcher's threshold.
+func WithMatcher(m *er.Matcher) Option {
+	return func(p *Pipeline) { p.matcher = m }
+}
+
+// WithWorkers sets the scoring worker count (default GOMAXPROCS). It never
+// changes the result, only the concurrency.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) {
+		if n > 0 {
+			p.workers = n
+		}
+	}
+}
+
+// WithBatchSize sets the pair-batch granularity of the scoring channel and
+// the row mini-batch size of RunStream (default 256).
+func WithBatchSize(n int) Option {
+	return func(p *Pipeline) {
+		if n > 0 {
+			p.batch = n
+		}
+	}
+}
+
+// WithMatchSink registers a callback observing every match as it is
+// scored, before the run completes — the live-consumption hook for
+// streaming runs. The callback is invoked from a single collector
+// goroutine (never concurrently) in discovery order, which is not the
+// final canonical order of Result.Matches.
+func WithMatchSink(fn func(Match)) Option {
+	return func(p *Pipeline) { p.sink = fn }
+}
+
+// New builds a pipeline over the given blocker. With no options the
+// pipeline degenerates to the blocking stage alone.
+func New(b blocking.Blocker, opts ...Option) (*Pipeline, error) {
+	if b == nil {
+		return nil, fmt.Errorf("pipeline: nil blocker")
+	}
+	p := &Pipeline{blocker: b, workers: runtime.GOMAXPROCS(0), batch: 256}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.sink != nil && p.matcher == nil {
+		return nil, fmt.Errorf("pipeline: WithMatchSink requires WithMatcher")
+	}
+	return p, nil
+}
+
+// Run executes the pipeline in batch mode over the dataset.
+func (p *Pipeline) Run(d *record.Dataset) (*Result, error) {
+	res := &Result{}
+	res.Stats.Records = d.Len()
+
+	t0 := time.Now()
+	blocks, err := p.blocker.Block(d)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BlockTime = time.Since(t0)
+	res.Blocks = blocks
+	res.Stats.Blocks = blocks.NumBlocks()
+	res.Stats.Comparisons = blocks.Comparisons()
+
+	res.Final = blocks
+	res.Stats.PrunedComparisons = res.Stats.Comparisons
+	if p.prune != nil {
+		t1 := time.Now()
+		res.Pruned = p.applyPruning(blocks)
+		res.Stats.PruneTime = time.Since(t1)
+		res.Final = res.Pruned
+		res.Stats.PrunedComparisons = res.Pruned.Comparisons()
+	}
+
+	if p.matcher != nil {
+		t2 := time.Now()
+		pairs := res.Final.CandidatePairs().Slice()
+		matches := p.scorePairs(d.Records(), pairs)
+		res.Stats.MatchTime = time.Since(t2)
+		p.finishMatches(res, matches, int64(len(pairs)), d.Len())
+	}
+	return res, nil
+}
+
+// RunStream executes the pipeline in streaming mode: rows received from
+// the channel are inserted into the indexer in mini-batches, candidate
+// pairs drained after each batch are scored concurrently while insertion
+// continues, and the pruning stage (if any) is applied to the final
+// snapshot. With a pruning stage the collected matches are then filtered
+// to the pruned collection, so Result.Matches and Result.Resolution equal
+// the batch run's for the same configuration; the live WithMatchSink hook
+// still observes every pre-pruning match as it is scored, and
+// Stats.PairsScored counts all pairs scored live (which can exceed
+// PrunedComparisons). The indexer must be freshly constructed with the
+// intended (SA-)LSH configuration — in this mode it is the blocking stage,
+// and the pipeline's blocker is not used. RunStream returns after the rows
+// channel closes and all stages drain.
+func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Result, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("pipeline: nil indexer")
+	}
+	if ix.Len() != 0 {
+		return nil, fmt.Errorf("pipeline: indexer already holds %d records; RunStream needs a fresh index", ix.Len())
+	}
+	res := &Result{}
+
+	// Mirror of the inserted records for the scoring stage; candidate
+	// pairs only ever reference already-inserted IDs, and an append-only
+	// slice indexed under the mutex is safe against the feeder's appends.
+	var mu sync.Mutex
+	var mirror []*record.Record
+
+	var sc *scorer
+	var scored int64
+	matchStart := time.Now()
+	if p.matcher != nil {
+		sc = p.newScorer(func(id record.ID) *record.Record {
+			mu.Lock()
+			r := mirror[id]
+			mu.Unlock()
+			return r
+		})
+	}
+
+	// Feed stage: mini-batch insertion plus candidate draining.
+	t0 := time.Now()
+	dataset := record.NewDataset("pipeline-stream")
+	batch := make([]stream.Row, 0, p.batch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		mu.Lock()
+		for _, row := range batch {
+			mirror = append(mirror, dataset.Append(row.Entity, row.Attrs))
+		}
+		mu.Unlock()
+		ix.InsertBatch(batch)
+		batch = batch[:0]
+		// Drain even without a matcher, so the indexer's pending queue
+		// stays bounded over long streams.
+		pairs := ix.Candidates()
+		if sc != nil && len(pairs) > 0 {
+			scored += int64(len(pairs))
+			sc.submit(pairs)
+		}
+	}
+	for row := range rows {
+		batch = append(batch, row)
+		if len(batch) >= p.batch {
+			flush()
+		}
+	}
+	flush()
+	res.Stats.BlockTime = time.Since(t0)
+	var matches []Match
+	if sc != nil {
+		matches = sc.wait()
+		res.Stats.MatchTime = time.Since(matchStart)
+	}
+
+	res.Stats.Records = dataset.Len()
+	blocks := ix.Snapshot()
+	res.Blocks = blocks
+	res.Stats.Blocks = blocks.NumBlocks()
+	res.Stats.Comparisons = blocks.Comparisons()
+	res.Final = blocks
+	res.Stats.PrunedComparisons = res.Stats.Comparisons
+	if p.prune != nil {
+		t1 := time.Now()
+		res.Pruned = p.applyPruning(blocks)
+		res.Stats.PruneTime = time.Since(t1)
+		res.Final = res.Pruned
+		res.Stats.PrunedComparisons = res.Pruned.Comparisons()
+		if p.matcher != nil {
+			// Keep only matches the pruning stage retained, restoring
+			// batch/stream result parity: every pruned-collection pair was
+			// scored live (it is a subset of the emitted candidates).
+			kept := res.Pruned.CandidatePairs()
+			filtered := matches[:0]
+			for _, m := range matches {
+				if kept.Has(m.Pair.Left(), m.Pair.Right()) {
+					filtered = append(filtered, m)
+				}
+			}
+			matches = filtered
+		}
+	}
+	if p.matcher != nil {
+		p.finishMatches(res, matches, scored, dataset.Len())
+	}
+	return res, nil
+}
+
+// applyPruning rebuilds the block collection through the meta-blocking
+// graph stage.
+func (p *Pipeline) applyPruning(blocks *blocking.Result) *blocking.Result {
+	g := metablocking.BuildGraph(blocks, p.prune.scheme)
+	return g.Prune(p.prune.algo)
+}
+
+// scorer is the concurrent scoring stage shared by Run and RunStream: pair
+// batches fan out over a channel to a worker pool, matches fan back in
+// through a single collector goroutine that feeds the sink. The two run
+// modes differ only in the record lookup they plug in.
+type scorer struct {
+	p         *Pipeline
+	lookup    func(record.ID) *record.Record
+	pairCh    chan []record.Pair
+	matchCh   chan []Match
+	workerWG  sync.WaitGroup
+	collectWG sync.WaitGroup
+	matches   []Match
+}
+
+// newScorer starts the worker pool and collector. Callers feed batches via
+// submit and finish with wait.
+func (p *Pipeline) newScorer(lookup func(record.ID) *record.Record) *scorer {
+	s := &scorer{
+		p:       p,
+		lookup:  lookup,
+		pairCh:  make(chan []record.Pair, p.workers),
+		matchCh: make(chan []Match, p.workers),
+	}
+	for w := 0; w < p.workers; w++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for batch := range s.pairCh {
+				out := make([]Match, 0, len(batch))
+				for _, pr := range batch {
+					score := p.matcher.Score(s.lookup(pr.Left()), s.lookup(pr.Right()))
+					if score >= p.matcher.Threshold() {
+						out = append(out, Match{Pair: pr, Score: score})
+					}
+				}
+				s.matchCh <- out
+			}
+		}()
+	}
+	s.collectWG.Add(1)
+	go func() {
+		defer s.collectWG.Done()
+		for batch := range s.matchCh {
+			for _, m := range batch {
+				if p.sink != nil {
+					p.sink(m)
+				}
+				s.matches = append(s.matches, m)
+			}
+		}
+	}()
+	go func() {
+		s.workerWG.Wait()
+		close(s.matchCh)
+	}()
+	return s
+}
+
+// submit feeds one pair batch to the pool (blocks when the pool is busy).
+func (s *scorer) submit(pairs []record.Pair) { s.pairCh <- pairs }
+
+// wait closes the intake, drains the pool and returns all matches in
+// discovery order.
+func (s *scorer) wait() []Match {
+	close(s.pairCh)
+	s.collectWG.Wait()
+	return s.matches
+}
+
+// scorePairs runs the scoring stage over a fixed pair list — the batch
+// mode front-end of the scorer.
+func (p *Pipeline) scorePairs(recs []*record.Record, pairs []record.Pair) []Match {
+	sc := p.newScorer(func(id record.ID) *record.Record { return recs[id] })
+	for lo := 0; lo < len(pairs); lo += p.batch {
+		hi := lo + p.batch
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		sc.submit(pairs[lo:hi])
+	}
+	return sc.wait()
+}
+
+// finishMatches orders the matches canonically and derives the resolution.
+func (p *Pipeline) finishMatches(res *Result, matches []Match, scored int64, n int) {
+	sortMatches(matches)
+	res.Matches = matches
+	res.Stats.PairsScored = scored
+	res.Stats.Matches = len(matches)
+	pairs := make([]record.Pair, len(matches))
+	for i, m := range matches {
+		pairs[i] = m.Pair
+	}
+	res.Resolution = er.NewResolution(n, pairs, scored)
+}
+
+// sortMatches orders matches canonically (pairs are totally ordered
+// uint64s), making Result.Matches deterministic regardless of worker
+// scheduling.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Pair < ms[j].Pair })
+}

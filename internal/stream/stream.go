@@ -3,19 +3,21 @@
 // a time or in mini-batches, emitting candidate pairs as hash-bucket
 // collisions occur instead of recomputing blocks from scratch.
 //
-// The Indexer shares its signature core (lsh.Signer) with the batch
+// The Indexer shares its signature core (lsh.Signer) and its table store
+// (engine.Table, including the block-export routine) with the batch
 // Blocker, so for a fixed configuration a snapshot of the index after
 // streaming a dataset in record order is block-for-block identical to a
-// batch Block run over the same dataset — the parity the tests assert.
+// batch Block run over the same dataset — parity enforced by construction
+// in internal/engine and asserted by the tests here.
 //
 // Concurrency model: minhash/semhash signatures of a mini-batch are
 // computed by a pool of workers (runtime.NumCPU() by default); the l hash
 // tables are distributed round-robin over the same number of shards, each
-// shard guarding its tables' bucket maps with its own mutex, so bucket
-// updates of one batch proceed in parallel across shards while staying
-// sequential (in record order) within each shard. Insert may also be called
-// from many goroutines concurrently; candidate-pair output is deduplicated
-// globally either way.
+// shard guarding its tables with its own mutex, so bucket updates of one
+// batch proceed in parallel across shards while staying sequential (in
+// record order) within each shard. Insert may also be called from many
+// goroutines concurrently; candidate-pair output is deduplicated globally
+// either way.
 package stream
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sync"
 
 	"semblock/internal/blocking"
+	"semblock/internal/engine"
 	"semblock/internal/lsh"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
@@ -72,11 +75,13 @@ type Indexer struct {
 	shards []*shard
 }
 
-// shard owns a subset of the l hash tables and their bucket maps.
+// shard owns a subset of the l hash tables. The tables are the same
+// engine.Table bucket stores the batch path builds, filled incrementally
+// here instead of in one pass.
 type shard struct {
-	mu      sync.Mutex
-	tables  []int                    // table indices owned by this shard
-	buckets []map[uint64][]record.ID // parallel to tables
+	mu     sync.Mutex
+	tables []int           // table indices owned by this shard
+	store  []*engine.Table // parallel to tables
 }
 
 // NewIndexer builds an empty streaming index for the given (SA-)LSH
@@ -116,7 +121,7 @@ func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 	for t := 0; t < cfg.L; t++ {
 		sh := ix.shards[t%nShards]
 		sh.tables = append(sh.tables, t)
-		sh.buckets = append(sh.buckets, make(map[uint64][]record.ID))
+		sh.store = append(sh.store, engine.NewTable(0))
 	}
 	return ix, nil
 }
@@ -224,11 +229,9 @@ func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem sema
 	for i, t := range sh.tables {
 		keys = signer.BucketKeys(t, sig, sem, keys[:0])
 		for _, key := range keys {
-			members := sh.buckets[i][key]
-			for _, other := range members {
+			for _, other := range sh.store[i].Insert(key, id) {
 				found = append(found, record.MakePair(other, id))
 			}
-			sh.buckets[i][key] = append(members, id)
 		}
 	}
 	return found
@@ -281,12 +284,10 @@ func (ix *Indexer) Snapshot() *blocking.Result {
 	var blocks [][]record.ID
 	for _, sh := range ix.shards {
 		sh.mu.Lock()
-		for _, buckets := range sh.buckets {
-			for _, ids := range buckets {
-				if len(ids) >= 2 {
-					blocks = append(blocks, append([]record.ID(nil), ids...))
-				}
-			}
+		for _, tb := range sh.store {
+			// Same export routine as the batch engine build; members are
+			// copied because the tables keep growing after the snapshot.
+			blocks = engine.AppendBlocks(blocks, tb, 2, true)
 		}
 		sh.mu.Unlock()
 	}

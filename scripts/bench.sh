@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the blocking/pipeline benchmarks and writes BENCH_pipeline.json at
+# the repository root, so the perf trajectory of the candidate-generation
+# hot path is tracked from PR to PR.
+#
+# Usage:
+#   scripts/bench.sh                 # default pattern and benchtime
+#   BENCHTIME=1x scripts/bench.sh    # quick smoke run (CI)
+#   PATTERN='BenchmarkPipeline' COUNT=3 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${PATTERN:-BenchmarkPipelineBlock|BenchmarkPipelineEndToEnd|BenchmarkBlockLSH|BenchmarkBlockSALSH|BenchmarkIndexerInsertBatch}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_pipeline.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    ns = ""
+    bytes = ""
+    allocs = ""
+    extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        # Any other value-unit pair is a custom b.ReportMetric (f1, pc,
+        # records/op, ...); the value must be numeric.
+        if ($(i+1) !~ /^(ns\/op|B\/op|allocs\/op)$/ && $i ~ /^[0-9.eE+-]+$/ && $(i+1) ~ /^[A-Za-z]/) {
+            extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), $(i+1), $i)
+            i++
+        }
+    }
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "")     entry = entry sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "")  entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+    if (extra != "")  entry = entry sprintf(", \"metrics\": {%s}", extra)
+    entry = entry "}"
+    entries[n++] = entry
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

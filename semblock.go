@@ -38,6 +38,16 @@
 //	}
 //	snapshot := ix.Snapshot() // equals the batch Block over the same records
 //
+// # Pipeline
+//
+// Blocking, meta-blocking pruning and downstream matching compose into one
+// concurrent dataflow:
+//
+//	p, _ := semblock.NewPipeline(b,
+//	    semblock.WithPruning(semblock.WeightSchemeCBS, semblock.PruneWEP),
+//	    semblock.WithMatcher(matcher))
+//	out, _ := p.Run(d) // out.Final, out.Matches, out.Resolution
+//
 // The exported identifiers are aliases of the implementation packages
 // under internal/, so the full documented API of those packages is
 // available through this single import.
@@ -50,6 +60,7 @@ import (
 	"semblock/internal/eval"
 	"semblock/internal/lsh"
 	"semblock/internal/metablocking"
+	"semblock/internal/pipeline"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
 	"semblock/internal/stream"
@@ -249,6 +260,23 @@ var (
 	TokenBlocking  = metablocking.TokenBlocking
 )
 
+// Meta-blocking edge-weighting schemes (for WithPruning and BuildMetaGraph).
+const (
+	WeightSchemeARCS = metablocking.ARCS
+	WeightSchemeCBS  = metablocking.CBS
+	WeightSchemeECBS = metablocking.ECBS
+	WeightSchemeJS   = metablocking.JS
+	WeightSchemeEJS  = metablocking.EJS
+)
+
+// Meta-blocking pruning algorithms (for WithPruning and Graph.Prune).
+const (
+	PruneWEP = metablocking.WEP
+	PruneCEP = metablocking.CEP
+	PruneWNP = metablocking.WNP
+	PruneCNP = metablocking.CNP
+)
+
 // LSH variants the paper cites as related techniques: LSH Forest (ref [5])
 // and multi-probe LSH (ref [29]).
 type (
@@ -286,4 +314,42 @@ type (
 var (
 	NewMatcher = er.NewMatcher
 	Resolve    = er.Resolve
+)
+
+// SparseIDError is the typed error the blocking paths return for datasets
+// whose record IDs are not dense 0..n-1 (see lsh.ValidateDenseIDs).
+type SparseIDError = lsh.SparseIDError
+
+// ValidateDenseIDs checks a dataset satisfies the dense-ID invariant.
+var ValidateDenseIDs = lsh.ValidateDenseIDs
+
+// Composable blocking→pruning→matching pipeline over the parallel engine:
+// chain any GenericBlocker with an optional meta-blocking pruning stage and
+// an optional concurrent matching stage, in batch (Run) or streaming
+// (RunStream, fed from an Indexer) mode.
+type (
+	// Pipeline is a configured multi-stage candidate-generation dataflow.
+	Pipeline = pipeline.Pipeline
+	// PipelineOption customises a Pipeline.
+	PipelineOption = pipeline.Option
+	// PipelineResult is the output of one pipeline run.
+	PipelineResult = pipeline.Result
+	// PipelineStats holds per-stage counters and timings.
+	PipelineStats = pipeline.Stats
+	// Match is one scored candidate pair above the matcher threshold.
+	Match = pipeline.Match
+)
+
+// NewPipeline builds a pipeline over any blocker; see internal/pipeline.
+func NewPipeline(b GenericBlocker, opts ...PipelineOption) (*Pipeline, error) {
+	return pipeline.New(b, opts...)
+}
+
+// Pipeline options.
+var (
+	WithPruning         = pipeline.WithPruning
+	WithMatcher         = pipeline.WithMatcher
+	WithPipelineWorkers = pipeline.WithWorkers
+	WithBatchSize       = pipeline.WithBatchSize
+	WithMatchSink       = pipeline.WithMatchSink
 )
