@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same targets.
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench serve smoke
 
 build:
 	go build ./...
@@ -18,3 +18,13 @@ vet:
 # the perf trajectory is tracked across PRs. BENCHTIME=1x for a smoke run.
 bench:
 	./scripts/bench.sh
+
+# Runs the multi-tenant blocking service locally with persistence under
+# ./data. Override: make serve SERVE_FLAGS='-addr :9090 -shards 8'.
+serve:
+	go run ./cmd/semblock serve -addr :8080 -data-dir ./data -shards 4 $(SERVE_FLAGS)
+
+# End-to-end serve smoke test (start, ingest, query, graceful shutdown,
+# checkpoint assertion). CI runs this as the serve-smoke job.
+smoke:
+	./scripts/smoke_serve.sh

@@ -11,6 +11,9 @@ package semblock_test
 // (not only speed) are visible in bench diffs.
 
 import (
+	"bytes"
+	"io"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
@@ -195,6 +198,91 @@ func BenchmarkIndexerInsertBatch(b *testing.B) {
 		ix.Candidates()
 	}
 	b.ReportMetric(float64(inserted)/float64(b.N), "records/op")
+}
+
+// BenchmarkServerIngest measures the serving layer's bulk-ingest path end
+// to end: one iteration is one HTTP POST of a 256-record JSONL batch into a
+// collection, through the real handler stack (httptest transport), with the
+// shard count as the sub-benchmark axis. Comparing shards=1 against
+// shards=4 isolates the cost/benefit of the table-sharded fan-out; the
+// candidate results are identical by construction either way.
+func BenchmarkServerIngest(b *testing.B) {
+	const batch = 256
+	d, _ := coraFixture(b)
+	recs := d.Records()
+	var batches [][]byte
+	var batchRows []int
+	for lo := 0; lo < len(recs); lo += batch {
+		hi := lo + batch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		part := semblock.NewDataset("batch")
+		for _, r := range recs[lo:hi] {
+			part.Append(r.Entity, r.Attrs)
+		}
+		var buf bytes.Buffer
+		if err := semblock.WriteJSONL(&buf, part); err != nil {
+			b.Fatal(err)
+		}
+		batches = append(batches, buf.Bytes())
+		batchRows = append(batchRows, hi-lo)
+	}
+
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			srv, err := semblock.NewServer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			cl := ts.Client()
+			spec := semblock.CollectionSpec{
+				Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1, Shards: shards,
+			}
+			var url string
+			newCollection := func(gen int) {
+				if gen > 0 {
+					// Drop the previous pass's collection so memory stays
+					// bounded at one dataset worth of index.
+					if err := srv.Delete("bench" + strconv.Itoa(gen-1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s := spec
+				s.Name = "bench" + strconv.Itoa(gen)
+				if _, err := srv.Create(s); err != nil {
+					b.Fatal(err)
+				}
+				url = ts.URL + "/v1/collections/" + s.Name + "/records"
+			}
+			inserted := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%len(batches) == 0 {
+					// Fresh collection each pass over the dataset, so the
+					// index never grows beyond one dataset worth of records.
+					b.StopTimer()
+					newCollection(i / len(batches))
+					b.StartTimer()
+				}
+				payload := batches[i%len(batches)]
+				resp, err := cl.Post(url, "application/x-ndjson", bytes.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("ingest status %d", resp.StatusCode)
+				}
+				inserted += batchRows[i%len(batches)]
+			}
+			b.ReportMetric(float64(inserted)/float64(b.N), "records/op")
+		})
+	}
 }
 
 // --- Pipeline / parallel table-build engine benches ----------------------

@@ -25,14 +25,28 @@
 //	semblock pipeline -demo cora -semantic cora -meta CBS/WEP \
 //	    -match title=0.6,authors=0.4 -threshold 0.55
 //	semblock pipeline -demo cora -match title=1 -stream -batch 128
+//
+// The "serve" subcommand runs the multi-tenant blocking service: named
+// collections backed by sharded streaming indexes, an HTTP JSON API
+// (create/ingest/candidates/snapshot/resolve plus /healthz and /metrics),
+// periodic snapshot checkpoints into -data-dir, restore-on-boot, and
+// graceful shutdown (with a final checkpoint) on SIGINT/SIGTERM:
+//
+//	semblock serve -addr :8080 -data-dir /var/lib/semblock \
+//	    -shards 4 -checkpoint 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"semblock"
@@ -48,6 +62,8 @@ func main() {
 		err = runStream(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "pipeline":
 		err = runPipeline(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
 	default:
 		err = run()
 	}
@@ -55,6 +71,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "semblock:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe implements the "serve" subcommand: the long-lived multi-tenant
+// blocking service over the streaming engine.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("semblock serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		dataDir    = fs.String("data-dir", "", "snapshot persistence directory (empty = in-memory only)")
+		shards     = fs.Int("shards", 1, "default table-shard count for collections that do not set one")
+		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint interval (requires -data-dir; 0 = only on shutdown)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []semblock.ServerOption
+	if *dataDir != "" {
+		opts = append(opts, semblock.WithDataDir(*dataDir))
+	}
+	if *shards > 0 {
+		opts = append(opts, semblock.WithDefaultShards(*shards))
+	}
+	srv, err := semblock.NewServer(opts...)
+	if err != nil {
+		return err
+	}
+	if n := len(srv.List()); n > 0 {
+		fmt.Printf("restored %d collection(s) from %s: %s\n", n, *dataDir, strings.Join(srv.List(), ", "))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("semblock serve listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stopCheckpoints := make(chan struct{})
+	checkpointsDone := make(chan struct{})
+	go func() {
+		defer close(checkpointsDone)
+		if *dataDir == "" {
+			<-stopCheckpoints
+			return
+		}
+		srv.CheckpointEvery(*checkpoint, stopCheckpoints, func(err error) {
+			fmt.Fprintln(os.Stderr, "semblock serve: checkpoint:", err)
+		})
+	}()
+
+	select {
+	case err := <-errCh:
+		close(stopCheckpoints)
+		<-checkpointsDone
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("semblock serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	close(stopCheckpoints) // triggers the final checkpoint
+	<-checkpointsDone
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return shutdownErr
 }
 
 func run() error {

@@ -2,6 +2,7 @@ package semblock_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 
 	"semblock"
 )
@@ -121,6 +122,38 @@ func ExampleNewPipeline() {
 	// matched (0,1)
 	// matched (2,3)
 	// clusters: 2
+}
+
+// ExampleNewServer runs the multi-tenant serving layer in-process: a
+// collection backed by two table shards ingests a small stream, drains the
+// incremental candidates, and serves its health endpoint over HTTP. The
+// shard count never changes the candidates — the shards partition the hash
+// tables, so their merged output equals an unsharded (and a batch) run.
+func ExampleNewServer() {
+	srv, _ := semblock.NewServer()
+	c, _ := srv.Create(semblock.CollectionSpec{
+		Name: "people", Attrs: []string{"name"}, Q: 2, K: 2, L: 8, Seed: 1, Shards: 2,
+	})
+
+	ids, _ := c.Ingest([]semblock.Row{
+		{Entity: semblock.UnknownEntity, Attrs: map[string]string{"name": "robert smith"}},
+		{Entity: semblock.UnknownEntity, Attrs: map[string]string{"name": "mary johnson"}},
+		{Entity: semblock.UnknownEntity, Attrs: map[string]string{"name": "robert smyth"}},
+	})
+	fmt.Println("ingested:", len(ids))
+	for _, p := range c.Candidates() {
+		fmt.Printf("candidate pair (%d,%d)\n", p.Left(), p.Right())
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := ts.Client().Get(ts.URL + "/healthz")
+	fmt.Println("healthz:", resp.StatusCode)
+	resp.Body.Close()
+	// Output:
+	// ingested: 3
+	// candidate pair (0,2)
+	// healthz: 200
 }
 
 // ExampleNewMatcher runs the downstream resolution step over blocking

@@ -70,6 +70,33 @@ func (s *Signer) Sign(r *record.Record) []uint64 {
 	return s.fam.Signature(grams)
 }
 
+// TableComponents returns the signature-component indices the given tables
+// consume — the k-component band of each — for use with SignComponents.
+func (s *Signer) TableComponents(tables []int) []int {
+	out := make([]int, 0, len(tables)*s.cfg.K)
+	for _, t := range tables {
+		for j := 0; j < s.cfg.K; j++ {
+			out = append(out, t*s.cfg.K+j)
+		}
+	}
+	return out
+}
+
+// SignComponents computes only the given signature components (from
+// TableComponents) of one record, leaving every other component at the
+// empty-set sentinel. The result has Sign's k·l layout, so Band and
+// BucketKeys work unchanged for the covered tables — reading any other
+// table's band is invalid. Table-subset indexers (stream.WithTables) use
+// this to pay only their share of the minhash work: a family of shards
+// partitioning the tables collectively performs the same hashing as one
+// full signer.
+func (s *Signer) SignComponents(r *record.Record, components []int) []uint64 {
+	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
+	sig := make([]uint64, s.fam.Size())
+	s.fam.SignatureSubsetInto(grams, components, sig)
+	return sig
+}
+
 // SemSign computes the semhash signature of one record. Without a semantic
 // option it returns the zero BitVec, which callers must not inspect.
 func (s *Signer) SemSign(r *record.Record) semantic.BitVec {

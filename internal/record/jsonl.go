@@ -1,0 +1,86 @@
+package record
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLRecord is the one-line JSON wire form of a record: the optional
+// ground-truth label plus the attribute map. It is the single dataset wire
+// format shared by JSONL dataset files, the serving layer's ingest bodies
+// (single row, row array, or bulk JSONL) and its snapshot segment files
+// (internal/server), mirroring what the entity_id column scheme does for
+// CSV. Keep every decoder on this one type so the formats cannot diverge.
+type JSONLRecord struct {
+	Entity *EntityID         `json:"entity,omitempty"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+// Fields normalises the wire form into Dataset.Append's parameters: a
+// missing entity yields UnknownEntity and nil attrs an empty map.
+func (jr JSONLRecord) Fields() (EntityID, map[string]string) {
+	entity := UnknownEntity
+	if jr.Entity != nil {
+		entity = *jr.Entity
+	}
+	attrs := jr.Attrs
+	if attrs == nil {
+		attrs = map[string]string{}
+	}
+	return entity, attrs
+}
+
+// WriteJSONL serialises the dataset as JSON Lines: one
+// {"entity":ID,"attrs":{...}} object per record, in record order. The
+// entity field is omitted for unlabeled records, so labels survive a
+// round-trip exactly like WriteCSV's entity_id column.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range d.Records() {
+		row := JSONLRecord{Attrs: r.Attrs}
+		if r.Entity != UnknownEntity {
+			e := r.Entity
+			row.Entity = &e
+		}
+		if row.Attrs == nil {
+			row.Attrs = map[string]string{}
+		}
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("record: write jsonl row %d: %w", r.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("record: flush jsonl: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a dataset written by WriteJSONL (or any stream of
+// {"entity":ID,"attrs":{...}} lines). Blank lines are skipped; a missing
+// entity field yields UnknownEntity. Record IDs are assigned densely in
+// line order, as Dataset.Append always does.
+func ReadJSONL(r io.Reader, name string) (*Dataset, error) {
+	d := NewDataset(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var row JSONLRecord
+		if err := json.Unmarshal(raw, &row); err != nil {
+			return nil, fmt.Errorf("record: jsonl line %d: %w", line, err)
+		}
+		entity, attrs := row.Fields()
+		d.Append(entity, attrs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("record: read jsonl: %w", err)
+	}
+	return d, nil
+}

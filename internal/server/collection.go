@@ -1,0 +1,358 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"semblock/internal/blocking"
+	"semblock/internal/er"
+	"semblock/internal/lsh"
+	"semblock/internal/metablocking"
+	"semblock/internal/pipeline"
+	"semblock/internal/record"
+	"semblock/internal/stream"
+)
+
+// Collection is one tenant's long-lived blocking index: a named record log
+// plus N table-sharded stream.Indexer instances. Shard i owns the hash
+// tables {t : t mod N == i} (restricted with stream.WithTables); every
+// ingested record is appended to every shard in the same order, so shard-
+// local record IDs coincide with the collection's global IDs and candidate
+// pairs from different shards merge without translation. Because the shard
+// table subsets are disjoint and cover 0..l-1, the deduplicated union of
+// the shards' candidate pairs equals the unsharded candidate set — and the
+// batch Block set — by construction; sharding buys write parallelism, never
+// changes results.
+//
+// All methods are safe for concurrent use. Ingest order is serialised per
+// collection (the ID-assignment mutex), while the shards of one ingest
+// batch proceed in parallel and independent collections never contend.
+type Collection struct {
+	spec      CollectionSpec
+	cfg       lsh.Config
+	technique string
+
+	mu      sync.Mutex      // serialises ingest (ID assignment), drains, snapshots
+	dataset *record.Dataset // the global record log; IDs == shard-local IDs
+	seen    record.PairSet  // every candidate pair ever merged from the shards
+	pending []record.Pair   // merged but not yet drained by Candidates
+
+	shards []*stream.Indexer
+
+	// persistence state (see persist.go). saveMu serialises Save calls;
+	// segments/persisted are read and updated under mu so the serving path
+	// never waits on disk I/O.
+	saveMu    sync.Mutex
+	segments  []segmentInfo
+	persisted int // records covered by on-disk segments
+}
+
+// newCollection builds an empty collection from a validated spec.
+func newCollection(spec CollectionSpec) (*Collection, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := spec.buildConfig()
+	if err != nil {
+		return nil, err
+	}
+	technique := "lsh"
+	if cfg.Semantic != nil {
+		technique = "sa-lsh"
+	}
+	c := &Collection{
+		spec:      spec,
+		cfg:       cfg,
+		technique: technique,
+		dataset:   record.NewDataset(spec.Name),
+		seen:      record.NewPairSet(0),
+	}
+	// Spread the signature workers over the shards so a fan-out ingest does
+	// not oversubscribe the CPU by a factor of the shard count.
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU() / spec.Shards
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	for i := 0; i < spec.Shards; i++ {
+		var tables []int
+		for t := i; t < cfg.L; t += spec.Shards {
+			tables = append(tables, t)
+		}
+		ix, err := stream.NewIndexer(cfg,
+			stream.WithTables(tables...), stream.WithWorkers(workers))
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d of %s: %w", i, spec.Name, err)
+		}
+		c.shards = append(c.shards, ix)
+	}
+	return c, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.spec.Name }
+
+// Spec returns the collection's configuration.
+func (c *Collection) Spec() CollectionSpec { return c.spec }
+
+// Len returns the number of ingested records.
+func (c *Collection) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dataset.Len()
+}
+
+// PairCount returns the total number of distinct candidate pairs emitted so
+// far (drained or not).
+func (c *Collection) PairCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen.Len()
+}
+
+// Ingest appends a batch of records to the collection and returns their
+// assigned (dense, global) IDs. The rows are inserted into every shard —
+// concurrently across shards, in identical order within each — and the
+// shards' freshly discovered candidate pairs are merged, deduplicated
+// globally, and queued for Candidates.
+func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]record.ID, len(rows))
+	for i, row := range rows {
+		ids[i] = c.dataset.Append(row.Entity, row.Attrs).ID
+	}
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *stream.Indexer) {
+			defer wg.Done()
+			sh.InsertBatch(rows)
+		}(sh)
+	}
+	wg.Wait()
+	c.drainShardsLocked()
+	return ids, nil
+}
+
+// drainShardsLocked merges each shard's pending candidates into the
+// collection ledger. The same pair may surface in several shards (it can
+// collide in tables owned by different shards); the global seen set keeps
+// exactly one copy.
+func (c *Collection) drainShardsLocked() {
+	for _, sh := range c.shards {
+		for _, p := range sh.Candidates() {
+			if _, dup := c.seen[p]; !dup {
+				c.seen.AddPair(p)
+				c.pending = append(c.pending, p)
+			}
+		}
+	}
+}
+
+// Candidates drains and returns the candidate pairs discovered since the
+// previous drain (nil if none) — the collection-level analogue of
+// stream.Indexer.Candidates, with the same exactly-once delivery guarantee
+// under concurrent drains. After a restart the index is rebuilt by
+// replaying the persisted records, so the drain starts over from the full
+// candidate set; consumers must treat pair delivery as at-least-once across
+// restarts.
+func (c *Collection) Candidates() []record.Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.pending
+	c.pending = nil
+	return out
+}
+
+// Requeue returns undelivered pairs to the front of the pending queue, in
+// order, so a failed hand-off (e.g. an HTTP response write that died
+// mid-stream) does not lose them: the next drain delivers them again.
+func (c *Collection) Requeue(pairs []record.Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := make([]record.Pair, 0, len(pairs)+len(c.pending))
+	merged = append(merged, pairs...)
+	c.pending = append(merged, c.pending...)
+}
+
+// Snapshot materialises the current index as a batch-style block result:
+// the concatenation of the shards' snapshots, equal (up to block order) to
+// a batch Block run over the ingested records.
+func (c *Collection) Snapshot() *blocking.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Collection) snapshotLocked() *blocking.Result {
+	var blocks [][]record.ID
+	for _, sh := range c.shards {
+		blocks = append(blocks, sh.Snapshot().Blocks...)
+	}
+	return blocking.NewResult(c.technique, blocks)
+}
+
+// Dataset returns a copy of the ingested records (IDs preserved), e.g. for
+// evaluating a snapshot against ground truth.
+func (c *Collection) Dataset() *record.Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.datasetCopyLocked()
+}
+
+func (c *Collection) datasetCopyLocked() *record.Dataset {
+	out := record.NewDataset(c.spec.Name)
+	for _, r := range c.dataset.Records() {
+		out.Append(r.Entity, r.Attrs)
+	}
+	return out
+}
+
+// MatchAttr weights one attribute in a resolve run (see er.AttrWeight).
+type MatchAttr struct {
+	Attr   string  `json:"attr"`
+	Weight float64 `json:"weight,omitempty"`
+	Sim    string  `json:"sim,omitempty"`
+}
+
+// PruneSpec selects a meta-blocking pruning stage for a resolve run.
+type PruneSpec struct {
+	// Scheme is the edge-weighting scheme: ARCS, CBS, ECBS, JS or EJS.
+	Scheme string `json:"scheme"`
+	// Algo is the pruning algorithm: WEP, CEP, WNP or CNP.
+	Algo string `json:"algo"`
+}
+
+// ResolveRequest configures one on-demand resolution run over the current
+// index contents: the existing pipeline (optional meta-blocking pruning,
+// then concurrent matching) applied to the collection snapshot.
+type ResolveRequest struct {
+	// Match lists the attributes the matcher scores (weights normalised).
+	Match []MatchAttr `json:"match"`
+	// Threshold is the match classification threshold in [0,1].
+	Threshold float64 `json:"threshold"`
+	// Pruning optionally inserts a meta-blocking stage before matching.
+	Pruning *PruneSpec `json:"pruning,omitempty"`
+}
+
+// Resolve runs the existing blocking→pruning→matching pipeline over a
+// consistent point-in-time view of the collection: the snapshot feeds the
+// pruning and matching stages exactly as a batch run would, so a resolve
+// over a fully ingested collection equals a batch pipeline run over the
+// same records. Ingestion may continue concurrently; it does not affect the
+// running resolve.
+func (c *Collection) Resolve(req ResolveRequest) (*pipeline.Result, error) {
+	if len(req.Match) == 0 {
+		return nil, fmt.Errorf("server: resolve needs at least one match attribute")
+	}
+	weights := make([]er.AttrWeight, len(req.Match))
+	for i, m := range req.Match {
+		w := m.Weight
+		if w == 0 {
+			w = 1
+		}
+		weights[i] = er.AttrWeight{Attr: m.Attr, Weight: w, Sim: m.Sim}
+	}
+	matcher, err := er.NewMatcher(weights, req.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	opts := []pipeline.Option{pipeline.WithMatcher(matcher)}
+	if req.Pruning != nil {
+		scheme, algo, err := parsePruning(*req.Pruning)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, pipeline.WithPruning(scheme, algo))
+	}
+
+	c.mu.Lock()
+	ds := c.datasetCopyLocked()
+	snap := c.snapshotLocked()
+	c.mu.Unlock()
+
+	p, err := pipeline.New(staticBlocker{res: snap}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ds)
+}
+
+// staticBlocker adapts an already-materialised snapshot to the
+// blocking.Blocker interface so the pipeline's pruning and matching stages
+// run unchanged over serving-layer data.
+type staticBlocker struct{ res *blocking.Result }
+
+func (s staticBlocker) Name() string { return s.res.Technique }
+
+func (s staticBlocker) Block(*record.Dataset) (*blocking.Result, error) { return s.res, nil }
+
+// parsePruning maps a PruneSpec onto the meta-blocking constants.
+func parsePruning(spec PruneSpec) (metablocking.WeightScheme, metablocking.PruneAlgo, error) {
+	var scheme metablocking.WeightScheme
+	switch strings.ToUpper(spec.Scheme) {
+	case "ARCS":
+		scheme = metablocking.ARCS
+	case "CBS":
+		scheme = metablocking.CBS
+	case "ECBS":
+		scheme = metablocking.ECBS
+	case "JS":
+		scheme = metablocking.JS
+	case "EJS":
+		scheme = metablocking.EJS
+	default:
+		return 0, 0, fmt.Errorf("server: unknown weight scheme %q (want ARCS, CBS, ECBS, JS or EJS)", spec.Scheme)
+	}
+	var algo metablocking.PruneAlgo
+	switch strings.ToUpper(spec.Algo) {
+	case "WEP":
+		algo = metablocking.WEP
+	case "CEP":
+		algo = metablocking.CEP
+	case "WNP":
+		algo = metablocking.WNP
+	case "CNP":
+		algo = metablocking.CNP
+	default:
+		return 0, 0, fmt.Errorf("server: unknown prune algorithm %q (want WEP, CEP, WNP or CNP)", spec.Algo)
+	}
+	return scheme, algo, nil
+}
+
+// Stats summarises a collection for the HTTP API.
+type Stats struct {
+	Name             string `json:"name"`
+	Technique        string `json:"technique"`
+	Shards           int    `json:"shards"`
+	Records          int    `json:"records"`
+	Pairs            int    `json:"pairs"`
+	PendingPairs     int    `json:"pending_pairs"`
+	PersistedRecords int    `json:"persisted_records"`
+}
+
+// Stats returns a consistent summary of the collection.
+func (c *Collection) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Name:             c.spec.Name,
+		Technique:        c.technique,
+		Shards:           len(c.shards),
+		Records:          c.dataset.Len(),
+		Pairs:            c.seen.Len(),
+		PendingPairs:     len(c.pending),
+		PersistedRecords: c.persisted,
+	}
+}

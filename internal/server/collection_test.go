@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/er"
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+	"semblock/internal/stream"
+)
+
+// coraFixture generates a deterministic Cora-like dataset plus its rows.
+func coraFixture(t testing.TB, n int) (*record.Dataset, []stream.Row) {
+	t.Helper()
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = n
+	d := datagen.Cora(cfg)
+	rows := make([]stream.Row, 0, d.Len())
+	for _, r := range d.Records() {
+		rows = append(rows, stream.Row{Entity: r.Entity, Attrs: r.Attrs})
+	}
+	return d, rows
+}
+
+// baseSpec returns a small SA-LSH collection spec used across the tests.
+func baseSpec(name string, shards int) CollectionSpec {
+	return CollectionSpec{
+		Name: name, Attrs: []string{"authors", "title"},
+		Q: 3, K: 3, L: 12, Seed: 7, Shards: shards,
+		Semantic: &SemanticSpec{Domain: "cora", W: 3, Mode: "or"},
+	}
+}
+
+// canonical renders a block set order-independently for comparison.
+func canonical(blocks [][]record.ID) []string {
+	out := make([]string, 0, len(blocks))
+	for _, b := range blocks {
+		ids := append([]record.ID(nil), b...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, fmt.Sprint(ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameCanonical(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ingestInBatches feeds the rows in uneven mini-batches, draining after
+// each, and returns the deduplicated union of all drains.
+func ingestInBatches(t *testing.T, c *Collection, rows []stream.Row) record.PairSet {
+	t.Helper()
+	drained := record.NewPairSet(0)
+	for lo, step := 0, 1; lo < len(rows); lo, step = lo+step, step*2+1 {
+		hi := lo + step
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		ids, err := c.Ingest(rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != hi-lo || ids[0] != record.ID(lo) {
+			t.Fatalf("batch [%d:%d) assigned ids %v", lo, hi, ids)
+		}
+		for _, p := range c.Candidates() {
+			drained.AddPair(p)
+		}
+	}
+	return drained
+}
+
+// TestCollectionShardParity is the acceptance-criterion test: for every
+// shard count, the collection's merged candidate set and snapshot equal the
+// unsharded batch Block run over the same records.
+func TestCollectionShardParity(t *testing.T) {
+	d, rows := coraFixture(t, 300)
+	cfg, err := baseSpec("parity", 1).buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := want.CandidatePairs()
+	wantBlocks := canonical(want.Blocks)
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c, err := newCollection(baseSpec("parity", shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			drained := ingestInBatches(t, c, rows)
+			if drained.Len() != wantPairs.Len() || drained.Intersect(wantPairs) != wantPairs.Len() {
+				t.Fatalf("drained %d pairs, batch Block has %d (overlap %d)",
+					drained.Len(), wantPairs.Len(), drained.Intersect(wantPairs))
+			}
+			if c.PairCount() != wantPairs.Len() {
+				t.Errorf("PairCount %d, want %d", c.PairCount(), wantPairs.Len())
+			}
+			snap := c.Snapshot()
+			if got := canonical(snap.Blocks); !sameCanonical(got, wantBlocks) {
+				t.Fatalf("snapshot blocks differ from batch: %d vs %d", len(got), len(wantBlocks))
+			}
+			snapPairs := snap.CandidatePairs()
+			if snapPairs.Len() != wantPairs.Len() || snapPairs.Intersect(wantPairs) != wantPairs.Len() {
+				t.Fatalf("snapshot pairs differ from batch: %d vs %d", snapPairs.Len(), wantPairs.Len())
+			}
+		})
+	}
+}
+
+// TestCollectionRequeue checks that requeued pairs come back at the front
+// of the next drain, before any newly discovered ones, with nothing lost.
+func TestCollectionRequeue(t *testing.T) {
+	_, rows := coraFixture(t, 120)
+	c, err := newCollection(baseSpec("requeue", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows[:60]); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Candidates()
+	if len(first) == 0 {
+		t.Fatal("no pairs to requeue")
+	}
+	c.Requeue(first)
+	if _, err := c.Ingest(rows[60:]); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Candidates()
+	if len(second) < len(first) {
+		t.Fatalf("drain after requeue returned %d pairs, requeued %d", len(second), len(first))
+	}
+	for i, p := range first {
+		if second[i] != p {
+			t.Fatalf("requeued pair %d is %v, want %v (requeue must prepend in order)", i, second[i], p)
+		}
+	}
+	if c.PairCount() != len(second) {
+		t.Errorf("PairCount %d, drained %d distinct", c.PairCount(), len(second))
+	}
+}
+
+// TestCollectionResolve checks the resolve pipeline equals the reference
+// resolver over the same snapshot.
+func TestCollectionResolve(t *testing.T) {
+	d, rows := coraFixture(t, 200)
+	c, err := newCollection(baseSpec("resolve", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	req := ResolveRequest{
+		Match:     []MatchAttr{{Attr: "title", Weight: 0.6}, {Attr: "authors", Weight: 0.4}},
+		Threshold: 0.55,
+	}
+	res, err := c.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := er.NewMatcher([]er.AttrWeight{
+		{Attr: "title", Weight: 0.6}, {Attr: "authors", Weight: 0.4},
+	}, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := er.Resolve(d, c.Snapshot(), matcher)
+	if len(res.Matches) != len(want.MatchedPairs) {
+		t.Fatalf("resolve found %d matches, reference resolver %d", len(res.Matches), len(want.MatchedPairs))
+	}
+	if res.Resolution.NumClusters != want.NumClusters {
+		t.Errorf("resolve clustered into %d, reference %d", res.Resolution.NumClusters, want.NumClusters)
+	}
+
+	// A pruning stage must run and can only shrink the scored pair count.
+	pruned, err := c.Resolve(ResolveRequest{
+		Match:     req.Match,
+		Threshold: req.Threshold,
+		Pruning:   &PruneSpec{Scheme: "CBS", Algo: "WEP"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Stats.PrunedComparisons > pruned.Stats.Comparisons {
+		t.Errorf("pruning grew comparisons: %d > %d",
+			pruned.Stats.PrunedComparisons, pruned.Stats.Comparisons)
+	}
+	if pruned.Pruned == nil {
+		t.Error("pruning stage produced no collection")
+	}
+}
+
+// TestCollectionValidation covers spec rejection paths.
+func TestCollectionValidation(t *testing.T) {
+	cases := map[string]CollectionSpec{
+		"bad-name":       {Name: "../evil", Attrs: []string{"a"}, Q: 2, K: 2, L: 4},
+		"empty-name":     {Attrs: []string{"a"}, Q: 2, K: 2, L: 4},
+		"shards-exceed":  {Name: "x", Attrs: []string{"a"}, Q: 2, K: 2, L: 4, Shards: 5},
+		"neg-shards":     {Name: "x", Attrs: []string{"a"}, Q: 2, K: 2, L: 4, Shards: -1},
+		"no-attrs":       {Name: "x", Q: 2, K: 2, L: 4},
+		"unknown-domain": {Name: "x", Attrs: []string{"a"}, Q: 2, K: 2, L: 4, Semantic: &SemanticSpec{Domain: "nope"}},
+		"bad-mode":       {Name: "x", Attrs: []string{"a"}, Q: 2, K: 2, L: 4, Semantic: &SemanticSpec{Domain: "cora", Mode: "xor"}},
+	}
+	for name, spec := range cases {
+		if _, err := newCollection(spec); err == nil {
+			t.Errorf("%s: spec accepted: %+v", name, spec)
+		}
+	}
+	if _, err := newCollection(CollectionSpec{Name: "ok", Attrs: []string{"a"}, Q: 2, K: 2, L: 4, Shards: 4}); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

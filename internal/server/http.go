@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"semblock/internal/record"
+	"semblock/internal/stream"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	GET    /healthz                            liveness probe
+//	GET    /metrics                            Prometheus text counters
+//	POST   /v1/collections                     create (body: CollectionSpec)
+//	GET    /v1/collections                     list collection names
+//	GET    /v1/collections/{name}              collection stats
+//	DELETE /v1/collections/{name}              drop collection (+ data)
+//	POST   /v1/collections/{name}/records      ingest: one JSON row, a JSON
+//	                                           array of rows, or JSONL bulk
+//	                                           (Content-Type: application/x-ndjson)
+//	GET    /v1/collections/{name}/candidates   incremental candidate drain
+//	GET    /v1/collections/{name}/snapshot     batch-parity block collection
+//	POST   /v1/collections/{name}/resolve      pruning+matching pipeline run
+//	POST   /v1/collections/{name}/checkpoint   force a persistence checkpoint
+//
+// A row is {"entity":ID,"attrs":{...}} — the same wire format as
+// record.ReadJSONL/WriteJSONL, so a dataset file can be POSTed verbatim.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/collections", s.handleCreate)
+	mux.HandleFunc("GET /v1/collections", s.handleList)
+	mux.HandleFunc("GET /v1/collections/{name}", s.withCollection(s.handleStats))
+	mux.HandleFunc("DELETE /v1/collections/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/collections/{name}/records", s.withCollection(s.handleIngest))
+	mux.HandleFunc("GET /v1/collections/{name}/candidates", s.withCollection(s.handleCandidates))
+	mux.HandleFunc("GET /v1/collections/{name}/snapshot", s.withCollection(s.handleSnapshot))
+	mux.HandleFunc("POST /v1/collections/{name}/resolve", s.withCollection(s.handleResolve))
+	mux.HandleFunc("POST /v1/collections/{name}/checkpoint", s.withCollection(s.handleCheckpoint))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// toRow normalises one wire record into an ingest row. The HTTP row shape
+// IS record.JSONLRecord — single-row, array and bulk-JSONL bodies all
+// decode through the one wire type, so the formats cannot drift apart.
+func toRow(row record.JSONLRecord) stream.Row {
+	entity, attrs := row.Fields()
+	return stream.Row{Entity: entity, Attrs: attrs}
+}
+
+// withCollection resolves the {name} path value or answers 404.
+func (s *Server) withCollection(h func(http.ResponseWriter, *http.Request, *Collection)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		c, ok := s.Collection(name)
+		if !ok {
+			s.httpError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
+			return
+		}
+		h(w, r, c)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "collections": len(s.List())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec CollectionSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse spec: %w", err))
+		return
+	}
+	c, err := s.Create(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrExists):
+			status = http.StatusConflict
+		case errors.Is(err, ErrPersist):
+			status = http.StatusInternalServerError
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, c.Stats())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"collections": s.List()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	s.writeJSON(w, http.StatusOK, c.Stats())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.PathValue("name")); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"deleted": r.PathValue("name")})
+}
+
+// handleIngest accepts a single row object, a JSON array of rows, or — for
+// bulk loads — a JSONL body (Content-Type application/x-ndjson or
+// application/jsonl) decoded by record.ReadJSONL, the same reader the serve
+// data dir uses.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collection) {
+	var rows []stream.Row
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl") {
+		d, err := record.ReadJSONL(r.Body, c.Name())
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rows = make([]stream.Row, 0, d.Len())
+		for _, rec := range d.Records() {
+			rows = append(rows, stream.Row{Entity: rec.Entity, Attrs: rec.Attrs})
+		}
+	} else {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		trimmed := bytes.TrimSpace(body)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			var batch []record.JSONLRecord
+			if err := json.Unmarshal(trimmed, &batch); err != nil {
+				s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse row array: %w", err))
+				return
+			}
+			rows = make([]stream.Row, 0, len(batch))
+			for _, row := range batch {
+				rows = append(rows, toRow(row))
+			}
+		} else {
+			var row record.JSONLRecord
+			if err := json.Unmarshal(trimmed, &row); err != nil {
+				s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse row: %w", err))
+				return
+			}
+			rows = []stream.Row{toRow(row)}
+		}
+	}
+	ids, err := c.Ingest(rows)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.ingestBatches.Add(1)
+	s.metrics.ingestedRecords.Add(int64(len(ids)))
+	s.writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "count": len(ids)})
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	s.metrics.candidateQueries.Add(1)
+	pairs := c.Candidates()
+	out := make([][2]record.ID, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]record.ID{p.Left(), p.Right()}
+	}
+	// A drain is destructive; if the response write dies mid-stream the
+	// pairs are requeued so the next drain delivers them again (a response
+	// lost after a complete write is still gone — delivery over HTTP is
+	// at-least-once only across restarts, see Collection.Candidates).
+	if err := s.writeJSON(w, http.StatusOK, map[string]any{
+		"pairs": out, "count": len(out), "emitted_total": c.PairCount(),
+	}); err != nil {
+		c.Requeue(pairs)
+		return
+	}
+	s.metrics.drainedPairs.Add(int64(len(pairs)))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	s.metrics.snapshotQueries.Add(1)
+	res := c.Snapshot()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"technique":      res.Technique,
+		"records":        c.Len(),
+		"num_blocks":     res.NumBlocks(),
+		"max_block_size": res.MaxBlockSize(),
+		"comparisons":    res.Comparisons(),
+		"blocks":         res.Blocks,
+	})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collection) {
+	var req ResolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse resolve request: %w", err))
+		return
+	}
+	res, err := c.Resolve(req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.resolveRuns.Add(1)
+	matches := make([]map[string]any, len(res.Matches))
+	for i, m := range res.Matches {
+		matches[i] = map[string]any{"left": m.Pair.Left(), "right": m.Pair.Right(), "score": m.Score}
+	}
+	out := map[string]any{
+		"technique":          res.Blocks.Technique,
+		"records":            res.Stats.Records,
+		"blocks":             res.Stats.Blocks,
+		"comparisons":        res.Stats.Comparisons,
+		"pruned_comparisons": res.Stats.PrunedComparisons,
+		"pairs_scored":       res.Stats.PairsScored,
+		"matches":            matches,
+		"num_matches":        len(matches),
+	}
+	if res.Resolution != nil {
+		out["num_clusters"] = res.Resolution.NumClusters
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	if s.dataDir == "" {
+		s.httpError(w, http.StatusConflict, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
+		return
+	}
+	if err := s.saveCollection(c); err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// writeJSON renders a JSON response. The returned error reports a write
+// that died mid-stream (headers are gone by then, so it cannot change the
+// status); most handlers ignore it, the destructive candidate drain uses
+// it to requeue.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// httpError renders the JSON error shape and counts it.
+func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// metrics holds the server's monotonic counters, exposed in Prometheus text
+// format by GET /metrics. Hand-rolled atomics keep the repository
+// dependency-free.
+type metrics struct {
+	requests         atomic.Int64 // every HTTP request routed
+	errors           atomic.Int64 // requests answered with a 4xx/5xx
+	ingestedRecords  atomic.Int64 // records accepted across all collections
+	ingestBatches    atomic.Int64 // ingest requests accepted
+	drainedPairs     atomic.Int64 // candidate pairs handed out by /candidates
+	candidateQueries atomic.Int64
+	snapshotQueries  atomic.Int64
+	resolveRuns      atomic.Int64
+	checkpoints      atomic.Int64 // collection checkpoints written
+}
+
+// writeMetrics renders the Prometheus text exposition: server-wide counters
+// plus per-collection gauges.
+func (s *Server) writeMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	m := &s.metrics
+	counter("semblock_http_requests_total", "HTTP requests routed.", m.requests.Load())
+	counter("semblock_http_errors_total", "HTTP requests answered with an error status.", m.errors.Load())
+	counter("semblock_ingested_records_total", "Records accepted across all collections.", m.ingestedRecords.Load())
+	counter("semblock_ingest_batches_total", "Ingest requests accepted.", m.ingestBatches.Load())
+	counter("semblock_drained_pairs_total", "Candidate pairs handed out by the incremental drain.", m.drainedPairs.Load())
+	counter("semblock_candidate_queries_total", "GET /candidates requests.", m.candidateQueries.Load())
+	counter("semblock_snapshot_queries_total", "GET /snapshot requests.", m.snapshotQueries.Load())
+	counter("semblock_resolve_runs_total", "POST /resolve pipeline runs.", m.resolveRuns.Load())
+	counter("semblock_checkpoints_total", "Collection checkpoints written.", m.checkpoints.Load())
+
+	// Snapshot the registry under s.mu, then gather per-collection stats
+	// without it: Stats() takes each collection's mutex, which a bulk
+	// ingest can hold for a while — holding s.mu across that would stall
+	// Create/Delete for the duration of the slowest ingest.
+	s.mu.RLock()
+	cols := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		cols = append(cols, c)
+	}
+	s.mu.RUnlock()
+	sort.Slice(cols, func(i, j int) bool { return cols[i].Name() < cols[j].Name() })
+	stats := make([]Stats, 0, len(cols))
+	for _, c := range cols {
+		stats = append(stats, c.Stats())
+	}
+
+	fmt.Fprintf(w, "# HELP semblock_collections Number of collections.\n# TYPE semblock_collections gauge\nsemblock_collections %d\n", len(stats))
+	fmt.Fprintf(w, "# HELP semblock_collection_records Records per collection.\n# TYPE semblock_collection_records gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "semblock_collection_records{collection=%q} %d\n", st.Name, st.Records)
+	}
+	fmt.Fprintf(w, "# HELP semblock_collection_pairs Distinct candidate pairs per collection.\n# TYPE semblock_collection_pairs gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "semblock_collection_pairs{collection=%q} %d\n", st.Name, st.Pairs)
+	}
+}

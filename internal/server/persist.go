@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"semblock/internal/record"
+	"semblock/internal/stream"
+)
+
+// Persistence layout: each collection owns one directory under the server
+// data dir,
+//
+//	<data-dir>/<collection>/manifest.json
+//	<data-dir>/<collection>/segment-000001.jsonl
+//	<data-dir>/<collection>/segment-000002.jsonl
+//	...
+//
+// The manifest holds the versioned CollectionSpec plus the ordered segment
+// list; each segment is an immutable JSONL run of records (the same wire
+// format the bulk-ingest endpoint speaks, record.WriteJSONL). A checkpoint
+// appends exactly the records ingested since the previous checkpoint as a
+// new segment and rewrites the manifest; both writes are atomic
+// (temp-file + rename), so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+//
+// Restore replays the segments in order through the same sharded engine an
+// ingest uses, which is what guarantees a reloaded collection reproduces
+// the identical snapshot: batch/stream parity is enforced by construction
+// in internal/engine, so equal records in equal order ⇒ equal buckets ⇒
+// equal blocks.
+
+// manifestVersion is bumped whenever the on-disk layout changes shape.
+const manifestVersion = 1
+
+// manifestFile is the manifest's file name inside a collection directory.
+const manifestFile = "manifest.json"
+
+// manifest is the versioned on-disk description of a collection.
+type manifest struct {
+	Version  int            `json:"version"`
+	Spec     CollectionSpec `json:"spec"`
+	Records  int            `json:"records"`
+	Segments []segmentInfo  `json:"segments"`
+}
+
+// segmentInfo names one immutable record segment.
+type segmentInfo struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+}
+
+// Save checkpoints the collection into dir: records ingested since the last
+// Save are appended as a new segment and the manifest is rewritten. It is a
+// no-op (beyond ensuring the manifest exists) when nothing changed. Safe
+// for concurrent use with ingestion — the checkpoint covers a consistent
+// record prefix, and the serving path is never blocked on disk: the index
+// mutex is held only to snapshot the un-persisted record span, all file
+// I/O happens outside it (saveMu serialises concurrent Saves so segment
+// numbering stays consistent).
+func (c *Collection) Save(dir string) error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: create collection dir: %w", err)
+	}
+
+	// Snapshot the un-persisted span under the index mutex; records are
+	// immutable once appended, so the pointers stay valid outside it.
+	c.mu.Lock()
+	n := c.dataset.Len()
+	persisted := c.persisted
+	segments := append([]segmentInfo(nil), c.segments...)
+	var pending []*record.Record
+	if n > persisted {
+		pending = append(pending, c.dataset.Records()[persisted:n]...)
+	}
+	c.mu.Unlock()
+
+	if len(pending) > 0 {
+		seg := segmentInfo{
+			Name:    fmt.Sprintf("segment-%06d.jsonl", len(segments)+1),
+			Records: len(pending),
+		}
+		part := record.NewDataset(seg.Name)
+		for _, r := range pending {
+			part.Append(r.Entity, r.Attrs)
+		}
+		if err := writeFileAtomic(filepath.Join(dir, seg.Name), func(f *os.File) error {
+			return record.WriteJSONL(f, part)
+		}); err != nil {
+			return err
+		}
+		segments = append(segments, seg)
+		persisted = n
+	}
+	m := manifest{Version: manifestVersion, Spec: c.spec, Records: persisted, Segments: segments}
+	if err := writeFileAtomic(filepath.Join(dir, manifestFile), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.segments = segments
+	c.persisted = persisted
+	c.mu.Unlock()
+	return nil
+}
+
+// LoadCollection restores a collection from its directory: the manifest's
+// spec rebuilds the sharded index and the segments are replayed through it
+// in order. The restored snapshot is identical to the saved collection's at
+// its last checkpoint (batch-parity by replay); the candidate drain starts
+// over from the full rebuilt set.
+func LoadCollection(dir string) (*Collection, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("server: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("server: parse manifest %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("server: manifest %s has version %d, this build reads %d",
+			dir, m.Version, manifestVersion)
+	}
+	c, err := newCollection(m.Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range m.Segments {
+		f, err := os.Open(filepath.Join(dir, seg.Name))
+		if err != nil {
+			return nil, fmt.Errorf("server: open segment: %w", err)
+		}
+		d, err := record.ReadJSONL(f, seg.Name)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if d.Len() != seg.Records {
+			return nil, fmt.Errorf("server: segment %s holds %d records, manifest says %d",
+				seg.Name, d.Len(), seg.Records)
+		}
+		rows := make([]stream.Row, 0, d.Len())
+		for _, r := range d.Records() {
+			rows = append(rows, stream.Row{Entity: r.Entity, Attrs: r.Attrs})
+		}
+		if _, err := c.Ingest(rows); err != nil {
+			return nil, err
+		}
+	}
+	if c.dataset.Len() != m.Records {
+		return nil, fmt.Errorf("server: collection %s replayed %d records, manifest says %d",
+			m.Spec.Name, c.dataset.Len(), m.Records)
+	}
+	c.segments = m.Segments
+	c.persisted = m.Records
+	return c, nil
+}
+
+// writeFileAtomic writes path via a temp file in the same directory plus a
+// rename, so readers never observe a partial file and a crash preserves the
+// previous version.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: create temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: rename into place: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semblock/internal/lsh"
+)
+
+// TestSaveLoadIdenticalSnapshot checkpoints twice (two segments) and checks
+// the restored collection reproduces the identical snapshot and candidate
+// set.
+func TestSaveLoadIdenticalSnapshot(t *testing.T) {
+	_, rows := coraFixture(t, 250)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("snap", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []string{"segment-000001.jsonl", "segment-000002.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, seg)); err != nil {
+			t.Fatalf("expected segment %s: %v", seg, err)
+		}
+	}
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != c.Len() {
+		t.Fatalf("restored %d records, want %d", restored.Len(), c.Len())
+	}
+	if restored.Spec().Name != c.Spec().Name || restored.Spec().Shards != c.Spec().Shards {
+		t.Errorf("restored spec %+v, want %+v", restored.Spec(), c.Spec())
+	}
+	got, want := canonical(restored.Snapshot().Blocks), canonical(c.Snapshot().Blocks)
+	if !sameCanonical(got, want) {
+		t.Fatalf("restored snapshot has %d blocks, original %d", len(got), len(want))
+	}
+	if restored.PairCount() != c.PairCount() {
+		t.Errorf("restored PairCount %d, want %d", restored.PairCount(), c.PairCount())
+	}
+	// After restore the incremental drain starts over: every pair pending.
+	if drained := restored.Candidates(); len(drained) != restored.PairCount() {
+		t.Errorf("restored drain returned %d pairs, want the full %d", len(drained), restored.PairCount())
+	}
+}
+
+// TestKillRestartFromCheckpoint is the acceptance-criterion test: a restore
+// from the latest checkpoint reproduces the checkpointed state exactly
+// (batch-parity by replay), and catching the restored collection up yields
+// the same index the uninterrupted collection has.
+func TestKillRestartFromCheckpoint(t *testing.T) {
+	d, rows := coraFixture(t, 260)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("kill", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows[:160]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Records past the checkpoint die with the process.
+	if _, err := c.Ingest(rows[160:]); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 160 {
+		t.Fatalf("restored %d records, checkpoint had 160", restored.Len())
+	}
+	// The restored snapshot equals a batch Block over the checkpointed
+	// record prefix.
+	cfg, err := baseSpec("kill", 2).buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d.Subset(160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, w := canonical(restored.Snapshot().Blocks), canonical(want.Blocks); !sameCanonical(got, w) {
+		t.Fatalf("restored snapshot differs from batch over the checkpointed prefix: %d vs %d blocks", len(got), len(w))
+	}
+
+	// Re-ingesting the lost tail reproduces the uninterrupted index.
+	if _, err := restored.Ingest(rows[160:]); err != nil {
+		t.Fatal(err)
+	}
+	if got, w := canonical(restored.Snapshot().Blocks), canonical(c.Snapshot().Blocks); !sameCanonical(got, w) {
+		t.Fatalf("caught-up snapshot differs from the uninterrupted collection: %d vs %d blocks", len(got), len(w))
+	}
+}
+
+// TestServerRestoreOnBoot round-trips two collections through a server
+// restart and exercises Create-persists-config and Delete-removes-data.
+func TestServerRestoreOnBoot(t *testing.T) {
+	_, rows := coraFixture(t, 120)
+	dir := t.TempDir()
+	s1, err := New(WithDataDir(dir), WithDefaultShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s1.Create(baseSpec("alpha", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CollectionSpec{Name: "beta", Attrs: []string{"title"}, Q: 2, K: 2, L: 8, Seed: 3}
+	if _, err := s1.Create(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s2.List()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("restored collections %v, want [alpha beta]", names)
+	}
+	restored, ok := s2.Collection("alpha")
+	if !ok {
+		t.Fatal("alpha missing after restore")
+	}
+	if got, want := canonical(restored.Snapshot().Blocks), canonical(a.Snapshot().Blocks); !sameCanonical(got, want) {
+		t.Fatalf("restored alpha snapshot differs: %d vs %d blocks", len(got), len(want))
+	}
+	// beta was created but never ingested into; its config alone survived.
+	beta, ok := s2.Collection("beta")
+	if !ok || beta.Len() != 0 {
+		t.Fatalf("beta restored %v with %d records, want empty", ok, beta.Len())
+	}
+
+	if err := s2.Delete("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "beta")); !os.IsNotExist(err) {
+		t.Errorf("beta data dir still present after Delete: %v", err)
+	}
+	if _, ok := s2.Collection("beta"); ok {
+		t.Error("beta still listed after Delete")
+	}
+}

@@ -1,0 +1,282 @@
+// Package server is the multi-tenant serving layer over the streaming
+// blocking engine: a Server owns named Collections, each backed by N
+// table-sharded stream.Indexer instances, exposed over an HTTP JSON API
+// (see Handler) and persisted as versioned JSONL segment files so an index
+// survives restarts.
+//
+// The serving guarantees, all enforced by tests:
+//
+//   - Parity — a collection's merged candidate set and snapshot equal a
+//     batch Block run over the same records, regardless of the shard count:
+//     shards partition the hash tables (every record visits every shard),
+//     so the union of per-shard collisions is exactly the unsharded
+//     collision set.
+//   - Durability — Save/LoadCollection checkpoint the config plus the
+//     record log; restore replays the records through the same engine, so a
+//     kill/restart from the latest checkpoint reproduces the identical
+//     snapshot (batch-parity by replay).
+//   - Isolation — collections are independent: ingest is serialised per
+//     collection but never across collections.
+//
+// The package is wired into the facade as semblock.NewServer and into the
+// CLI as the "semblock serve" subcommand.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the HTTP layer maps to status codes with errors.Is —
+// keep the mapping independent of error-message wording.
+var (
+	// ErrExists reports a Create against a name already registered (409).
+	ErrExists = errors.New("collection already exists")
+	// ErrNotFound reports an operation on an unknown collection (404).
+	ErrNotFound = errors.New("no such collection")
+	// ErrPersist reports a failed persistence write (500).
+	ErrPersist = errors.New("could not persist collection")
+)
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithDataDir enables snapshot persistence: collections are checkpointed
+// into per-collection directories under dir, and collections found there
+// are restored when the server is constructed.
+func WithDataDir(dir string) Option {
+	return func(s *Server) { s.dataDir = dir }
+}
+
+// WithDefaultShards sets the shard count applied to collections whose spec
+// does not name one (default 1).
+func WithDefaultShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.defaultShards = n
+		}
+	}
+}
+
+// Server is a multi-tenant blocking service: a registry of named
+// collections plus the HTTP front-end (Handler) and the persistence loop.
+// Construct with New; all methods are safe for concurrent use.
+type Server struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+
+	// persistMu serialises on-disk mutations (checkpoints vs deletes), so
+	// an in-flight checkpoint can never resurrect a concurrently deleted
+	// collection's directory. Lock order: persistMu before mu.
+	persistMu sync.Mutex
+
+	dataDir       string
+	defaultShards int
+	metrics       metrics
+}
+
+// New builds a server. With WithDataDir, collections previously saved under
+// the data dir are restored before New returns (restore-on-boot); a
+// corrupted collection directory fails construction rather than serving a
+// partial index.
+func New(opts ...Option) (*Server, error) {
+	s := &Server{collections: make(map[string]*Collection), defaultShards: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.dataDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create data dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.dataDir, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, manifestFile)); err != nil {
+			continue // not a collection directory
+		}
+		c, err := LoadCollection(dir)
+		if err != nil {
+			return nil, fmt.Errorf("server: restore %s: %w", e.Name(), err)
+		}
+		if c.Name() != e.Name() {
+			return nil, fmt.Errorf("server: directory %s holds collection %q", e.Name(), c.Name())
+		}
+		s.collections[c.Name()] = c
+	}
+	return s, nil
+}
+
+// Create registers a new collection. A spec without a shard count inherits
+// the server default; with persistence enabled the collection's config is
+// checkpointed immediately, so it survives a restart even before the first
+// record arrives.
+func (s *Server) Create(spec CollectionSpec) (*Collection, error) {
+	if spec.Shards == 0 {
+		// The inherited server default is a preference, not a demand:
+		// clamp it to the collection's table count so a small-l spec that
+		// never asked for sharding is not rejected. An explicit per-spec
+		// shard count exceeding l still hard-fails in validate.
+		spec.Shards = s.defaultShards
+		if spec.L > 0 && spec.Shards > spec.L {
+			spec.Shards = spec.L
+		}
+	}
+	c, err := newCollection(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, exists := s.collections[c.Name()]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: collection %q: %w", c.Name(), ErrExists)
+	}
+	s.collections[c.Name()] = c
+	s.mu.Unlock()
+	if s.dataDir != "" {
+		if err := s.saveCollection(c); err != nil {
+			// Roll the registration back: a collection whose config never
+			// reached disk would silently vanish on the next restart. Only
+			// this exact collection — the name may already belong to a
+			// fresh one if a concurrent delete+create won the race.
+			s.mu.Lock()
+			if s.collections[c.Name()] == c {
+				delete(s.collections, c.Name())
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("server: %w %q: %w", ErrPersist, c.Name(), err)
+		}
+	}
+	return c, nil
+}
+
+// saveCollection checkpoints one collection under persistMu, skipping it
+// when it was deleted in the meantime.
+func (s *Server) saveCollection(c *Collection) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if cur, ok := s.Collection(c.Name()); !ok || cur != c {
+		return nil // deleted (or replaced) since the caller picked it up
+	}
+	if err := c.Save(s.collectionDir(c.Name())); err != nil {
+		return err
+	}
+	s.metrics.checkpoints.Add(1)
+	return nil
+}
+
+// Collection returns the named collection.
+func (s *Server) Collection(name string) (*Collection, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[name]
+	return c, ok
+}
+
+// List returns the collection names in sorted order.
+func (s *Server) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for name := range s.collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a collection and, with persistence enabled, its on-disk
+// data. It holds the persistence mutex, so a concurrent checkpoint either
+// completes before the directory is removed or skips the collection
+// entirely — deleted data is never resurrected on a later boot.
+func (s *Server) Delete(name string) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.mu.Lock()
+	_, ok := s.collections[name]
+	delete(s.collections, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrNotFound, name)
+	}
+	if s.dataDir != "" {
+		if err := os.RemoveAll(s.collectionDir(name)); err != nil {
+			return fmt.Errorf("server: delete collection data: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint saves every collection to the data dir (no-op without one).
+// It is the periodic persistence hook of "semblock serve". Every collection
+// is attempted even when one fails — a single unwritable directory must not
+// starve the other tenants' checkpoints — and the failures are joined into
+// the returned error.
+func (s *Server) Checkpoint() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	s.mu.RLock()
+	cols := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		cols = append(cols, c)
+	}
+	s.mu.RUnlock()
+	var errs []error
+	for _, c := range cols {
+		if err := s.saveCollection(c); err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint %s: %w", c.Name(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckpointEvery checkpoints the server at the given interval until stop
+// is closed, then takes one final checkpoint. It is the goroutine body of
+// the serve subcommand's persistence loop; errors are reported through
+// onError (nil = ignore) so a transient disk failure does not kill the
+// serving path.
+func (s *Server) CheckpointEvery(interval time.Duration, stop <-chan struct{}, onError func(error)) {
+	report := func(err error) {
+		if err != nil && onError != nil {
+			onError(err)
+		}
+	}
+	if interval <= 0 {
+		<-stop
+		report(s.Checkpoint())
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			report(s.Checkpoint())
+		case <-stop:
+			report(s.Checkpoint())
+			return
+		}
+	}
+}
+
+// Close takes a final checkpoint. The server has no other resources to
+// release; HTTP listener lifecycle belongs to the caller.
+func (s *Server) Close() error { return s.Checkpoint() }
+
+// collectionDir returns the persistence directory of a collection.
+func (s *Server) collectionDir(name string) string {
+	return filepath.Join(s.dataDir, name)
+}

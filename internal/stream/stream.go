@@ -21,7 +21,9 @@
 package stream
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"semblock/internal/blocking"
@@ -60,12 +62,36 @@ func WithName(name string) Option {
 	return func(ix *Indexer) { ix.name = name }
 }
 
+// WithTables restricts the Indexer to a subset of the configuration's l
+// hash tables. Bucket keys are still derived from the full configuration
+// (same per-table seeds and semantic bit choices as an unrestricted index),
+// so a family of indexers over disjoint table subsets covering 0..l-1
+// collectively reproduces the unrestricted index exactly: the union of
+// their snapshots equals the full Snapshot and the deduplicated union of
+// their candidate pairs equals the full candidate set. This is the building
+// block of the serving layer's table-sharded collections
+// (internal/server), where every record is inserted into every shard but
+// each shard maintains only its own tables.
+//
+// Table indices must be distinct and within [0, l). NewIndexer rejects
+// invalid subsets.
+func WithTables(tables ...int) Option {
+	return func(ix *Indexer) {
+		ix.tableSubset = append([]int(nil), tables...)
+		ix.tableSubsetSet = true
+	}
+}
+
 // Indexer is an online (SA-)LSH blocking index. The zero value is not
 // usable; construct with NewIndexer.
 type Indexer struct {
 	signer  *lsh.Signer
 	workers int
 	name    string
+
+	tableSubset    []int // the table indices this index maintains
+	tableSubsetSet bool  // whether WithTables restricted the subset
+	sigComponents  []int // signature components of the subset (nil = all)
 
 	mu      sync.Mutex // guards dataset growth and the pair ledger
 	dataset *record.Dataset
@@ -107,9 +133,37 @@ func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 	for _, opt := range opts {
 		opt(ix)
 	}
+	tables := ix.tableSubset
+	if !ix.tableSubsetSet {
+		tables = make([]int, cfg.L)
+		for i := range tables {
+			tables[i] = i
+		}
+	} else {
+		sort.Ints(tables)
+		if len(tables) == 0 {
+			return nil, fmt.Errorf("stream: WithTables needs at least one table")
+		}
+		for i, t := range tables {
+			if t < 0 || t >= cfg.L {
+				return nil, fmt.Errorf("stream: table %d out of range [0,%d)", t, cfg.L)
+			}
+			if i > 0 && tables[i-1] == t {
+				return nil, fmt.Errorf("stream: duplicate table %d in WithTables", t)
+			}
+		}
+	}
+	ix.tableSubset = tables
+	if len(tables) < cfg.L {
+		// A strict subset only ever reads its own tables' bands, so the
+		// signature stage computes just those components — a family of
+		// shards partitioning the tables performs the same total hash work
+		// as one unrestricted index.
+		ix.sigComponents = signer.TableComponents(tables)
+	}
 	nShards := ix.workers
-	if nShards > cfg.L {
-		nShards = cfg.L
+	if nShards > len(tables) {
+		nShards = len(tables)
 	}
 	if nShards < 1 {
 		nShards = 1
@@ -118,12 +172,19 @@ func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 	for i := range ix.shards {
 		ix.shards[i] = &shard{}
 	}
-	for t := 0; t < cfg.L; t++ {
-		sh := ix.shards[t%nShards]
+	for i, t := range tables {
+		sh := ix.shards[i%nShards]
 		sh.tables = append(sh.tables, t)
 		sh.store = append(sh.store, engine.NewTable(0))
 	}
 	return ix, nil
+}
+
+// Tables returns the hash-table indices this index maintains, in ascending
+// order — 0..l-1 unless restricted by WithTables. The returned slice is a
+// copy.
+func (ix *Indexer) Tables() []int {
+	return append([]int(nil), ix.tableSubset...)
 }
 
 // Config returns the index's blocking configuration.
@@ -144,7 +205,7 @@ func (ix *Indexer) Insert(entity record.EntityID, attrs map[string]string) recor
 	r := ix.dataset.Append(entity, attrs)
 	ix.mu.Unlock()
 
-	sig := ix.signer.Sign(r)
+	sig := ix.sign(r)
 	sem := ix.signer.SemSign(r)
 	var found []record.Pair
 	keys := make([]uint64, 0, 8)
@@ -193,7 +254,7 @@ func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				sigs[i] = ix.signer.Sign(recs[i])
+				sigs[i] = ix.sign(recs[i])
 				sems[i] = ix.signer.SemSign(recs[i])
 			}
 		}(lo, hi)
@@ -219,6 +280,15 @@ func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
 		ix.commit(found)
 	}
 	return ids
+}
+
+// sign computes a record's minhash signature — the full k·l components, or
+// only the maintained tables' bands when WithTables restricted the index.
+func (ix *Indexer) sign(r *record.Record) []uint64 {
+	if ix.sigComponents == nil {
+		return ix.signer.Sign(r)
+	}
+	return ix.signer.SignComponents(r, ix.sigComponents)
 }
 
 // insert files the record into every table of the shard and appends the
@@ -254,10 +324,20 @@ func (ix *Indexer) commit(found []record.Pair) {
 }
 
 // Candidates drains and returns the candidate pairs discovered since the
-// previous call (nil if none). Across the lifetime of the index the union
+// previous drain (nil if none). Across the lifetime of the index the union
 // of all drained batches equals Snapshot().CandidatePairs(). Order within a
 // batch is discovery order; it is deterministic for single-goroutine
 // insertion with a fixed configuration and worker count.
+//
+// Candidates is safe to call concurrently with Insert/InsertBatch and with
+// other Candidates calls: the pending queue is swapped out atomically under
+// the index mutex, so every emitted pair is delivered to exactly one
+// drainer — never lost, never duplicated — regardless of how drains
+// interleave with insertions. A pair whose insertion commits after a drain
+// swap simply lands in the next drain. The drain-while-insert invariant
+// (union of all drains + one final drain after the last insert returns ==
+// PairCount distinct pairs) is asserted under the race detector by
+// TestCandidatesConcurrentDrain.
 func (ix *Indexer) Candidates() []record.Pair {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -239,6 +239,168 @@ func TestConcurrentInsert(t *testing.T) {
 	}
 }
 
+// TestWithTablesSharding partitions the hash tables over several
+// table-subset indexers (every record inserted into every subset, as the
+// serving layer's sharded collections do) and checks that the merged
+// candidate set and the concatenated snapshots equal both the unrestricted
+// index and the batch Block run.
+func TestWithTablesSharding(t *testing.T) {
+	d, schema := fixture(t, 250)
+	cfg := lsh.Config{
+		Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7,
+		Semantic: &lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR},
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := want.CandidatePairs()
+
+	for _, shards := range []int{1, 2, 3, 5} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ixs := make([]*Indexer, shards)
+			for i := range ixs {
+				var tables []int
+				for tb := i; tb < cfg.L; tb += shards {
+					tables = append(tables, tb)
+				}
+				ix, err := NewIndexer(cfg, WithTables(tables...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := ix.Tables(); len(got) != len(tables) {
+					t.Fatalf("shard %d maintains %v, want %v", i, got, tables)
+				}
+				ixs[i] = ix
+			}
+			merged := record.NewPairSet(0)
+			var blocks [][]record.ID
+			for _, r := range d.Records() {
+				for _, ix := range ixs {
+					ix.Insert(r.Entity, r.Attrs)
+					for _, p := range ix.Candidates() {
+						merged.AddPair(p)
+					}
+				}
+			}
+			for _, ix := range ixs {
+				blocks = append(blocks, ix.Snapshot().Blocks...)
+			}
+			if merged.Len() != wantPairs.Len() || merged.Intersect(wantPairs) != wantPairs.Len() {
+				t.Fatalf("merged %d pairs over %d table shards, batch has %d (overlap %d)",
+					merged.Len(), shards, wantPairs.Len(), merged.Intersect(wantPairs))
+			}
+			if g, w := canonical(blocks), canonical(want.Blocks); !equal(g, w) {
+				t.Fatalf("concatenated shard snapshots differ from batch: %d vs %d blocks", len(g), len(w))
+			}
+		})
+	}
+}
+
+// TestWithTablesValidation rejects malformed table subsets.
+func TestWithTablesValidation(t *testing.T) {
+	cfg := lsh.Config{Attrs: []string{"a"}, Q: 2, K: 2, L: 4}
+	for name, tables := range map[string][]int{
+		"empty":        {},
+		"out-of-range": {0, 4},
+		"negative":     {-1},
+		"duplicate":    {1, 1},
+	} {
+		if _, err := NewIndexer(cfg, WithTables(tables...)); err == nil {
+			t.Errorf("WithTables(%s=%v) accepted", name, tables)
+		}
+	}
+	ix, err := NewIndexer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Tables(); len(got) != cfg.L {
+		t.Errorf("default table set %v, want all %d", got, cfg.L)
+	}
+}
+
+// TestCandidatesConcurrentDrain asserts the drain-while-insert contract
+// under the race detector: with inserters and drainers running
+// concurrently, every emitted pair is delivered to exactly one drainer —
+// the union of all drains plus one final drain equals PairCount distinct
+// pairs, which equals the batch candidate set over the inserted records.
+func TestCandidatesConcurrentDrain(t *testing.T) {
+	d, _ := fixture(t, 300)
+	cfg := lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 2, L: 8, Seed: 5}
+	ix, err := NewIndexer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inserters = 4
+	const drainers = 3
+	var insertWG sync.WaitGroup
+	recs := d.Records()
+	for w := 0; w < inserters; w++ {
+		insertWG.Add(1)
+		go func(w int) {
+			defer insertWG.Done()
+			for i := w; i < len(recs); i += inserters {
+				ix.Insert(recs[i].Entity, recs[i].Attrs)
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	drained := make([][]record.Pair, drainers)
+	var drainWG sync.WaitGroup
+	for w := 0; w < drainers; w++ {
+		drainWG.Add(1)
+		go func(w int) {
+			defer drainWG.Done()
+			for {
+				drained[w] = append(drained[w], ix.Candidates()...)
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	insertWG.Wait()
+	close(done)
+	drainWG.Wait()
+	final := ix.Candidates()
+
+	all := record.NewPairSet(0)
+	total := 0
+	for _, batch := range append(drained, final) {
+		for _, p := range batch {
+			total++
+			all.AddPair(p)
+		}
+	}
+	if total != all.Len() {
+		t.Fatalf("drained %d pair deliveries but only %d distinct pairs: some pair reached two drainers", total, all.Len())
+	}
+	if all.Len() != ix.PairCount() {
+		t.Fatalf("drained %d distinct pairs, index emitted %d", all.Len(), ix.PairCount())
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(ix.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := want.CandidatePairs()
+	if all.Len() != wantPairs.Len() || all.Intersect(wantPairs) != wantPairs.Len() {
+		t.Fatalf("drained %d pairs, batch has %d (overlap %d)",
+			all.Len(), wantPairs.Len(), all.Intersect(wantPairs))
+	}
+}
+
 // TestEmptyAndValidation covers the trivial states and config errors.
 func TestEmptyAndValidation(t *testing.T) {
 	ix, err := NewIndexer(lsh.Config{Attrs: []string{"a"}, Q: 2, K: 2, L: 4})

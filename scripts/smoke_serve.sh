@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving layer: build the CLI, start
+# `semblock serve` with persistence, drive the HTTP API (create a sharded
+# collection, bulk-ingest JSONL, drain candidates, snapshot, metrics),
+# shut down gracefully with SIGTERM and assert the final checkpoint landed
+# on disk. CI runs this as the "serve-smoke" job; locally: make smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${SMOKE_PORT:-8726}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/semblock"
+DATA="$(mktemp -d)"
+LOG="$(mktemp)"
+
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$DATA" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/semblock
+
+"$BIN" serve -addr "$ADDR" -data-dir "$DATA" -shards 2 -checkpoint 1h >"$LOG" 2>&1 &
+PID=$!
+
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+curl -fsS -X POST "$BASE/v1/collections" \
+    -d '{"name":"smoke","attrs":["name"],"q":2,"k":2,"l":8,"seed":1,"shards":2}' >/dev/null
+
+curl -fsS -X POST "$BASE/v1/collections/smoke/records" \
+    -H 'Content-Type: application/x-ndjson' \
+    --data-binary $'{"attrs":{"name":"robert smith"}}\n{"attrs":{"name":"mary johnson"}}\n{"attrs":{"name":"robert smyth"}}\n' \
+    | grep -q '"count":3'
+
+curl -fsS "$BASE/v1/collections/smoke/candidates" | grep -q '"pairs"'
+curl -fsS "$BASE/v1/collections/smoke/snapshot" | grep -q '"technique":"lsh"'
+curl -fsS "$BASE/v1/collections/smoke" | grep -q '"records":3'
+curl -fsS "$BASE/metrics" | grep -q '^semblock_ingested_records_total 3'
+
+kill -TERM "$PID"
+wait "$PID" || { echo "server exited non-zero:"; cat "$LOG"; exit 1; }
+
+# The graceful shutdown must have taken a final checkpoint.
+test -f "$DATA/smoke/manifest.json" || { echo "missing manifest after shutdown"; ls -R "$DATA"; exit 1; }
+grep -q '"records": 3' "$DATA/smoke/manifest.json"
+test -f "$DATA/smoke/segment-000001.jsonl"
+
+echo "serve smoke OK"

@@ -48,6 +48,19 @@
 //	    semblock.WithMatcher(matcher))
 //	out, _ := p.Run(d) // out.Final, out.Matches, out.Resolution
 //
+// # Serving
+//
+// A multi-tenant HTTP service wraps the streaming engine in named, sharded,
+// persistent collections ("semblock serve" on the command line):
+//
+//	srv, _ := semblock.NewServer(semblock.WithDataDir("/var/lib/semblock"))
+//	c, _ := srv.Create(semblock.CollectionSpec{
+//	    Name: "pubs", Attrs: []string{"title"}, Q: 4, K: 4, L: 63, Shards: 4,
+//	})
+//	c.Ingest(rows)                          // or POST /v1/collections/pubs/records
+//	pairs := c.Candidates()                 // or GET  .../candidates
+//	http.ListenAndServe(addr, srv.Handler())
+//
 // The exported identifiers are aliases of the implementation packages
 // under internal/, so the full documented API of those packages is
 // available through this single import.
@@ -63,6 +76,7 @@ import (
 	"semblock/internal/pipeline"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
+	"semblock/internal/server"
 	"semblock/internal/stream"
 	"semblock/internal/taxonomy"
 	"semblock/internal/tuning"
@@ -89,10 +103,14 @@ const UnknownEntity = record.UnknownEntity
 // NewDataset returns an empty dataset.
 func NewDataset(name string) *Dataset { return record.NewDataset(name) }
 
-// ReadCSV and WriteCSV (de)serialise datasets; see internal/record.
+// ReadCSV/WriteCSV and ReadJSONL/WriteJSONL (de)serialise datasets; the
+// JSONL form ({"entity":ID,"attrs":{...}} per line) is also the wire format
+// of the serving layer's bulk-ingest endpoint and snapshot segment files.
 var (
-	ReadCSV  = record.ReadCSV
-	WriteCSV = record.WriteCSV
+	ReadCSV    = record.ReadCSV
+	WriteCSV   = record.WriteCSV
+	ReadJSONL  = record.ReadJSONL
+	WriteJSONL = record.WriteJSONL
 )
 
 // Taxonomies and semantic similarity (§4 of the paper).
@@ -203,8 +221,9 @@ func NewIndexer(cfg Config, opts ...IndexerOption) (*Indexer, error) {
 
 // Indexer options.
 var (
-	WithWorkers     = stream.WithWorkers
-	WithIndexerName = stream.WithName
+	WithWorkers       = stream.WithWorkers
+	WithIndexerName   = stream.WithName
+	WithIndexerTables = stream.WithTables
 )
 
 // Collision-probability model of §5.1–§5.2.
@@ -353,3 +372,49 @@ var (
 	WithBatchSize       = pipeline.WithBatchSize
 	WithMatchSink       = pipeline.WithMatchSink
 )
+
+// Multi-tenant serving layer (internal/server): a Server owns named
+// Collections — each backed by N table-sharded streaming indexers whose
+// merged candidate set equals the batch Block set on the same records —
+// exposed over an HTTP JSON API (Server.Handler) with snapshot persistence
+// (Save/Load JSONL segments, checkpointing, restore-on-boot). The CLI
+// front-end is "semblock serve".
+type (
+	// Server is the multi-tenant blocking service.
+	Server = server.Server
+	// ServerOption customises a Server (data dir, default shards).
+	ServerOption = server.Option
+	// Collection is one tenant's sharded, persistent blocking index.
+	Collection = server.Collection
+	// CollectionSpec is a collection's JSON-serialisable configuration.
+	CollectionSpec = server.CollectionSpec
+	// CollectionSemantic selects a built-in SA-LSH domain for a collection.
+	CollectionSemantic = server.SemanticSpec
+	// CollectionStats summarises a collection.
+	CollectionStats = server.Stats
+	// ResolveRequest configures a Collection.Resolve pipeline run.
+	ResolveRequest = server.ResolveRequest
+	// MatchAttr weights one attribute in a ResolveRequest.
+	MatchAttr = server.MatchAttr
+	// PruneSpec selects a meta-blocking stage in a ResolveRequest.
+	PruneSpec = server.PruneSpec
+)
+
+// NewServer builds a multi-tenant blocking service; see internal/server.
+func NewServer(opts ...ServerOption) (*Server, error) { return server.New(opts...) }
+
+// Server options.
+var (
+	WithDataDir       = server.WithDataDir
+	WithDefaultShards = server.WithDefaultShards
+)
+
+// Serving-layer sentinel errors (match with errors.Is).
+var (
+	ErrCollectionExists   = server.ErrExists
+	ErrCollectionNotFound = server.ErrNotFound
+	ErrCollectionPersist  = server.ErrPersist
+)
+
+// LoadCollection restores one collection from its persistence directory.
+var LoadCollection = server.LoadCollection
