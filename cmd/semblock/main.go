@@ -105,7 +105,19 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound how long a stalled client can hold a handler. WriteTimeout
+		// caps the whole request (body read included), so it must leave
+		// room for large bulk-JSONL ingests over slow links; it exists
+		// mainly so a wedged candidates-drain response — which holds the
+		// collection's fallible-drain slot and turns later drains into
+		// 503s — cannot live forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("semblock serve listening on %s\n", *addr)

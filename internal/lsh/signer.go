@@ -97,6 +97,48 @@ func (s *Signer) SignComponents(r *record.Record, components []int) []uint64 {
 	return sig
 }
 
+// Stage is the shard-independent half of one record's signature work: the
+// base hashes of its q-gram shingles plus its semhash signature. Computing a
+// record's Stage is the expensive, table-count-independent part of signing —
+// attribute concatenation, q-gram extraction, string hashing, and the
+// taxonomy walk behind the semhash — so a Stage computed once can be shared
+// by any number of table-subset indexers, each deriving only its own minhash
+// components via SignStaged. stream.SharedLog.Append computes one Stage per
+// appended record and hands the staged batch to every attached shard; the
+// stages are per-batch hand-offs, not retained state.
+type Stage struct {
+	hashes []uint64 // base hashes of the record's q-grams (minhash.ShingleHashes)
+	sem    semantic.BitVec
+}
+
+// Sem returns the staged semhash signature (the zero BitVec without a
+// semantic option; callers must not inspect it then).
+func (st *Stage) Sem() semantic.BitVec { return st.sem }
+
+// Stage computes the shard-independent signature stage of one record:
+// q-gram shingling of the blocking key, the shingles' base hashes, and the
+// semhash signature. SignStaged consumes the result.
+func (s *Signer) Stage(r *record.Record) *Stage {
+	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
+	return &Stage{hashes: minhash.ShingleHashes(grams), sem: s.SemSign(r)}
+}
+
+// SignStaged derives minhash signature components from a precomputed Stage:
+// all k·l components when components is nil (equal to Sign), or only the
+// given TableComponents subset (equal to SignComponents, every other
+// component left at the empty-set sentinel). Staging and signing compose to
+// exactly the unstaged results, so staged and unstaged records may be mixed
+// freely in one index.
+func (s *Signer) SignStaged(st *Stage, components []int) []uint64 {
+	sig := make([]uint64, s.fam.Size())
+	if components == nil {
+		s.fam.SignatureFromHashesInto(st.hashes, sig)
+	} else {
+		s.fam.SignatureSubsetFromHashesInto(st.hashes, components, sig)
+	}
+	return sig
+}
+
 // SemSign computes the semhash signature of one record. Without a semantic
 // option it returns the zero BitVec, which callers must not inspect.
 func (s *Signer) SemSign(r *record.Record) semantic.BitVec {

@@ -1,0 +1,58 @@
+package lsh
+
+import (
+	"testing"
+
+	"semblock/internal/datagen"
+	"semblock/internal/semantic"
+	"semblock/internal/taxonomy"
+)
+
+// TestStageEquivalence checks that the staged signature path (one Stage per
+// record, then SignStaged per table subset) reproduces the unstaged
+// Sign/SignComponents/SemSign results exactly, so shared-log indexers block
+// identically to per-shard staging.
+func TestStageEquivalence(t *testing.T) {
+	cfg := datagen.DefaultCoraConfig()
+	cfg.Records = 60
+	d := datagen.Cora(cfg)
+	fn, err := semantic.NewCoraFunction(taxonomy.Bibliographic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := semantic.BuildSchema(fn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := NewSigner(Config{
+		Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 8, Seed: 11,
+		Semantic: &SemanticOption{Schema: schema, W: 3, Mode: ModeOR},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tables := []int{1, 4, 7}
+	components := signer.TableComponents(tables)
+	for _, r := range d.Records() {
+		st := signer.Stage(r)
+		full := signer.Sign(r)
+		staged := signer.SignStaged(st, nil)
+		for i := range full {
+			if staged[i] != full[i] {
+				t.Fatalf("record %d: staged full component %d = %d, direct %d", r.ID, i, staged[i], full[i])
+			}
+		}
+		sub := signer.SignComponents(r, components)
+		stagedSub := signer.SignStaged(st, components)
+		for _, i := range components {
+			if stagedSub[i] != sub[i] {
+				t.Fatalf("record %d: staged subset component %d = %d, direct %d", r.ID, i, stagedSub[i], sub[i])
+			}
+		}
+		got, want := st.Sem(), signer.SemSign(r)
+		if got.Len() != want.Len() || got.String() != want.String() {
+			t.Fatalf("record %d: staged semhash %s, SemSign %s", r.ID, got, want)
+		}
+	}
+}

@@ -83,6 +83,56 @@ func (f *Family) SignatureInto(grams []string, sig []uint64) {
 	}
 }
 
+// ShingleHashes maps each shingle to its 64-bit base hash — the
+// family-independent half of signature computation (the string hashing; the
+// per-function seeded mixing is the family-dependent half). A hash slice
+// computed once can feed SignatureFromHashesInto and
+// SignatureSubsetFromHashesInto any number of times, which is how the
+// shared-log serving layer (internal/stream.SharedLog) hashes each record's
+// q-grams exactly once while every table shard derives only its own
+// signature components from them.
+func ShingleHashes(grams []string) []uint64 {
+	hashes := make([]uint64, len(grams))
+	for i, g := range grams {
+		hashes[i] = baseHash(g)
+	}
+	return hashes
+}
+
+// SignatureFromHashesInto computes the signature from precomputed shingle
+// base hashes (ShingleHashes) into sig, which must have length Size(). It is
+// equivalent to SignatureInto over the shingles the hashes came from.
+func (f *Family) SignatureFromHashesInto(hashes []uint64, sig []uint64) {
+	for i := range sig {
+		sig[i] = emptyMin
+	}
+	for _, b := range hashes {
+		for i, s := range f.seeds {
+			if h := splitmix64(b ^ s); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+}
+
+// SignatureSubsetFromHashesInto computes only the selected signature
+// components from precomputed shingle base hashes into sig (length Size());
+// unselected components are left at the empty-set sentinel and must not be
+// read. Selected components equal the corresponding components of a full
+// SignatureInto run over the originating shingles.
+func (f *Family) SignatureSubsetFromHashesInto(hashes []uint64, components []int, sig []uint64) {
+	for i := range sig {
+		sig[i] = emptyMin
+	}
+	for _, b := range hashes {
+		for _, i := range components {
+			if h := splitmix64(b ^ f.seeds[i]); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+}
+
 // SignatureSubsetInto computes only the selected signature components
 // (indices into the family) into sig, which must have length Size();
 // every other component is left at the empty-set sentinel and must not be

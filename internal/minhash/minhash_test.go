@@ -172,3 +172,46 @@ func TestSignatureSubsetInto(t *testing.T) {
 		}
 	}
 }
+
+// TestSignatureFromHashes checks the staged two-step form (ShingleHashes
+// once, then full or subset mixing) reproduces the direct computations
+// exactly — the property the shared-log serving layer relies on to hash each
+// record's shingles once for all table shards.
+func TestSignatureFromHashes(t *testing.T) {
+	f := NewFamily(24, 42)
+	grams := textual.QGrams("cascade correlation learning", 2)
+	full := f.Signature(grams)
+	hashes := ShingleHashes(grams)
+
+	staged := make([]uint64, f.Size())
+	f.SignatureFromHashesInto(hashes, staged)
+	for i := range staged {
+		if staged[i] != full[i] {
+			t.Errorf("staged component %d = %d, direct %d", i, staged[i], full[i])
+		}
+	}
+
+	components := []int{0, 1, 9, 17, 23}
+	selected := make(map[int]bool)
+	for _, c := range components {
+		selected[c] = true
+	}
+	sub := make([]uint64, f.Size())
+	f.SignatureSubsetFromHashesInto(hashes, components, sub)
+	for i := range sub {
+		switch {
+		case selected[i] && sub[i] != full[i]:
+			t.Errorf("staged subset component %d = %d, direct %d", i, sub[i], full[i])
+		case !selected[i] && sub[i] != emptyMin:
+			t.Errorf("unselected staged component %d not at sentinel: %d", i, sub[i])
+		}
+	}
+
+	// Empty shingle set stays at the sentinel through the staged path too.
+	f.SignatureFromHashesInto(ShingleHashes(nil), staged)
+	for i := range staged {
+		if staged[i] != emptyMin {
+			t.Errorf("empty-set staged component %d = %d, want sentinel", i, staged[i])
+		}
+	}
+}

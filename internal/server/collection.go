@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -15,16 +16,28 @@ import (
 	"semblock/internal/stream"
 )
 
-// Collection is one tenant's long-lived blocking index: a named record log
-// plus N table-sharded stream.Indexer instances. Shard i owns the hash
-// tables {t : t mod N == i} (restricted with stream.WithTables); every
-// ingested record is appended to every shard in the same order, so shard-
-// local record IDs coincide with the collection's global IDs and candidate
-// pairs from different shards merge without translation. Because the shard
-// table subsets are disjoint and cover 0..l-1, the deduplicated union of
-// the shards' candidate pairs equals the unsharded candidate set — and the
+// Collection is one tenant's long-lived blocking index: one shared record
+// log (stream.SharedLog) consumed by N table-sharded stream.Indexer
+// instances. Shard i owns the hash tables {t : t mod N == i} (restricted
+// with stream.WithTables) and attaches to the collection's log with
+// stream.WithSharedLog, so the record log is stored exactly once per
+// collection and each record's q-gram + semhash signature stage is computed
+// exactly once — by the collection's worker pool — no matter how many
+// shards consume it. Record IDs are assigned by the log, so shard-local IDs
+// coincide with the collection's global IDs and candidate pairs from
+// different shards merge without translation. Because the shard table
+// subsets are disjoint and cover 0..l-1, the deduplicated union of the
+// shards' candidate pairs equals the unsharded candidate set — and the
 // batch Block set — by construction; sharding buys write parallelism, never
 // changes results.
+//
+// Candidate pairs enter the pending queue in canonical emission order —
+// record-major (a record's pairs are queued when its ingest completes),
+// deduplicated against everything emitted before, sorted within one
+// record's freshly discovered group. The order depends only on the record
+// sequence, never on ingest batch boundaries, shard count, or worker
+// count; persistence relies on this to resume the candidate drain from a
+// durable cursor after a restore (see persist.go).
 //
 // All methods are safe for concurrent use. Ingest order is serialised per
 // collection (the ID-assignment mutex), while the shards of one ingest
@@ -34,10 +47,13 @@ type Collection struct {
 	cfg       lsh.Config
 	technique string
 
-	mu      sync.Mutex      // serialises ingest (ID assignment), drains, snapshots
-	dataset *record.Dataset // the global record log; IDs == shard-local IDs
-	seen    record.PairSet  // every candidate pair ever merged from the shards
-	pending []record.Pair   // merged but not yet drained by Candidates
+	mu       sync.Mutex        // serialises ingest (ID assignment), drains, snapshots
+	log      *stream.SharedLog // the one record log + staging pass all shards share
+	seen     record.PairSet    // every candidate pair ever merged from the shards
+	pending  []record.Pair     // emitted but not yet drained, canonical order
+	inflight int               // popped by DrainCandidates, outcome not yet known
+
+	drainMu sync.Mutex // serialises DrainCandidates deliveries (prefix invariant)
 
 	shards []*stream.Indexer
 
@@ -62,20 +78,31 @@ func newCollection(spec CollectionSpec) (*Collection, error) {
 	if cfg.Semantic != nil {
 		technique = "sa-lsh"
 	}
+	// The shared log's staging pool does the per-record q-gram + semhash
+	// work once for the whole collection, so it gets the full worker
+	// budget; the per-shard pools only mix their own tables' minhash
+	// components and are sized 1/N of it so a fan-out ingest does not
+	// oversubscribe the CPU by a factor of the shard count.
+	logWorkers := spec.Workers
+	if logWorkers <= 0 {
+		logWorkers = runtime.NumCPU()
+	}
+	log, err := stream.NewSharedLog(spec.Name, cfg, logWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("server: shared log of %s: %w", spec.Name, err)
+	}
 	c := &Collection{
 		spec:      spec,
 		cfg:       cfg,
 		technique: technique,
-		dataset:   record.NewDataset(spec.Name),
+		log:       log,
 		seen:      record.NewPairSet(0),
 	}
-	// Spread the signature workers over the shards so a fan-out ingest does
-	// not oversubscribe the CPU by a factor of the shard count.
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU() / spec.Shards
-		if workers < 1 {
-			workers = 1
+	shardWorkers := spec.Workers
+	if shardWorkers <= 0 {
+		shardWorkers = runtime.NumCPU() / spec.Shards
+		if shardWorkers < 1 {
+			shardWorkers = 1
 		}
 	}
 	for i := 0; i < spec.Shards; i++ {
@@ -84,7 +111,8 @@ func newCollection(spec CollectionSpec) (*Collection, error) {
 			tables = append(tables, t)
 		}
 		ix, err := stream.NewIndexer(cfg,
-			stream.WithTables(tables...), stream.WithWorkers(workers))
+			stream.WithTables(tables...), stream.WithWorkers(shardWorkers),
+			stream.WithSharedLog(log))
 		if err != nil {
 			return nil, fmt.Errorf("server: shard %d of %s: %w", i, spec.Name, err)
 		}
@@ -101,9 +129,7 @@ func (c *Collection) Spec() CollectionSpec { return c.spec }
 
 // Len returns the number of ingested records.
 func (c *Collection) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dataset.Len()
+	return c.log.Len()
 }
 
 // PairCount returns the total number of distinct candidate pairs emitted so
@@ -115,56 +141,75 @@ func (c *Collection) PairCount() int {
 }
 
 // Ingest appends a batch of records to the collection and returns their
-// assigned (dense, global) IDs. The rows are inserted into every shard —
-// concurrently across shards, in identical order within each — and the
-// shards' freshly discovered candidate pairs are merged, deduplicated
-// globally, and queued for Candidates.
+// assigned (dense, global) IDs. The batch is appended to the shared log
+// once — which computes each record's signature stage exactly once, on the
+// collection's worker pool — then handed to every shard concurrently; each
+// shard fills only its own hash tables from the precomputed stages. The
+// shards' freshly discovered collision pairs are merged into the single
+// collection ledger in canonical emission order (record-major,
+// deduplicated, sorted within one record's group) and queued for
+// Candidates.
 func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids := make([]record.ID, len(rows))
-	for i, row := range rows {
-		ids[i] = c.dataset.Append(row.Entity, row.Attrs).ID
-	}
+	batch := c.log.Append(rows)
+	perShard := make([][][]record.Pair, len(c.shards))
 	var wg sync.WaitGroup
-	for _, sh := range c.shards {
+	for si, sh := range c.shards {
 		wg.Add(1)
-		go func(sh *stream.Indexer) {
+		go func(si int, sh *stream.Indexer) {
 			defer wg.Done()
-			sh.InsertBatch(rows)
-		}(sh)
+			perShard[si] = sh.InsertStaged(batch)
+		}(si, sh)
 	}
 	wg.Wait()
-	c.drainShardsLocked()
-	return ids, nil
-}
-
-// drainShardsLocked merges each shard's pending candidates into the
-// collection ledger. The same pair may surface in several shards (it can
-// collide in tables owned by different shards); the global seen set keeps
-// exactly one copy.
-func (c *Collection) drainShardsLocked() {
-	for _, sh := range c.shards {
-		for _, p := range sh.Candidates() {
-			if _, dup := c.seen[p]; !dup {
-				c.seen.AddPair(p)
-				c.pending = append(c.pending, p)
+	// Canonical merge. The same pair may surface in several shards (it can
+	// collide in tables owned by different shards) or repeatedly over time;
+	// the global seen set keeps exactly one copy. Sorting each record's
+	// fresh group makes the queue order a pure function of the record
+	// sequence — independent of batch boundaries, shard count, and worker
+	// count — which is what lets the persisted drain cursor (a plain count)
+	// resume delivery exactly after a replay.
+	for i := range rows {
+		var fresh []record.Pair
+		for _, perRecord := range perShard {
+			for _, p := range perRecord[i] {
+				if _, dup := c.seen[p]; !dup {
+					c.seen.AddPair(p)
+					fresh = append(fresh, p)
+				}
 			}
 		}
+		record.SortPairs(fresh)
+		c.pending = append(c.pending, fresh...)
 	}
+	return batch.IDs, nil
 }
 
 // Candidates drains and returns the candidate pairs discovered since the
 // previous drain (nil if none) — the collection-level analogue of
 // stream.Indexer.Candidates, with the same exactly-once delivery guarantee
-// under concurrent drains. After a restart the index is rebuilt by
-// replaying the persisted records, so the drain starts over from the full
-// candidate set; consumers must treat pair delivery as at-least-once across
-// restarts.
+// under concurrent drains. Across a restart, delivery resumes from the
+// last checkpoint's durable drain cursor: pairs drained before that
+// checkpoint are never redelivered, pairs drained after it are (the
+// checkpoint could not have recorded them). Delivery is therefore
+// exactly-once up to the latest checkpoint and at-least-once only for the
+// window since it; checkpoint after draining to tighten the window.
+// "Drained" means the hand-off the server observed succeeded — for the
+// HTTP endpoint, the response write completing. What happens beyond that
+// observation (a network losing a fully written response) is outside the
+// cursor's reach; a consumer needing end-to-end exactly-once must
+// deduplicate or drive the drain through an acknowledged protocol.
 func (c *Collection) Candidates() []record.Pair {
+	// The drain mutex keeps this pop ordered against DrainCandidates
+	// hand-offs: popping around an in-flight fallible delivery would let
+	// later pairs count as delivered while earlier ones are still
+	// undecided, breaking the cursor's prefix invariant.
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.pending
@@ -172,15 +217,64 @@ func (c *Collection) Candidates() []record.Pair {
 	return out
 }
 
+// ErrDrainBusy reports a DrainCandidates call while another fallible
+// hand-off is still in flight; the caller should retry after it settles.
+var ErrDrainBusy = errors.New("a candidate drain is already in flight")
+
+// DrainCandidates pops the pending queue and hands it to deliver (nil is
+// not called on an empty queue); if deliver fails, the pairs are requeued
+// at the front, so the next drain delivers them again. Unlike a bare
+// Candidates call, the popped pairs do not count as delivered — the
+// durable drain cursor a concurrent Save captures excludes them — until
+// deliver returns nil: a checkpoint racing an in-flight delivery can only
+// under-count (redeliver after a crash), never lose a pair whose delivery
+// failed. Deliveries are serialised, which keeps the delivered pairs a
+// prefix of the canonical emission order even when a failed delivery is
+// requeued between two others — the invariant the count-based cursor
+// depends on; rather than queueing behind a slow delivery (deliver may
+// block on a client socket), a concurrent call fails fast with
+// ErrDrainBusy. Use this for hand-offs that can fail mid-way (the HTTP
+// candidates endpoint does); use Candidates when delivery cannot fail.
+func (c *Collection) DrainCandidates(deliver func([]record.Pair) error) error {
+	if !c.drainMu.TryLock() {
+		return ErrDrainBusy
+	}
+	defer c.drainMu.Unlock()
+	c.mu.Lock()
+	pairs := c.pending
+	c.pending = nil
+	c.inflight += len(pairs)
+	c.mu.Unlock()
+	if len(pairs) == 0 {
+		return nil
+	}
+	err := deliver(pairs)
+	c.mu.Lock()
+	c.inflight -= len(pairs)
+	if err != nil {
+		c.requeueLocked(pairs)
+	}
+	c.mu.Unlock()
+	return err
+}
+
 // Requeue returns undelivered pairs to the front of the pending queue, in
-// order, so a failed hand-off (e.g. an HTTP response write that died
-// mid-stream) does not lose them: the next drain delivers them again.
+// order, so a failed hand-off does not lose them: the next drain delivers
+// them again. Callers that can observe a delivery failure should prefer
+// DrainCandidates, which additionally keeps the in-flight pairs out of the
+// durable drain cursor and serialises deliveries; with bare
+// Candidates+Requeue, a checkpoint taken between the drain and the requeue
+// records the pairs as delivered.
 func (c *Collection) Requeue(pairs []record.Pair) {
 	if len(pairs) == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.requeueLocked(pairs)
+}
+
+func (c *Collection) requeueLocked(pairs []record.Pair) {
 	merged := make([]record.Pair, 0, len(pairs)+len(c.pending))
 	merged = append(merged, pairs...)
 	c.pending = append(merged, c.pending...)
@@ -212,11 +306,7 @@ func (c *Collection) Dataset() *record.Dataset {
 }
 
 func (c *Collection) datasetCopyLocked() *record.Dataset {
-	out := record.NewDataset(c.spec.Name)
-	for _, r := range c.dataset.Records() {
-		out.Append(r.Entity, r.Attrs)
-	}
-	return out
+	return c.log.DatasetCopy()
 }
 
 // MatchAttr weights one attribute in a resolve run (see er.AttrWeight).
@@ -339,6 +429,7 @@ type Stats struct {
 	Records          int    `json:"records"`
 	Pairs            int    `json:"pairs"`
 	PendingPairs     int    `json:"pending_pairs"`
+	DrainedPairs     int    `json:"drained_pairs"`
 	PersistedRecords int    `json:"persisted_records"`
 }
 
@@ -350,9 +441,10 @@ func (c *Collection) Stats() Stats {
 		Name:             c.spec.Name,
 		Technique:        c.technique,
 		Shards:           len(c.shards),
-		Records:          c.dataset.Len(),
+		Records:          c.log.Len(),
 		Pairs:            c.seen.Len(),
 		PendingPairs:     len(c.pending),
+		DrainedPairs:     c.seen.Len() - len(c.pending) - c.inflight,
 		PersistedRecords: c.persisted,
 	}
 }

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -102,7 +104,7 @@ func TestCollectionShardParity(t *testing.T) {
 	wantPairs := want.CandidatePairs()
 	wantBlocks := canonical(want.Blocks)
 
-	for _, shards := range []int{1, 2, 4} {
+	for _, shards := range []int{1, 2, 4, 8} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			c, err := newCollection(baseSpec("parity", shards))
 			if err != nil {
@@ -126,6 +128,59 @@ func TestCollectionShardParity(t *testing.T) {
 			}
 		})
 	}
+}
+
+// retainedBytes reports the heap growth of building fn's return value:
+// heap-allocated bytes after a full GC, minus the baseline before. The
+// returned value keeps the built object alive until measured.
+func retainedBytes(t *testing.T, fn func() *Collection) uint64 {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	c := fn()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(c)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// TestSharedLogMemory asserts the shared-record-log guarantee in bytes: the
+// retained heap of an 8-shard collection stays close to the 1-shard one
+// over the same records, because the record log and per-record staging are
+// stored/computed once per collection, not once per shard, and the hash
+// tables are partitioned (l tables total, any shard count). Before the
+// shared log, each shard kept its own copy of the record log and its own
+// pair ledger — an (N+1)× duplication this test would catch coming back.
+func TestSharedLogMemory(t *testing.T) {
+	_, rows := coraFixture(t, 1500)
+	build := func(shards int) func() *Collection {
+		return func() *Collection {
+			c, err := newCollection(baseSpec("mem", shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Ingest(rows); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+	}
+	one := retainedBytes(t, build(1))
+	eight := retainedBytes(t, build(8))
+	if one == 0 {
+		t.Fatal("1-shard collection retained no measurable heap")
+	}
+	// Allow slack for per-shard fixed overhead and GC measurement noise;
+	// the pre-shared-log duplication showed up as a multiple, not a few
+	// percent.
+	if float64(eight) > 2.0*float64(one) {
+		t.Fatalf("8-shard collection retains %d bytes, 1-shard %d — record log duplication is back", eight, one)
+	}
+	t.Logf("retained heap: shards=1 %dB, shards=8 %dB", one, eight)
 }
 
 // TestCollectionRequeue checks that requeued pairs come back at the front
@@ -158,6 +213,40 @@ func TestCollectionRequeue(t *testing.T) {
 	}
 	if c.PairCount() != len(second) {
 		t.Errorf("PairCount %d, drained %d distinct", c.PairCount(), len(second))
+	}
+}
+
+// TestDrainCandidatesBusy checks a concurrent fallible drain fails fast
+// with ErrDrainBusy instead of queueing behind a slow delivery.
+func TestDrainCandidatesBusy(t *testing.T) {
+	_, rows := coraFixture(t, 80)
+	c, err := newCollection(baseSpec("busy", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	inDeliver := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.DrainCandidates(func(pairs []record.Pair) error {
+			close(inDeliver)
+			<-release
+			return nil
+		})
+	}()
+	<-inDeliver
+	if err := c.DrainCandidates(func([]record.Pair) error { return nil }); !errors.Is(err, ErrDrainBusy) {
+		t.Errorf("concurrent drain returned %v, want ErrDrainBusy", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked drain failed: %v", err)
+	}
+	if got := c.Stats().DrainedPairs; got != c.PairCount() {
+		t.Errorf("after the delivery settled, DrainedPairs %d != Pairs %d", got, c.PairCount())
 	}
 }
 

@@ -176,22 +176,46 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 
 func (s *Server) handleCandidates(w http.ResponseWriter, _ *http.Request, c *Collection) {
 	s.metrics.candidateQueries.Add(1)
-	pairs := c.Candidates()
-	out := make([][2]record.ID, len(pairs))
-	for i, p := range pairs {
-		out[i] = [2]record.ID{p.Left(), p.Right()}
-	}
-	// A drain is destructive; if the response write dies mid-stream the
-	// pairs are requeued so the next drain delivers them again (a response
-	// lost after a complete write is still gone — delivery over HTTP is
-	// at-least-once only across restarts, see Collection.Candidates).
-	if err := s.writeJSON(w, http.StatusOK, map[string]any{
-		"pairs": out, "count": len(out), "emitted_total": c.PairCount(),
-	}); err != nil {
-		c.Requeue(pairs)
+	// A drain is destructive, so it runs through DrainCandidates: if the
+	// response write dies mid-stream the pairs are requeued for the next
+	// drain, and while the write is in flight they are excluded from the
+	// durable drain cursor a concurrent checkpoint would capture. Across a
+	// process restart, delivery resumes from the last checkpoint's cursor —
+	// exactly-once for pairs acknowledged before the checkpoint,
+	// at-least-once for the window since it (see Collection.Candidates).
+	// The acknowledgment is the server-side write completing: a response
+	// that the network loses after a complete write is still gone, the
+	// inherent limit of an ack-less GET (a client-committed cursor protocol
+	// would be needed to close it).
+	delivered := 0
+	err := c.DrainCandidates(func(pairs []record.Pair) error {
+		out := make([][2]record.ID, len(pairs))
+		for i, p := range pairs {
+			out[i] = [2]record.ID{p.Left(), p.Right()}
+		}
+		delivered = len(pairs)
+		return s.writeJSON(w, http.StatusOK, map[string]any{
+			"pairs": out, "count": len(out), "emitted_total": c.PairCount(),
+		})
+	})
+	if errors.Is(err, ErrDrainBusy) {
+		// Another drain's response write is still in flight; its pairs are
+		// spoken for, so queueing behind it would only tie up a handler.
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	s.metrics.drainedPairs.Add(int64(len(pairs)))
+	if err != nil {
+		return
+	}
+	if delivered == 0 {
+		// Empty queue: DrainCandidates skips the callback; still answer.
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"pairs": [][2]record.ID{}, "count": 0, "emitted_total": c.PairCount(),
+		})
+		return
+	}
+	s.metrics.drainedPairs.Add(int64(delivered))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request, c *Collection) {

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -18,48 +19,78 @@ import (
 //	<data-dir>/<collection>/segment-000002.jsonl
 //	...
 //
-// The manifest holds the versioned CollectionSpec plus the ordered segment
-// list; each segment is an immutable JSONL run of records (the same wire
-// format the bulk-ingest endpoint speaks, record.WriteJSONL). A checkpoint
-// appends exactly the records ingested since the previous checkpoint as a
-// new segment and rewrites the manifest; both writes are atomic
-// (temp-file + rename), so a crash mid-checkpoint leaves the previous
-// checkpoint intact.
+// The manifest holds the versioned CollectionSpec, the ordered segment
+// list, and the durable drain cursor; each segment is an immutable JSONL
+// run of records (the same wire format the bulk-ingest endpoint speaks,
+// record.WriteJSONL). A checkpoint appends exactly the records ingested
+// since the previous checkpoint as a new segment and rewrites the manifest;
+// both writes are atomic AND durable (temp file, fsync, rename, directory
+// fsync), so a crash mid-checkpoint leaves the previous checkpoint intact
+// and a completed checkpoint survives power loss.
 //
-// Restore replays the segments in order through the same sharded engine an
-// ingest uses, which is what guarantees a reloaded collection reproduces
+// Restore replays the segments in order through the same shared-log engine
+// an ingest uses, which is what guarantees a reloaded collection reproduces
 // the identical snapshot: batch/stream parity is enforced by construction
 // in internal/engine, so equal records in equal order ⇒ equal buckets ⇒
-// equal blocks.
-
-// manifestVersion is bumped whenever the on-disk layout changes shape.
-const manifestVersion = 1
+// equal blocks. Because the collection queues candidate pairs in a
+// canonical emission order that depends only on the record sequence (see
+// Collection), replay regenerates the exact pre-crash pair sequence — and
+// the manifest's drain cursor (the count of pairs already delivered to
+// consumers when the checkpoint was taken) tells restore how long a prefix
+// of it to discard instead of redelivering.
+const (
+	// manifestVersion is bumped whenever the on-disk layout changes shape.
+	// v1: spec + record segments. v2: + durable drain cursor (manifest
+	// `drained`, per-segment cumulative `drained` epoch marks).
+	manifestVersion = 2
+	// oldestManifestVersion is the oldest layout LoadCollection still
+	// reads. v1 directories load with a zero cursor — the drain restarts
+	// from the full candidate set, with a logged warning.
+	oldestManifestVersion = 1
+)
 
 // manifestFile is the manifest's file name inside a collection directory.
 const manifestFile = "manifest.json"
 
+// warnf reports non-fatal restore diagnostics. Package-level so tests can
+// capture it.
+var warnf = log.Printf
+
 // manifest is the versioned on-disk description of a collection.
 type manifest struct {
-	Version  int            `json:"version"`
-	Spec     CollectionSpec `json:"spec"`
-	Records  int            `json:"records"`
-	Segments []segmentInfo  `json:"segments"`
+	Version int            `json:"version"`
+	Spec    CollectionSpec `json:"spec"`
+	Records int            `json:"records"`
+	// Drained is the durable drain cursor: how many candidate pairs had
+	// been delivered to consumers (in the collection's canonical emission
+	// order) when this checkpoint was taken. LoadCollection discards that
+	// long a prefix of the replayed pair sequence, so restore never
+	// redelivers a pair drained before the checkpoint.
+	Drained  int           `json:"drained,omitempty"`
+	Segments []segmentInfo `json:"segments"`
 }
 
 // segmentInfo names one immutable record segment.
 type segmentInfo struct {
 	Name    string `json:"name"`
 	Records int    `json:"records"`
+	// Drained is the cumulative drain cursor at the checkpoint that sealed
+	// this segment — epoch bookkeeping for future segment compaction (a
+	// compactor must not drop a segment's records while pairs they emit
+	// are still undelivered). Restore itself uses the manifest-level
+	// cursor, which also advances on record-less checkpoints.
+	Drained int `json:"drained,omitempty"`
 }
 
 // Save checkpoints the collection into dir: records ingested since the last
-// Save are appended as a new segment and the manifest is rewritten. It is a
-// no-op (beyond ensuring the manifest exists) when nothing changed. Safe
-// for concurrent use with ingestion — the checkpoint covers a consistent
-// record prefix, and the serving path is never blocked on disk: the index
-// mutex is held only to snapshot the un-persisted record span, all file
-// I/O happens outside it (saveMu serialises concurrent Saves so segment
-// numbering stays consistent).
+// Save are appended as a new segment and the manifest — including the
+// current drain cursor — is rewritten. It is a no-op (beyond ensuring the
+// manifest exists) when nothing changed. Safe for concurrent use with
+// ingestion and drains — the checkpoint covers a consistent
+// (records, cursor) snapshot, and the serving path is never blocked on
+// disk: the index mutex is held only to capture the un-persisted record
+// span and the cursor, all file I/O happens outside it (saveMu serialises
+// concurrent Saves so segment numbering stays consistent).
 func (c *Collection) Save(dir string) error {
 	c.saveMu.Lock()
 	defer c.saveMu.Unlock()
@@ -67,15 +98,22 @@ func (c *Collection) Save(dir string) error {
 		return fmt.Errorf("server: create collection dir: %w", err)
 	}
 
-	// Snapshot the un-persisted span under the index mutex; records are
-	// immutable once appended, so the pointers stay valid outside it.
+	// Capture the un-persisted span and the drain cursor under the index
+	// mutex; records are immutable once appended, so the pointers stay
+	// valid outside it. The cursor counts pairs delivered to consumers —
+	// everything ever emitted minus the still-pending queue and minus any
+	// in-flight DrainCandidates hand-off whose outcome is unknown (counting
+	// those as delivered would lose them if the hand-off fails and the
+	// process dies before the requeue lands). It is consistent with the
+	// record count because ingest commits both under the same mutex.
 	c.mu.Lock()
-	n := c.dataset.Len()
+	n := c.log.Len()
+	drained := c.seen.Len() - len(c.pending) - c.inflight
 	persisted := c.persisted
 	segments := append([]segmentInfo(nil), c.segments...)
 	var pending []*record.Record
 	if n > persisted {
-		pending = append(pending, c.dataset.Records()[persisted:n]...)
+		pending = append(pending, c.log.Records()[persisted:n]...)
 	}
 	c.mu.Unlock()
 
@@ -83,6 +121,7 @@ func (c *Collection) Save(dir string) error {
 		seg := segmentInfo{
 			Name:    fmt.Sprintf("segment-%06d.jsonl", len(segments)+1),
 			Records: len(pending),
+			Drained: drained,
 		}
 		part := record.NewDataset(seg.Name)
 		for _, r := range pending {
@@ -96,7 +135,10 @@ func (c *Collection) Save(dir string) error {
 		segments = append(segments, seg)
 		persisted = n
 	}
-	m := manifest{Version: manifestVersion, Spec: c.spec, Records: persisted, Segments: segments}
+	m := manifest{
+		Version: manifestVersion, Spec: c.spec,
+		Records: persisted, Drained: drained, Segments: segments,
+	}
 	if err := writeFileAtomic(filepath.Join(dir, manifestFile), func(f *os.File) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
@@ -112,10 +154,13 @@ func (c *Collection) Save(dir string) error {
 }
 
 // LoadCollection restores a collection from its directory: the manifest's
-// spec rebuilds the sharded index and the segments are replayed through it
-// in order. The restored snapshot is identical to the saved collection's at
-// its last checkpoint (batch-parity by replay); the candidate drain starts
-// over from the full rebuilt set.
+// spec rebuilds the shared log and its table shards, and the segments are
+// replayed through them in order. The restored snapshot is identical to
+// the saved collection's at its last checkpoint (batch-parity by replay),
+// and the candidate drain resumes exactly at the manifest's durable cursor:
+// pairs delivered before the checkpoint are discarded from the replayed
+// sequence instead of redelivered. A v1 manifest has no cursor — the drain
+// restarts from the full candidate set, with a logged warning.
 func LoadCollection(dir string) (*Collection, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
@@ -125,9 +170,14 @@ func LoadCollection(dir string) (*Collection, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("server: parse manifest %s: %w", dir, err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("server: manifest %s has version %d, this build reads %d",
-			dir, m.Version, manifestVersion)
+	if m.Version < oldestManifestVersion || m.Version > manifestVersion {
+		return nil, fmt.Errorf("server: manifest %s has version %d, this build reads %d..%d",
+			dir, m.Version, oldestManifestVersion, manifestVersion)
+	}
+	if m.Version < 2 {
+		m.Drained = 0
+		warnf("server: collection %s: manifest v%d predates the drain cursor; the candidate drain restarts from the full set (consumers may see redelivered pairs once)",
+			m.Spec.Name, m.Version)
 	}
 	c, err := newCollection(m.Spec)
 	if err != nil {
@@ -139,7 +189,9 @@ func LoadCollection(dir string) (*Collection, error) {
 			return nil, fmt.Errorf("server: open segment: %w", err)
 		}
 		d, err := record.ReadJSONL(f, seg.Name)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("server: close segment %s: %w", seg.Name, cerr)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -155,18 +207,30 @@ func LoadCollection(dir string) (*Collection, error) {
 			return nil, err
 		}
 	}
-	if c.dataset.Len() != m.Records {
+	if c.Len() != m.Records {
 		return nil, fmt.Errorf("server: collection %s replayed %d records, manifest says %d",
-			m.Spec.Name, c.dataset.Len(), m.Records)
+			m.Spec.Name, c.Len(), m.Records)
 	}
+	// Resume the drain at the durable cursor: replay queued the full pair
+	// sequence in canonical emission order, of which the first Drained
+	// were already delivered before the checkpoint.
+	if m.Drained < 0 || m.Drained > len(c.pending) {
+		return nil, fmt.Errorf("server: collection %s drain cursor %d outside the %d replayed pairs",
+			m.Spec.Name, m.Drained, len(c.pending))
+	}
+	c.pending = c.pending[m.Drained:]
 	c.segments = m.Segments
 	c.persisted = m.Records
 	return c, nil
 }
 
 // writeFileAtomic writes path via a temp file in the same directory plus a
-// rename, so readers never observe a partial file and a crash preserves the
-// previous version.
+// rename, fsyncing the temp file before the rename and the directory after
+// it. Readers never observe a partial file; a crash before the rename
+// preserves the previous version, and once writeFileAtomic returns the new
+// version survives power loss — without the fsyncs, a crash shortly after
+// the rename could surface an empty or partially written file even though
+// the checkpoint had reported success.
 func writeFileAtomic(path string, write func(*os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
@@ -178,11 +242,33 @@ func writeFileAtomic(path string, write func(*os.File) error) error {
 		tmp.Close()
 		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: sync %s: %w", filepath.Base(path), err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: close %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("server: rename into place: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable, not only
+// ordered: rename makes the new name visible atomically, but the directory
+// update itself can still be lost on power failure until it is synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: open dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("server: sync dir %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("server: close dir %s: %w", dir, err)
 	}
 	return nil
 }

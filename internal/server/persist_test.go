@@ -1,11 +1,16 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"semblock/internal/lsh"
+	"semblock/internal/record"
 )
 
 // TestSaveLoadIdenticalSnapshot checkpoints twice (two segments) and checks
@@ -53,9 +58,272 @@ func TestSaveLoadIdenticalSnapshot(t *testing.T) {
 	if restored.PairCount() != c.PairCount() {
 		t.Errorf("restored PairCount %d, want %d", restored.PairCount(), c.PairCount())
 	}
-	// After restore the incremental drain starts over: every pair pending.
+	// Nothing was drained before the checkpoints, so the cursor is zero and
+	// the restored drain delivers every pair.
 	if drained := restored.Candidates(); len(drained) != restored.PairCount() {
 		t.Errorf("restored drain returned %d pairs, want the full %d", len(drained), restored.PairCount())
+	}
+}
+
+// TestRestoreDrainCursor is the drain-cursor acceptance test: pairs drained
+// before a checkpoint are never redelivered after a kill/restart from it,
+// and nothing is lost either — every pair of the checkpointed record prefix
+// is delivered exactly once across the crash. Runs under -race in CI like
+// the rest of the suite.
+func TestRestoreDrainCursor(t *testing.T) {
+	_, rows := coraFixture(t, 240)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("cursor", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: ingest + drain (these deliveries must survive the crash).
+	if _, err := c.Ingest(rows[:150]); err != nil {
+		t.Fatal(err)
+	}
+	delivered := c.Candidates()
+	if len(delivered) == 0 {
+		t.Fatal("phase 1 drained nothing; fixture too small")
+	}
+	// Phase 2: more records whose pairs are emitted but NOT drained.
+	if _, err := c.Ingest(rows[150:200]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	undelivered := c.PairCount() - len(delivered)
+	// Phase 3: records past the checkpoint die with the process.
+	if _, err := c.Ingest(rows[200:]); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 200 {
+		t.Fatalf("restored %d records, checkpoint had 200", restored.Len())
+	}
+	next := restored.Candidates()
+	if len(next) != undelivered {
+		t.Fatalf("restored drain returned %d pairs, want the %d undelivered at checkpoint", len(next), undelivered)
+	}
+	deliveredSet := record.NewPairSet(len(delivered))
+	for _, p := range delivered {
+		deliveredSet.AddPair(p)
+	}
+	for _, p := range next {
+		if _, dup := deliveredSet[p]; dup {
+			t.Fatalf("pair (%d,%d) redelivered after restore", p.Left(), p.Right())
+		}
+		deliveredSet.AddPair(p)
+	}
+	// Exactly-once across the crash: pre-crash drains plus the restored
+	// drain cover the full candidate set of the checkpointed prefix.
+	if deliveredSet.Len() != restored.PairCount() {
+		t.Fatalf("crash-spanning deliveries cover %d distinct pairs, index emitted %d",
+			deliveredSet.Len(), restored.PairCount())
+	}
+	if got := restored.Stats(); got.DrainedPairs != got.Pairs {
+		t.Errorf("after the post-restore drain, DrainedPairs %d != Pairs %d", got.DrainedPairs, got.Pairs)
+	}
+
+	// A second checkpoint/restore cycle with everything drained: the next
+	// restore must deliver nothing new.
+	if err := restored.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra := again.Candidates(); len(extra) != 0 {
+		t.Fatalf("fully drained checkpoint redelivered %d pairs after restore", len(extra))
+	}
+}
+
+// TestDrainCursorExcludesInflight pins the drain-vs-checkpoint race: a
+// checkpoint taken while a DrainCandidates hand-off is in flight must not
+// count the popped pairs as delivered — if the hand-off then fails and the
+// process dies before another checkpoint, the pairs would otherwise be
+// skipped on restore and lost forever.
+func TestDrainCursorExcludesInflight(t *testing.T) {
+	_, rows := coraFixture(t, 150)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("window", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	popped := 0
+	derr := c.DrainCandidates(func(pairs []record.Pair) error {
+		popped = len(pairs)
+		// The periodic checkpoint races the in-flight delivery...
+		if err := c.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		// ...and the delivery then dies mid-write.
+		return fmt.Errorf("connection reset")
+	})
+	if derr == nil {
+		t.Fatal("delivery error not propagated")
+	}
+	if popped == 0 {
+		t.Fatal("nothing drained; fixture too small")
+	}
+	// Live path: the failed hand-off was requeued, nothing lost.
+	if got := c.Stats().PendingPairs; got != popped {
+		t.Fatalf("after failed delivery %d pairs pending, popped %d", got, popped)
+	}
+	// Crash path: restore from the mid-flight checkpoint redelivers every
+	// pair of the failed hand-off (cursor excluded the in-flight pairs).
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next := restored.Candidates(); len(next) != popped {
+		t.Fatalf("restore redelivered %d pairs, want all %d from the failed hand-off", len(next), popped)
+	}
+
+	// A successful delivery does advance the cursor.
+	if err := c.DrainCandidates(func([]record.Pair) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, err = LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next := restored.Candidates(); len(next) != 0 {
+		t.Fatalf("acknowledged pairs redelivered after restore: %d", len(next))
+	}
+}
+
+// TestRestoreDrainCursorBatchBoundaries replays with segment boundaries
+// that differ from the original ingest batches: the canonical emission
+// order must make the cursor line up regardless.
+func TestRestoreDrainCursorBatchBoundaries(t *testing.T) {
+	_, rows := coraFixture(t, 220)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("boundaries", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven ingest batches, draining after each, checkpointing twice so
+	// the segment layout (2 segments) differs from the batch layout.
+	var delivered []record.Pair
+	for lo, step := 0, 7; lo < 180; lo += step {
+		hi := lo + step
+		if hi > 180 {
+			hi = 180
+		}
+		if _, err := c.Ingest(rows[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, c.Candidates()...)
+		if hi == 63 {
+			if err := c.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next := restored.Candidates(); len(next) != 0 {
+		t.Fatalf("every pair was drained before the checkpoint, restore redelivered %d", len(next))
+	}
+	if restored.PairCount() != len(delivered) {
+		t.Fatalf("restored PairCount %d, drained %d before the crash", restored.PairCount(), len(delivered))
+	}
+}
+
+// TestManifestV1Compat loads a v1 directory (no drain cursor): the
+// collection restores, the drain restarts from the full set, and the
+// loader warns. Future versions are rejected.
+func TestManifestV1Compat(t *testing.T) {
+	_, rows := coraFixture(t, 120)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("v1compat", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	drained := c.Candidates() // advance the in-memory cursor past zero
+	if len(drained) == 0 {
+		t.Fatal("nothing drained; fixture too small")
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the manifest as v1: no drained fields anywhere.
+	path := filepath.Join(dir, manifestFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = 1
+	delete(m, "drained")
+	if segs, ok := m["segments"].([]any); ok {
+		for _, s := range segs {
+			delete(s.(map[string]any), "drained")
+		}
+	}
+	v1, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	defer func() { warnf = log.Printf }()
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 has no cursor: the drain restarts from the full rebuilt set.
+	if got := restored.Candidates(); len(got) != restored.PairCount() {
+		t.Fatalf("v1 restore drained %d pairs, want the full %d", len(got), restored.PairCount())
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "drain cursor") {
+		t.Errorf("v1 load produced warnings %q, want one mentioning the drain cursor", warnings)
+	}
+
+	// A version newer than this build reads is rejected.
+	m["version"] = manifestVersion + 1
+	future, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCollection(dir); err == nil {
+		t.Error("future manifest version accepted")
 	}
 }
 

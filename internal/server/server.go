@@ -11,10 +11,17 @@
 //     shards partition the hash tables (every record visits every shard),
 //     so the union of per-shard collisions is exactly the unsharded
 //     collision set.
-//   - Durability — Save/LoadCollection checkpoint the config plus the
-//     record log; restore replays the records through the same engine, so a
-//     kill/restart from the latest checkpoint reproduces the identical
-//     snapshot (batch-parity by replay).
+//   - Shared state — the shards of one collection share a single record
+//     log and once-per-record signature staging (stream.SharedLog): the
+//     record log is stored once per collection (not once per shard) and
+//     each record's q-gram + semhash stage is computed once, no matter the
+//     shard count.
+//   - Durability — Save/LoadCollection checkpoint the config, the record
+//     log, and the drain cursor; restore replays the records through the
+//     same engine, so a kill/restart from the latest checkpoint reproduces
+//     the identical snapshot (batch-parity by replay) and resumes candidate
+//     delivery exactly where the checkpoint left off, never redelivering a
+//     pair drained before it.
 //   - Isolation — collections are independent: ingest is serialised per
 //     collection but never across collections.
 //

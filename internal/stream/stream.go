@@ -10,14 +10,24 @@
 // batch Block run over the same dataset — parity enforced by construction
 // in internal/engine and asserted by the tests here.
 //
-// Concurrency model: minhash/semhash signatures of a mini-batch are
-// computed by a pool of workers (runtime.NumCPU() by default); the l hash
-// tables are distributed round-robin over the same number of shards, each
-// shard guarding its tables with its own mutex, so bucket updates of one
-// batch proceed in parallel across shards while staying sequential (in
-// record order) within each shard. Insert may also be called from many
-// goroutines concurrently; candidate-pair output is deduplicated globally
-// either way.
+// Every Indexer is backed by a SharedLog holding the record log. A
+// standalone Indexer owns a private log; a family of table-subset Indexers
+// (WithTables) can instead attach to one common log via WithSharedLog and
+// ingest through SharedLog.Append + InsertStaged, so the record log is
+// stored exactly once per family and each record's signature stage
+// (q-gram base hashes + semhash, the table-count-independent half of
+// signing) is computed exactly once — regardless of how many shards
+// consume it. This is the building block of the serving layer's shared-log
+// collections (internal/server), which removes the N+1 record-log/staging
+// duplication plain per-shard indexers would pay.
+//
+// Concurrency model: signature stages of a mini-batch are computed by a
+// pool of workers (runtime.NumCPU() by default); the l hash tables are
+// distributed round-robin over the same number of shards, each shard
+// guarding its tables with its own mutex, so bucket updates of one batch
+// proceed in parallel across shards while staying sequential (in record
+// order) within each shard. Insert may also be called from many goroutines
+// concurrently; candidate-pair output is deduplicated globally either way.
 package stream
 
 import (
@@ -40,6 +50,154 @@ type Row struct {
 	Entity record.EntityID
 	// Attrs maps attribute names to values; ownership passes to the index.
 	Attrs map[string]string
+}
+
+// SharedLog is the record log shared by every Indexer attached to it — one
+// record.Dataset whose IDs are the global, dense insertion order — plus the
+// staging step of ingestion: Append computes each appended record's
+// lsh.Stage (the shard-independent half of signing: attribute
+// concatenation, q-gram shingling, shingle base hashes, semhash) exactly
+// once on the log's worker pool, no matter how many table-subset Indexers
+// consume the staged batch. Stages are per-batch hand-offs, not retained
+// state: once every shard has filed the batch they are garbage.
+//
+// A family of WithTables Indexers attached to one SharedLog therefore
+// stores the record log once (not once per shard) and pays the q-gram +
+// semhash stage once per record (not once per shard), while each Indexer
+// still mixes only its own tables' minhash components — the family's total
+// hash work equals one unrestricted index's.
+//
+// All methods are safe for concurrent use; appends are serialised by the
+// log's mutex, which is what makes shard-local record IDs coincide across
+// every attached Indexer.
+type SharedLog struct {
+	signer  *lsh.Signer
+	workers int
+
+	mu      sync.Mutex
+	dataset *record.Dataset
+}
+
+// NewSharedLog builds an empty shared record log for the given (SA-)LSH
+// configuration. Indexers attach with WithSharedLog; their configuration
+// must match the log's (NewIndexer enforces it). workers sizes the staging
+// worker pool (<= 0 means runtime.NumCPU()).
+func NewSharedLog(name string, cfg lsh.Config, workers int) (*SharedLog, error) {
+	signer, err := lsh.NewSigner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &SharedLog{signer: signer, workers: workers, dataset: record.NewDataset(name)}, nil
+}
+
+// StagedBatch is a mini-batch appended to a SharedLog: the assigned record
+// IDs plus each record's precomputed signature stage. Hand it to
+// Indexer.InsertStaged on every attached Indexer; the stages are computed
+// once per record, here, regardless of how many Indexers consume them.
+type StagedBatch struct {
+	// IDs are the records' assigned (dense, global) IDs, in batch order.
+	IDs []record.ID
+
+	stages []*lsh.Stage
+}
+
+// Append appends a mini-batch of records to the log, computes their
+// signature stages with the worker pool, and returns the staged batch.
+func (l *SharedLog) Append(rows []Row) StagedBatch {
+	if len(rows) == 0 {
+		return StagedBatch{}
+	}
+	recs := l.appendRecords(rows)
+	ids := make([]record.ID, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	stages := make([]*lsh.Stage, len(recs))
+	parallelChunks(len(recs), l.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			stages[i] = l.signer.Stage(recs[i])
+		}
+	})
+	return StagedBatch{IDs: ids, stages: stages}
+}
+
+// appendRecords appends rows under the log mutex and returns the records.
+func (l *SharedLog) appendRecords(rows []Row) []*record.Record {
+	recs := make([]*record.Record, len(rows))
+	l.mu.Lock()
+	for i, row := range rows {
+		recs[i] = l.dataset.Append(row.Entity, row.Attrs)
+	}
+	l.mu.Unlock()
+	return recs
+}
+
+// parallelChunks splits [0,n) into up to `workers` contiguous chunks and
+// runs fn on each concurrently, returning when all chunks finish. It is the
+// one worker-pool shape every batch stage here uses.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Len returns the number of records appended so far.
+func (l *SharedLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dataset.Len()
+}
+
+// Config returns the log's blocking configuration.
+func (l *SharedLog) Config() lsh.Config { return l.signer.Config() }
+
+// Records returns a point-in-time view of the appended records in ID order.
+// Records are immutable once appended; callers must treat the slice as
+// read-only.
+func (l *SharedLog) Records() []*record.Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dataset.Records()
+}
+
+// DatasetCopy returns a copy of the log as a dataset (IDs preserved), e.g.
+// for evaluating a snapshot against ground truth.
+func (l *SharedLog) DatasetCopy() *record.Dataset {
+	out := record.NewDataset(l.datasetName())
+	for _, r := range l.Records() {
+		out.Append(r.Entity, r.Attrs)
+	}
+	return out
+}
+
+func (l *SharedLog) datasetName() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dataset.Name
 }
 
 // Option customises an Indexer.
@@ -82,6 +240,26 @@ func WithTables(tables ...int) Option {
 	}
 }
 
+// WithSharedLog attaches the Indexer to an existing SharedLog instead of a
+// private record log: records and signature stages live in (and are
+// computed by) the log, the Indexer only fills its own hash tables.
+// Combine with WithTables so a family of shards over one log partitions
+// both the table work and — through the log — the per-record staging.
+//
+// The configuration passed to NewIndexer must describe the same blocking
+// behaviour as the log's (same attrs/q/k/l/seed and the same semantic
+// option); NewIndexer rejects mismatches, since a stage computed under one
+// configuration is meaningless under another.
+//
+// A shared-log Indexer may be driven two ways, not both: standalone via
+// Insert/InsertBatch (which append to the shared log and keep the Indexer's
+// own candidate ledger), or — the serving-layer mode — via
+// SharedLog.Append + InsertStaged on every attached Indexer, where the
+// caller owns deduplication and delivery.
+func WithSharedLog(l *SharedLog) Option {
+	return func(ix *Indexer) { ix.log = l }
+}
+
 // Indexer is an online (SA-)LSH blocking index. The zero value is not
 // usable; construct with NewIndexer.
 type Indexer struct {
@@ -93,8 +271,10 @@ type Indexer struct {
 	tableSubsetSet bool  // whether WithTables restricted the subset
 	sigComponents  []int // signature components of the subset (nil = all)
 
-	mu      sync.Mutex // guards dataset growth and the pair ledger
-	dataset *record.Dataset
+	log    *SharedLog // record log + stage computation; private unless shared
+	shared bool       // attached via WithSharedLog
+
+	mu      sync.Mutex     // guards the pair ledger
 	seen    record.PairSet // every candidate pair ever emitted
 	pending []record.Pair  // emitted but not yet drained by Candidates
 
@@ -115,23 +295,35 @@ type shard struct {
 // (e.g. from a taxonomy and a reference sample); the schema is fixed for
 // the lifetime of the index.
 func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
-	signer, err := lsh.NewSigner(cfg)
-	if err != nil {
-		return nil, err
-	}
-	name := "lsh"
-	if cfg.Semantic != nil {
-		name = "sa-lsh"
-	}
 	ix := &Indexer{
-		signer:  signer,
 		workers: runtime.NumCPU(),
-		name:    name,
-		dataset: record.NewDataset("stream"),
 		seen:    record.NewPairSet(0),
 	}
 	for _, opt := range opts {
 		opt(ix)
+	}
+	if ix.log != nil {
+		// Adopt the shared log's signer after checking the caller's config
+		// describes the same blocking behaviour: stages computed by the log
+		// must be valid for this index's tables.
+		if err := compatibleConfig(cfg, ix.log.Config()); err != nil {
+			return nil, err
+		}
+		ix.shared = true
+		ix.signer = ix.log.signer
+	} else {
+		signer, err := lsh.NewSigner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ix.signer = signer
+		ix.log = &SharedLog{signer: signer, workers: ix.workers, dataset: record.NewDataset("stream")}
+	}
+	if ix.name == "" {
+		ix.name = "lsh"
+		if cfg.Semantic != nil {
+			ix.name = "sa-lsh"
+		}
 	}
 	tables := ix.tableSubset
 	if !ix.tableSubsetSet {
@@ -159,7 +351,7 @@ func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 		// signature stage computes just those components — a family of
 		// shards partitioning the tables performs the same total hash work
 		// as one unrestricted index.
-		ix.sigComponents = signer.TableComponents(tables)
+		ix.sigComponents = ix.signer.TableComponents(tables)
 	}
 	nShards := ix.workers
 	if nShards > len(tables) {
@@ -180,6 +372,34 @@ func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 	return ix, nil
 }
 
+// compatibleConfig rejects a WithSharedLog attachment whose configuration
+// would stage records differently from the log: the per-record signature
+// stage (q-gram shingling over the blocking key, hash seeds, semhash
+// schema) must be byte-identical for a shared stage to be valid.
+func compatibleConfig(cfg, logCfg lsh.Config) error {
+	if cfg.Q != logCfg.Q || cfg.K != logCfg.K || cfg.L != logCfg.L || cfg.Seed != logCfg.Seed {
+		return fmt.Errorf("stream: WithSharedLog q/k/l/seed %d/%d/%d/%d differ from the log's %d/%d/%d/%d",
+			cfg.Q, cfg.K, cfg.L, cfg.Seed, logCfg.Q, logCfg.K, logCfg.L, logCfg.Seed)
+	}
+	if len(cfg.Attrs) != len(logCfg.Attrs) {
+		return fmt.Errorf("stream: WithSharedLog attrs %v differ from the log's %v", cfg.Attrs, logCfg.Attrs)
+	}
+	for i := range cfg.Attrs {
+		if cfg.Attrs[i] != logCfg.Attrs[i] {
+			return fmt.Errorf("stream: WithSharedLog attrs %v differ from the log's %v", cfg.Attrs, logCfg.Attrs)
+		}
+	}
+	a, b := cfg.Semantic, logCfg.Semantic
+	switch {
+	case (a == nil) != (b == nil):
+		return fmt.Errorf("stream: WithSharedLog semantic option present=%v, the log's present=%v", a != nil, b != nil)
+	case a != nil && (a.Schema != b.Schema || a.W != b.W || a.Mode != b.Mode ||
+		a.ORStrategy != b.ORStrategy || a.GlobalBits != b.GlobalBits):
+		return fmt.Errorf("stream: WithSharedLog semantic option differs from the log's")
+	}
+	return nil
+}
+
 // Tables returns the hash-table indices this index maintains, in ascending
 // order — 0..l-1 unless restricted by WithTables. The returned slice is a
 // copy.
@@ -190,21 +410,25 @@ func (ix *Indexer) Tables() []int {
 // Config returns the index's blocking configuration.
 func (ix *Indexer) Config() lsh.Config { return ix.signer.Config() }
 
-// Len returns the number of records inserted so far.
-func (ix *Indexer) Len() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.dataset.Len()
-}
+// Log returns the record log backing this index — the SharedLog passed to
+// WithSharedLog, or the index's private log.
+func (ix *Indexer) Log() *SharedLog { return ix.log }
+
+// Len returns the number of records in the backing log. For a shared-log
+// index this is the log's global record count.
+func (ix *Indexer) Len() int { return ix.log.Len() }
 
 // Insert adds one record to the index and returns its assigned ID. New
 // candidate pairs discovered by the insertion become available through
-// Candidates. Safe for concurrent use.
+// Candidates. Safe for concurrent use. On a shared-log index the record is
+// appended to the shared log (other attached indexers see it in their
+// Len/Dataset, but only this index's tables are filled).
+//
+// Insert signs the record directly — no lsh.Stage is materialised, since
+// nothing else consumes it; staging exists for the SharedLog.Append +
+// InsertStaged fan-out, where several indexers share one stage.
 func (ix *Indexer) Insert(entity record.EntityID, attrs map[string]string) record.ID {
-	ix.mu.Lock()
-	r := ix.dataset.Append(entity, attrs)
-	ix.mu.Unlock()
-
+	r := ix.log.appendRecords([]Row{{Entity: entity, Attrs: attrs}})[0]
 	sig := ix.sign(r)
 	sem := ix.signer.SemSign(r)
 	var found []record.Pair
@@ -217,52 +441,33 @@ func (ix *Indexer) Insert(entity record.EntityID, attrs map[string]string) recor
 }
 
 // InsertBatch adds a mini-batch of records and returns their assigned IDs.
-// Signatures are computed by the worker pool and the shards' bucket maps
-// are updated in parallel, one goroutine per shard, keeping per-bucket
-// record order equal to insertion order. Safe for concurrent use.
+// Signatures are computed by the worker pool in a single fused pass (like
+// Insert, no intermediate lsh.Stage) and the shards' bucket maps are
+// updated in parallel, one goroutine per shard, keeping per-bucket record
+// order equal to insertion order. Safe for concurrent use.
 func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
 	if len(rows) == 0 {
 		return nil
 	}
-	recs := make([]*record.Record, len(rows))
-	ids := make([]record.ID, len(rows))
-	ix.mu.Lock()
-	for i, row := range rows {
-		recs[i] = ix.dataset.Append(row.Entity, row.Attrs)
-		ids[i] = recs[i].ID
+	recs := ix.log.appendRecords(rows)
+	ids := make([]record.ID, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
 	}
-	ix.mu.Unlock()
 
 	// Stage 1: signature computation, chunked over the worker pool.
 	sigs := make([][]uint64, len(recs))
 	sems := make([]semantic.BitVec, len(recs))
-	workers := ix.workers
-	if workers > len(recs) {
-		workers = len(recs)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(recs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(recs) {
-			hi = len(recs)
+	parallelChunks(len(recs), ix.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sigs[i] = ix.sign(recs[i])
+			sems[i] = ix.signer.SemSign(recs[i])
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sigs[i] = ix.sign(recs[i])
-				sems[i] = ix.signer.SemSign(recs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 
 	// Stage 2: bucket updates, one goroutine per shard, records in order.
 	foundPerShard := make([][]record.Pair, len(ix.shards))
+	var wg sync.WaitGroup
 	for si, sh := range ix.shards {
 		wg.Add(1)
 		go func(si int, sh *shard) {
@@ -289,6 +494,57 @@ func (ix *Indexer) sign(r *record.Record) []uint64 {
 		return ix.signer.Sign(r)
 	}
 	return ix.signer.SignComponents(r, ix.sigComponents)
+}
+
+// InsertStaged files an already-staged mini-batch (SharedLog.Append) into
+// this index's hash tables and returns the raw collision pairs grouped per
+// batch record: result[i] holds the pairs record b.IDs[i] collided into,
+// in this index's table order, not deduplicated against earlier emissions.
+// Unlike Insert/InsertBatch it does NOT touch the index's own candidate
+// ledger — the caller owns deduplication and delivery. This is the serving
+// layer's fan-out primitive: the collection appends a batch to the shared
+// log once, hands the staged batch to every shard, and merges the returned
+// groups into its single global ledger in canonical record order.
+func (ix *Indexer) InsertStaged(b StagedBatch) [][]record.Pair {
+	if len(b.IDs) == 0 {
+		return nil
+	}
+	// Stage 1: this index's minhash components, derived from the shared
+	// stages by the worker pool (the q-grams were hashed once, in the log).
+	sigs := make([][]uint64, len(b.IDs))
+	parallelChunks(len(b.IDs), ix.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sigs[i] = ix.signer.SignStaged(b.stages[i], ix.sigComponents)
+		}
+	})
+
+	// Stage 2: bucket updates, one goroutine per shard, records in order,
+	// collision pairs collected per record.
+	perShard := make([][][]record.Pair, len(ix.shards))
+	var wg sync.WaitGroup
+	for si, sh := range ix.shards {
+		wg.Add(1)
+		go func(si int, sh *shard) {
+			defer wg.Done()
+			perRecord := make([][]record.Pair, len(b.IDs))
+			keys := make([]uint64, 0, 8)
+			for i, id := range b.IDs {
+				perRecord[i] = sh.insert(ix.signer, id, sigs[i], b.stages[i].Sem(), keys, nil)
+			}
+			perShard[si] = perRecord
+		}(si, sh)
+	}
+	wg.Wait()
+	if len(ix.shards) == 1 {
+		return perShard[0]
+	}
+	out := make([][]record.Pair, len(b.IDs))
+	for i := range out {
+		for _, perRecord := range perShard {
+			out[i] = append(out[i], perRecord[i]...)
+		}
+	}
+	return out
 }
 
 // insert files the record into every table of the shard and appends the
@@ -338,6 +594,10 @@ func (ix *Indexer) commit(found []record.Pair) {
 // (union of all drains + one final drain after the last insert returns ==
 // PairCount distinct pairs) is asserted under the race detector by
 // TestCandidatesConcurrentDrain.
+//
+// An index fed through InsertStaged keeps no ledger of its own: Candidates
+// returns nothing there, the caller merges the per-record pair groups
+// InsertStaged hands back (see internal/server.Collection).
 func (ix *Indexer) Candidates() []record.Pair {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -347,7 +607,7 @@ func (ix *Indexer) Candidates() []record.Pair {
 }
 
 // PairCount returns the total number of distinct candidate pairs emitted so
-// far (drained or not).
+// far (drained or not) through the index's own ledger (Insert/InsertBatch).
 func (ix *Indexer) PairCount() int {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -374,15 +634,10 @@ func (ix *Indexer) Snapshot() *blocking.Result {
 	return blocking.NewResult(ix.name, blocks)
 }
 
-// Dataset returns a copy of the inserted records as a dataset (IDs match
-// the IDs returned by Insert/InsertBatch), e.g. for evaluating a snapshot
-// against ground truth.
+// Dataset returns a copy of the backing log's records as a dataset (IDs
+// match the IDs returned by Insert/InsertBatch), e.g. for evaluating a
+// snapshot against ground truth. For a shared-log index this is the full
+// shared log.
 func (ix *Indexer) Dataset() *record.Dataset {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	out := record.NewDataset(ix.dataset.Name)
-	for _, r := range ix.dataset.Records() {
-		out.Append(r.Entity, r.Attrs)
-	}
-	return out
+	return ix.log.DatasetCopy()
 }

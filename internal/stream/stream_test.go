@@ -301,6 +301,133 @@ func TestWithTablesSharding(t *testing.T) {
 	}
 }
 
+// TestSharedLogFamilyParity drives a family of table-subset indexers
+// attached to ONE SharedLog through the serving-layer protocol
+// (SharedLog.Append once per batch, InsertStaged on every shard) and checks
+// the merged candidate set and concatenated snapshots equal the batch Block
+// run — while the record log is stored exactly once and the per-record
+// signature stage is computed exactly once regardless of the shard count.
+func TestSharedLogFamilyParity(t *testing.T) {
+	d, schema := fixture(t, 250)
+	cfg := lsh.Config{
+		Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7,
+		Semantic: &lsh.SemanticOption{Schema: schema, W: 3, Mode: lsh.ModeOR},
+	}
+	blocker, err := lsh.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := blocker.Block(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := want.CandidatePairs()
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			log, err := NewSharedLog("family", cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ixs := make([]*Indexer, shards)
+			for i := range ixs {
+				var tables []int
+				for tb := i; tb < cfg.L; tb += shards {
+					tables = append(tables, tb)
+				}
+				ix, err := NewIndexer(cfg, WithTables(tables...), WithSharedLog(log))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ix.Log() != log {
+					t.Fatal("indexer did not adopt the shared log")
+				}
+				if ix.log.dataset != log.dataset {
+					t.Fatal("indexer keeps a private record log despite WithSharedLog")
+				}
+				ixs[i] = ix
+			}
+			merged := record.NewPairSet(0)
+			recs := d.Records()
+			for lo, step := 0, 1; lo < len(recs); lo, step = lo+step, step*2+1 {
+				hi := lo + step
+				if hi > len(recs) {
+					hi = len(recs)
+				}
+				rows := make([]Row, 0, hi-lo)
+				for _, r := range recs[lo:hi] {
+					rows = append(rows, Row{Entity: r.Entity, Attrs: r.Attrs})
+				}
+				b := log.Append(rows)
+				if len(b.IDs) != hi-lo || b.IDs[0] != record.ID(lo) {
+					t.Fatalf("batch [%d:%d) assigned ids %v", lo, hi, b.IDs)
+				}
+				for _, ix := range ixs {
+					for _, ps := range ix.InsertStaged(b) {
+						for _, p := range ps {
+							merged.AddPair(p)
+						}
+					}
+				}
+			}
+			if log.Len() != len(recs) {
+				t.Fatalf("shared log holds %d records, appended %d", log.Len(), len(recs))
+			}
+			var blocks [][]record.ID
+			for _, ix := range ixs {
+				if ix.Len() != len(recs) {
+					t.Fatalf("shard Len %d, want the global %d", ix.Len(), len(recs))
+				}
+				blocks = append(blocks, ix.Snapshot().Blocks...)
+			}
+			if merged.Len() != wantPairs.Len() || merged.Intersect(wantPairs) != wantPairs.Len() {
+				t.Fatalf("merged %d pairs over %d shared-log shards, batch has %d (overlap %d)",
+					merged.Len(), shards, wantPairs.Len(), merged.Intersect(wantPairs))
+			}
+			if g, w := canonical(blocks), canonical(want.Blocks); !equal(g, w) {
+				t.Fatalf("concatenated shard snapshots differ from batch: %d vs %d blocks", len(g), len(w))
+			}
+		})
+	}
+}
+
+// TestSharedLogStandaloneParity checks a single indexer attached to a
+// shared log still honours the ordinary Insert/Candidates contract.
+func TestSharedLogStandaloneParity(t *testing.T) {
+	d, _ := fixture(t, 200)
+	cfg := lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 10, Seed: 3}
+	log, err := NewSharedLog("standalone", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, cfg, d, WithSharedLog(log))
+}
+
+// TestWithSharedLogValidation rejects attachments whose configuration would
+// stage records differently from the log.
+func TestWithSharedLogValidation(t *testing.T) {
+	_, schema := fixture(t, 40)
+	base := lsh.Config{Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7}
+	log, err := NewSharedLog("log", base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]lsh.Config{
+		"q":        {Attrs: []string{"authors", "title"}, Q: 2, K: 3, L: 12, Seed: 7},
+		"seed":     {Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 8},
+		"attrs":    {Attrs: []string{"title"}, Q: 3, K: 3, L: 12, Seed: 7},
+		"semantic": {Attrs: []string{"authors", "title"}, Q: 3, K: 3, L: 12, Seed: 7, Semantic: &lsh.SemanticOption{Schema: schema, W: 2, Mode: lsh.ModeOR}},
+	}
+	for name, cfg := range bad {
+		if _, err := NewIndexer(cfg, WithSharedLog(log)); err == nil {
+			t.Errorf("%s mismatch accepted", name)
+		}
+	}
+	if _, err := NewIndexer(base, WithSharedLog(log), WithTables(0, 1)); err != nil {
+		t.Errorf("matching config rejected: %v", err)
+	}
+}
+
 // TestWithTablesValidation rejects malformed table subsets.
 func TestWithTablesValidation(t *testing.T) {
 	cfg := lsh.Config{Attrs: []string{"a"}, Q: 2, K: 2, L: 4}

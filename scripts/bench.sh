@@ -10,15 +10,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${PATTERN:-BenchmarkPipelineBlock|BenchmarkPipelineEndToEnd|BenchmarkBlockLSH|BenchmarkBlockSALSH|BenchmarkIndexerInsertBatch|BenchmarkServerIngest}"
+PATTERN="${PATTERN:-BenchmarkPipelineBlock|BenchmarkPipelineEndToEnd|BenchmarkBlockLSH|BenchmarkBlockSALSH|BenchmarkIndexerInsertBatch|BenchmarkServerIngest|BenchmarkCollectionIngest}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_pipeline.json}"
 
+# The root package holds the end-to-end benches (HTTP ServerIngest among
+# them); internal/server holds the in-process CollectionIngest bench whose
+# allocs/op track the shared-record-log ingest path per shard count.
+PKGS="${PKGS:-. ./internal/server}"
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" $PKGS | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^goos:/    { goos = $2 }
