@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same targets.
 
-.PHONY: build test race vet bench serve smoke
+.PHONY: build test race vet lint bench benchcmp serve smoke
 
 build:
 	go build ./...
@@ -13,6 +13,22 @@ race:
 
 vet:
 	go vet ./...
+
+# Mirrors the CI lint job: formatting, vet, and (when installed on the
+# developer machine) staticcheck.
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Compares the current BENCH_pipeline.json against the committed baseline
+# and fails on >25% allocs/op regression — the same gate the CI bench job
+# applies after every run.
+benchcmp:
+	git show HEAD:BENCH_pipeline.json > /tmp/bench_baseline.json
+	go run ./scripts/benchcmp -max-regress 25 /tmp/bench_baseline.json BENCH_pipeline.json
 
 # Runs the blocking/pipeline benchmarks and writes BENCH_pipeline.json so
 # the perf trajectory is tracked across PRs. BENCHTIME=1x for a smoke run.

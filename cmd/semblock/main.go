@@ -28,12 +28,21 @@
 //
 // The "serve" subcommand runs the multi-tenant blocking service: named
 // collections backed by sharded streaming indexes, an HTTP JSON API
-// (create/ingest/candidates/snapshot/resolve plus /healthz and /metrics),
-// periodic snapshot checkpoints into -data-dir, restore-on-boot, and
-// graceful shutdown (with a final checkpoint) on SIGINT/SIGTERM:
+// (create/ingest/candidates/snapshot/resolve/compact plus /healthz and
+// /metrics), periodic snapshot checkpoints into -data-dir, automatic
+// segment compaction once a chain crosses -compact-segments/-compact-bytes,
+// restore-on-boot, and graceful shutdown (with a final checkpoint) on
+// SIGINT/SIGTERM:
 //
 //	semblock serve -addr :8080 -data-dir /var/lib/semblock \
-//	    -shards 4 -checkpoint 30s
+//	    -shards 4 -checkpoint 30s -compact-segments 32
+//
+// The "compact" subcommand compacts persisted collections offline — the
+// same rewrite the serve loop performs, for data directories of a server
+// that is not running:
+//
+//	semblock compact -data-dir /var/lib/semblock            # all collections
+//	semblock compact -data-dir /var/lib/semblock -collection pubs
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,6 +74,8 @@ func main() {
 		err = runPipeline(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "serve":
 		err = runServe(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "compact":
+		err = runCompact(os.Args[2:])
 	default:
 		err = run()
 	}
@@ -78,10 +90,12 @@ func main() {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("semblock serve", flag.ExitOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		dataDir    = fs.String("data-dir", "", "snapshot persistence directory (empty = in-memory only)")
-		shards     = fs.Int("shards", 1, "default table-shard count for collections that do not set one")
-		checkpoint = fs.Duration("checkpoint", 30*time.Second, "checkpoint interval (requires -data-dir; 0 = only on shutdown)")
+		addr         = fs.String("addr", ":8080", "listen address")
+		dataDir      = fs.String("data-dir", "", "snapshot persistence directory (empty = in-memory only)")
+		shards       = fs.Int("shards", 1, "default table-shard count for collections that do not set one")
+		checkpoint   = fs.Duration("checkpoint", 30*time.Second, "checkpoint interval (requires -data-dir; 0 = only on shutdown)")
+		compactSegs  = fs.Int("compact-segments", 32, "auto-compact a collection once its chain exceeds this many segments (0 = never by count)")
+		compactBytes = fs.Int64("compact-bytes", 0, "auto-compact a collection once the segments appended since its last compaction exceed this many bytes (0 = never by size)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +104,9 @@ func runServe(args []string) error {
 	var opts []semblock.ServerOption
 	if *dataDir != "" {
 		opts = append(opts, semblock.WithDataDir(*dataDir))
+		opts = append(opts, semblock.WithCompaction(semblock.CompactionPolicy{
+			MaxSegments: *compactSegs, MaxBytes: *compactBytes,
+		}))
 	}
 	if *shards > 0 {
 		opts = append(opts, semblock.WithDefaultShards(*shards))
@@ -154,6 +171,62 @@ func runServe(args []string) error {
 		return serveErr
 	}
 	return shutdownErr
+}
+
+// runCompact implements the "compact" subcommand: offline segment-chain
+// compaction of persisted collections. Each collection is restored from its
+// directory — a full index replay, deliberately: the rewrite only happens
+// after the chain has proven loadable end to end, which is the validation
+// an operator wants before discarding the old generation (a faster
+// records-only streaming rewrite would skip exactly that check). The
+// server must not be running against the same data dir — offline
+// compaction has no way to serialise with its checkpoints.
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("semblock compact", flag.ExitOnError)
+	var (
+		dataDir = fs.String("data-dir", "", "server data directory (required)")
+		name    = fs.String("collection", "", "compact only this collection (default: every collection found)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("compact needs -data-dir DIR")
+	}
+	entries, err := os.ReadDir(*dataDir)
+	if err != nil {
+		return fmt.Errorf("read data dir: %w", err)
+	}
+	compacted := 0
+	for _, e := range entries {
+		if !e.IsDir() || (*name != "" && e.Name() != *name) {
+			continue
+		}
+		dir := filepath.Join(*dataDir, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+			continue // not a collection directory
+		}
+		c, err := semblock.LoadCollection(dir)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", e.Name(), err)
+		}
+		res, err := c.Compact(dir)
+		if err != nil {
+			return fmt.Errorf("compact %s: %w", e.Name(), err)
+		}
+		fmt.Printf("%s: %d records, %d segments (%d bytes) -> %d segments (%d bytes), generation %d, %v\n",
+			res.Collection, res.Records, res.SegmentsBefore, res.BytesBefore,
+			res.SegmentsAfter, res.BytesAfter, res.Generation,
+			res.Duration.Round(time.Millisecond))
+		compacted++
+	}
+	if *name != "" && compacted == 0 {
+		return fmt.Errorf("no collection %q under %s", *name, *dataDir)
+	}
+	if compacted == 0 {
+		fmt.Printf("no collections under %s\n", *dataDir)
+	}
+	return nil
 }
 
 func run() error {

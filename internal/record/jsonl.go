@@ -38,9 +38,16 @@ func (jr JSONLRecord) Fields() (EntityID, map[string]string) {
 // entity field is omitted for unlabeled records, so labels survive a
 // round-trip exactly like WriteCSV's entity_id column.
 func WriteJSONL(w io.Writer, d *Dataset) error {
+	return WriteJSONLRecords(w, d.Records())
+}
+
+// WriteJSONLRecords is WriteJSONL over a bare record slice, for callers
+// that already hold the records — e.g. a span of an immutable log — and
+// should not have to copy them into a Dataset just to serialise them.
+func WriteJSONLRecords(w io.Writer, recs []*Record) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, r := range d.Records() {
+	for _, r := range recs {
 		row := JSONLRecord{Attrs: r.Attrs}
 		if r.Entity != UnknownEntity {
 			e := r.Entity

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -57,12 +58,13 @@ type Collection struct {
 
 	shards []*stream.Indexer
 
-	// persistence state (see persist.go). saveMu serialises Save calls;
-	// segments/persisted are read and updated under mu so the serving path
-	// never waits on disk I/O.
-	saveMu    sync.Mutex
-	segments  []segmentInfo
-	persisted int // records covered by on-disk segments
+	// persistence state (see persist.go, compact.go). saveMu serialises
+	// Save and Compact calls; segments/persisted/generation are read and
+	// updated under mu so the serving path never waits on disk I/O.
+	saveMu     sync.Mutex
+	segments   []segmentInfo
+	persisted  int // records covered by on-disk segments
+	generation int // compaction generation of the on-disk chain (0 = never compacted)
 }
 
 // newCollection builds an empty collection from a validated spec.
@@ -189,6 +191,67 @@ func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 	return batch.IDs, nil
 }
 
+// replayRows rebuilds the hash tables from a persisted record batch
+// without any candidate-pair bookkeeping: the shared log stages the rows
+// once and every shard files them through stream.ReplayStaged, which
+// discards the collision groups. LoadCollection calls this for every
+// replayed chunk and then reconstructs the whole pair ledger in one pass
+// with rebuildLedger — collecting, deduplicating and sorting per-record
+// groups during replay would redo work whose outcome is already determined
+// by the final table contents.
+func (c *Collection) replayRows(rows []stream.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	batch := c.log.Append(rows)
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *stream.Indexer) {
+			defer wg.Done()
+			sh.ReplayStaged(batch)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// rebuildLedger reconstructs the candidate-pair ledger from the current
+// table contents and positions the drain at the given cursor. It relies on
+// two structural facts of the ingest path: the set of pairs ever emitted
+// equals the set of co-bucketed pairs (a pair is emitted exactly when its
+// records first share a bucket), and the canonical emission order is the
+// pair set sorted by (higher ID, lower ID) — a pair is always discovered
+// when its higher-ID record is ingested, record groups are queued in
+// record order, and each group is sorted by the lower ID. Together they
+// make the ledger a pure function of the final snapshot, which is what
+// lets restore replay records through the pair-free fast path.
+func (c *Collection) rebuildLedger(drained int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := c.snapshotLocked().CandidatePairs()
+	seq := make([]record.Pair, 0, seen.Len())
+	for p := range seen {
+		seq = append(seq, p)
+	}
+	sort.Slice(seq, func(i, j int) bool {
+		if ri, rj := seq[i].Right(), seq[j].Right(); ri != rj {
+			return ri < rj
+		}
+		return seq[i].Left() < seq[j].Left()
+	})
+	if drained < 0 || drained > len(seq) {
+		return fmt.Errorf("server: collection %s drain cursor %d outside the %d replayed pairs",
+			c.spec.Name, drained, len(seq))
+	}
+	c.seen = seen
+	// Copy the undelivered tail so the drained prefix's backing array is
+	// released instead of pinned behind the re-slice.
+	c.pending = append([]record.Pair(nil), seq[drained:]...)
+	return nil
+}
+
 // Candidates drains and returns the candidate pairs discovered since the
 // previous drain (nil if none) — the collection-level analogue of
 // stream.Indexer.Candidates, with the same exactly-once delivery guarantee
@@ -248,14 +311,25 @@ func (c *Collection) DrainCandidates(deliver func([]record.Pair) error) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	err := deliver(pairs)
-	c.mu.Lock()
-	c.inflight -= len(pairs)
-	if err != nil {
-		c.requeueLocked(pairs)
+	// The requeue-on-failure runs in a defer so a panicking deliver (which
+	// net/http swallows per request, keeping the process alive) counts as
+	// a failed delivery too: without it the popped pairs would be lost for
+	// the life of the process and the leaked inflight count would
+	// understate every later checkpoint's drain cursor.
+	delivered := false
+	defer func() {
+		c.mu.Lock()
+		c.inflight -= len(pairs)
+		if !delivered {
+			c.requeueLocked(pairs)
+		}
+		c.mu.Unlock()
+	}()
+	if err := deliver(pairs); err != nil {
+		return err
 	}
-	c.mu.Unlock()
-	return err
+	delivered = true
+	return nil
 }
 
 // Requeue returns undelivered pairs to the front of the pending queue, in
@@ -431,12 +505,22 @@ type Stats struct {
 	PendingPairs     int    `json:"pending_pairs"`
 	DrainedPairs     int    `json:"drained_pairs"`
 	PersistedRecords int    `json:"persisted_records"`
+	// Segments/SegmentBytes describe the on-disk checkpoint chain;
+	// Generation is the compaction generation serving it (0 = never
+	// compacted). They are the observables the compaction thresholds act on.
+	Segments     int   `json:"segments"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	Generation   int   `json:"generation"`
 }
 
 // Stats returns a consistent summary of the collection.
 func (c *Collection) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var bytes int64
+	for _, seg := range c.segments {
+		bytes += seg.Bytes
+	}
 	return Stats{
 		Name:             c.spec.Name,
 		Technique:        c.technique,
@@ -446,5 +530,8 @@ func (c *Collection) Stats() Stats {
 		PendingPairs:     len(c.pending),
 		DrainedPairs:     c.seen.Len() - len(c.pending) - c.inflight,
 		PersistedRecords: c.persisted,
+		Segments:         len(c.segments),
+		SegmentBytes:     bytes,
+		Generation:       c.generation,
 	}
 }

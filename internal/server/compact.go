@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"semblock/internal/record"
+)
+
+// Segment compaction. A long-lived collection checkpoints by appending: every
+// Save seals the records ingested since the previous one into a new immutable
+// segment, so the chain — and the restore-on-boot replay over it — grows
+// without bound. Compact rewrites the chain into a fresh *generation*: the
+// whole record log squashed into one compacted segment plus a manifest that
+// references only it. Replay cost drops back to one sequential read, and the
+// fully-drained prefix of the pair sequence is folded out of the replay
+// path's bookkeeping entirely (the compacted segment's cumulative drain
+// epoch and the manifest cursor position the restored drain; the undelivered
+// tail is reconstructed from the replayed tables, never from the dropped
+// per-checkpoint segments).
+//
+// Crash safety is the directory-layout invariant: segment file names embed
+// their generation (segmentName), so two generations never share a file, and
+// the manifest rename — atomic and durable via writeFileAtomic — is the
+// single commit point. A crash at ANY step leaves a loadable directory:
+//
+//   - before the manifest flip: the old manifest still references the old
+//     generation, whose files were never touched; the half-written new
+//     generation is unreferenced debris (logged via ErrOrphanFile at load,
+//     overwritten or swept by the next compaction).
+//   - after the flip: the new manifest references the new generation, whose
+//     segments were written and fsynced before the flip; the old
+//     generation's files are debris.
+//
+// Never a mix: a manifest only ever names files of its own generation, all
+// durable before the manifest itself commits.
+//
+// Compact is exposed three ways: POST /collections/{name}/compact (see
+// http.go), the offline `semblock compact` CLI subcommand, and automatically
+// from the server checkpoint loop once a CompactionPolicy threshold is
+// crossed (see Server.Checkpoint).
+
+// CompactionPolicy configures automatic compaction: on each checkpoint
+// pass, a collection whose on-disk segment chain has crossed either
+// threshold is compacted *instead of* checkpointed — compaction subsumes a
+// checkpoint, covering the whole record log (see Server.Checkpoint). The
+// zero value disables automatic compaction (on-demand compaction via
+// Compact/the HTTP endpoint/the CLI is always available).
+type CompactionPolicy struct {
+	// MaxSegments triggers compaction when the chain holds more than this
+	// many segments (0 = no segment-count trigger).
+	MaxSegments int `json:"max_segments,omitempty"`
+	// MaxBytes triggers compaction when the segments *appended since the
+	// last compaction* — everything after the compacted base segment, or
+	// the whole chain while the collection has never been compacted —
+	// exceed this many bytes (0 = no byte trigger). The tail, not the
+	// total, is what measures accumulated churn: segments are disjoint
+	// spans of an append-only log, so a rewrite merges files but can never
+	// shrink the total below the log's own size — a total-size trigger
+	// would fire on every checkpoint forever once crossed.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+}
+
+// Enabled reports whether any automatic trigger is configured.
+func (p CompactionPolicy) Enabled() bool { return p.MaxSegments > 0 || p.MaxBytes > 0 }
+
+// CompactionResult summarises one compaction run.
+type CompactionResult struct {
+	Collection     string        `json:"collection"`
+	Generation     int           `json:"generation"`
+	Records        int           `json:"records"`
+	Drained        int           `json:"drained"`
+	SegmentsBefore int           `json:"segments_before"`
+	SegmentsAfter  int           `json:"segments_after"`
+	BytesBefore    int64         `json:"bytes_before"`
+	BytesAfter     int64         `json:"bytes_after"`
+	Duration       time.Duration `json:"duration_ns"`
+}
+
+// compactStep names the crash-injection points of a compaction, in order.
+// Tests drive compactCrash to prove a crash at every step leaves a loadable
+// directory; production runs never touch it.
+type compactStep string
+
+const (
+	// compactStepSegment fires after the new generation's segment file is
+	// durable but before the manifest flip: the old generation is still the
+	// live one, the new segment is unreferenced.
+	compactStepSegment compactStep = "segment-written"
+	// compactStepManifest fires right after the manifest flip, before the
+	// in-memory state is updated and the old generation swept: the new
+	// generation is live, the old generation's files are orphans.
+	compactStepManifest compactStep = "manifest-committed"
+)
+
+// compactCrash, when non-nil, is called at every compactStep; a non-nil
+// return aborts the compaction there, simulating a crash (the in-memory
+// collection state is only updated after the last step it passed).
+var compactCrash func(compactStep) error
+
+func crashPoint(step compactStep) error {
+	if compactCrash != nil {
+		return compactCrash(step)
+	}
+	return nil
+}
+
+// Compact rewrites the collection's segment chain in dir as a fresh
+// generation: the entire record log (including records ingested since the
+// last checkpoint — compaction subsumes a checkpoint) squashed into a single
+// compacted segment, committed by an atomic manifest flip, followed by a
+// best-effort sweep of the previous generation and any crash debris. The
+// durable drain cursor is carried over at its current value, so every
+// undelivered candidate pair survives: a restore from the compacted
+// generation reproduces the identical snapshot and the identical
+// undelivered-pair sequence the uncompacted chain would have produced.
+// Safe for concurrent use with ingestion and drains, and serialised against
+// Save by the same mutex; the serving path is never blocked on the rewrite
+// (the index mutex is held only to capture the record span and cursor).
+func (c *Collection) Compact(dir string) (CompactionResult, error) {
+	start := time.Now()
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CompactionResult{}, fmt.Errorf("server: create collection dir: %w", err)
+	}
+
+	// Capture a consistent (records, cursor) snapshot exactly like Save:
+	// records are immutable once appended, so the slice stays valid outside
+	// the mutex, and the cursor excludes in-flight DrainCandidates
+	// hand-offs whose outcome is unknown.
+	c.mu.Lock()
+	n := c.log.Len()
+	drained := c.seen.Len() - len(c.pending) - c.inflight
+	oldSegs := append([]segmentInfo(nil), c.segments...)
+	newGen := c.generation + 1 // generation only moves under saveMu, which we hold
+	var recs []*record.Record
+	if n > 0 {
+		recs = c.log.Records()[:n]
+	}
+	c.mu.Unlock()
+
+	res := CompactionResult{
+		Collection:     c.spec.Name,
+		Records:        n,
+		Drained:        drained,
+		SegmentsBefore: len(oldSegs),
+	}
+	for _, seg := range oldSegs {
+		res.BytesBefore += seg.Bytes
+	}
+
+	var newSegs []segmentInfo
+	if n > 0 {
+		seg := segmentInfo{Name: segmentName(newGen, 1), Records: n, Drained: drained, Compacted: true}
+		var err error
+		if seg.Bytes, err = writeSegment(filepath.Join(dir, seg.Name), recs); err != nil {
+			return res, err
+		}
+		newSegs = append(newSegs, seg)
+		res.BytesAfter = seg.Bytes
+	}
+	if err := crashPoint(compactStepSegment); err != nil {
+		return res, err
+	}
+
+	// The commit point: after this rename the compacted generation is the
+	// collection, before it the old one still is.
+	m := manifest{
+		Version: manifestVersion, Spec: c.spec,
+		Records: n, Drained: drained,
+		Generation: newGen, Segments: newSegs,
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return res, err
+	}
+	if err := crashPoint(compactStepManifest); err != nil {
+		return res, err
+	}
+
+	c.mu.Lock()
+	c.segments = newSegs
+	c.persisted = n
+	c.generation = newGen
+	c.mu.Unlock()
+
+	// Sweep everything the new manifest does not reference: the previous
+	// generation's segments, temp files of interrupted atomic writes, and
+	// orphans of earlier crashed compactions. Best-effort — a failed remove
+	// only leaves debris that is logged at the next load and swept by the
+	// next compaction.
+	sweepUnreferenced(dir, &m)
+
+	res.Generation = newGen
+	res.SegmentsAfter = len(newSegs)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// needsCompaction reports whether the on-disk chain crosses a policy
+// threshold. Called by the server checkpoint loop after each checkpoint.
+func (c *Collection) needsCompaction(p CompactionPolicy) bool {
+	if !p.Enabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.MaxSegments > 0 && len(c.segments) > p.MaxSegments {
+		return true
+	}
+	if p.MaxBytes > 0 {
+		// Only the tail appended since the last compaction counts (see
+		// CompactionPolicy.MaxBytes): after a compaction the tail is empty,
+		// so the trigger re-arms instead of firing on every checkpoint. The
+		// base is identified by its persisted marker — a chain that never
+		// compacted, or whose compaction was empty and wrote no base, has
+		// no segment to exclude.
+		segs := c.segments
+		if len(segs) > 0 && segs[0].Compacted {
+			segs = segs[1:]
+		}
+		var tail int64
+		for _, seg := range segs {
+			tail += seg.Bytes
+		}
+		if tail > p.MaxBytes {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepUnreferenced removes every plain file in a collection directory that
+// the live manifest does not reference. Only called after a manifest flip,
+// when the invariant "live = manifest + its segments, everything else is
+// debris" holds by construction (the same liveFiles definition drives the
+// orphan diagnostics at load, so sweep and diagnostics cannot disagree).
+func sweepUnreferenced(dir string, m *manifest) {
+	err := forEachUnreferenced(dir, m, func(name string) {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			warnf("server: collection %s: sweep %s: %v", m.Spec.Name, name, err)
+		}
+	})
+	if err != nil {
+		warnf("server: collection %s: sweep after compaction: %v", m.Spec.Name, err)
+	}
+}

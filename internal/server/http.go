@@ -28,6 +28,7 @@ import (
 //	GET    /v1/collections/{name}/snapshot     batch-parity block collection
 //	POST   /v1/collections/{name}/resolve      pruning+matching pipeline run
 //	POST   /v1/collections/{name}/checkpoint   force a persistence checkpoint
+//	POST   /v1/collections/{name}/compact      compact the segment chain
 //
 // A row is {"entity":ID,"attrs":{...}} — the same wire format as
 // record.ReadJSONL/WriteJSONL, so a dataset file can be POSTed verbatim.
@@ -44,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/collections/{name}/snapshot", s.withCollection(s.handleSnapshot))
 	mux.HandleFunc("POST /v1/collections/{name}/resolve", s.withCollection(s.handleResolve))
 	mux.HandleFunc("POST /v1/collections/{name}/checkpoint", s.withCollection(s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/collections/{name}/compact", s.withCollection(s.handleCompact))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -273,6 +275,27 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, c *Col
 		return
 	}
 	s.writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleCompact rewrites the collection's on-disk segment chain as one
+// compacted generation (subsuming a checkpoint) and reports the result plus
+// the post-compaction stats. Compaction is idempotent from the client's
+// point of view: repeating it only burns a generation number.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	if s.dataDir == "" {
+		s.httpError(w, http.StatusConflict, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
+		return
+	}
+	res, err := s.CompactCollection(c)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"compaction": res, "stats": c.Stats()})
 }
 
 // writeJSON renders a JSON response. The returned error reports a write

@@ -20,6 +20,10 @@ type metrics struct {
 	snapshotQueries  atomic.Int64
 	resolveRuns      atomic.Int64
 	checkpoints      atomic.Int64 // collection checkpoints written
+	compactions      atomic.Int64 // segment-chain compactions completed
+	compactedBytes   atomic.Int64 // segment bytes written by compactions
+
+	lastCompactionNanos atomic.Int64 // duration of the most recent compaction
 }
 
 // writeMetrics renders the Prometheus text exposition: server-wide counters
@@ -38,6 +42,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("semblock_snapshot_queries_total", "GET /snapshot requests.", m.snapshotQueries.Load())
 	counter("semblock_resolve_runs_total", "POST /resolve pipeline runs.", m.resolveRuns.Load())
 	counter("semblock_checkpoints_total", "Collection checkpoints written.", m.checkpoints.Load())
+	counter("semblock_compactions_total", "Segment-chain compactions completed.", m.compactions.Load())
+	counter("semblock_compacted_bytes_total", "Segment bytes written by compactions.", m.compactedBytes.Load())
+	fmt.Fprintf(w, "# HELP semblock_last_compaction_seconds Duration of the most recent compaction.\n# TYPE semblock_last_compaction_seconds gauge\nsemblock_last_compaction_seconds %g\n",
+		float64(m.lastCompactionNanos.Load())/1e9)
 
 	// Snapshot the registry under s.mu, then gather per-collection stats
 	// without it: Stats() takes each collection's mutex, which a bulk
@@ -63,5 +71,17 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP semblock_collection_pairs Distinct candidate pairs per collection.\n# TYPE semblock_collection_pairs gauge\n")
 	for _, st := range stats {
 		fmt.Fprintf(w, "semblock_collection_pairs{collection=%q} %d\n", st.Name, st.Pairs)
+	}
+	fmt.Fprintf(w, "# HELP semblock_collection_segments On-disk checkpoint segments per collection.\n# TYPE semblock_collection_segments gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "semblock_collection_segments{collection=%q} %d\n", st.Name, st.Segments)
+	}
+	fmt.Fprintf(w, "# HELP semblock_collection_segment_bytes On-disk segment bytes per collection.\n# TYPE semblock_collection_segment_bytes gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "semblock_collection_segment_bytes{collection=%q} %d\n", st.Name, st.SegmentBytes)
+	}
+	fmt.Fprintf(w, "# HELP semblock_collection_generation Compaction generation per collection.\n# TYPE semblock_collection_generation gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "semblock_collection_generation{collection=%q} %d\n", st.Name, st.Generation)
 	}
 }

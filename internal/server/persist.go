@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -41,11 +42,14 @@ import (
 const (
 	// manifestVersion is bumped whenever the on-disk layout changes shape.
 	// v1: spec + record segments. v2: + durable drain cursor (manifest
-	// `drained`, per-segment cumulative `drained` epoch marks).
-	manifestVersion = 2
+	// `drained`, per-segment cumulative `drained` epoch marks). v3: +
+	// compaction generations (manifest `generation`, per-segment `bytes`,
+	// generation-scoped segment names) — see compact.go.
+	manifestVersion = 3
 	// oldestManifestVersion is the oldest layout LoadCollection still
 	// reads. v1 directories load with a zero cursor — the drain restarts
-	// from the full candidate set, with a logged warning.
+	// from the full candidate set, with a logged warning. v2 directories
+	// load as generation 0 with unknown segment sizes (filled by stat).
 	oldestManifestVersion = 1
 )
 
@@ -66,8 +70,15 @@ type manifest struct {
 	// order) when this checkpoint was taken. LoadCollection discards that
 	// long a prefix of the replayed pair sequence, so restore never
 	// redelivers a pair drained before the checkpoint.
-	Drained  int           `json:"drained,omitempty"`
-	Segments []segmentInfo `json:"segments"`
+	Drained int `json:"drained,omitempty"`
+	// Generation is the compaction generation of the segment chain: 0 until
+	// the first compaction, then incremented by every Compact. Segment file
+	// names embed the generation (see segmentName), so the files of two
+	// generations can never collide and the manifest rename is the single
+	// atomic commit point that flips a directory from one generation to the
+	// next (see compact.go).
+	Generation int           `json:"generation,omitempty"`
+	Segments   []segmentInfo `json:"segments"`
 }
 
 // segmentInfo names one immutable record segment.
@@ -75,11 +86,36 @@ type segmentInfo struct {
 	Name    string `json:"name"`
 	Records int    `json:"records"`
 	// Drained is the cumulative drain cursor at the checkpoint that sealed
-	// this segment — epoch bookkeeping for future segment compaction (a
+	// this segment — the epoch bookkeeping segment compaction relies on (a
 	// compactor must not drop a segment's records while pairs they emit
-	// are still undelivered). Restore itself uses the manifest-level
-	// cursor, which also advances on record-less checkpoints.
+	// are still undelivered; a compacted segment carries the cursor of the
+	// checkpoint state it folded in). Restore itself uses the
+	// manifest-level cursor, which also advances on record-less
+	// checkpoints.
 	Drained int `json:"drained,omitempty"`
+	// Bytes is the segment file size, recorded so the compaction byte
+	// threshold can be evaluated without statting the chain on every
+	// checkpoint. Zero in pre-v3 manifests; LoadCollection backfills it.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Compacted marks a segment written by Compact (the squashed base of
+	// its generation) as opposed to an ordinary checkpoint append. The
+	// MaxBytes auto-compaction trigger excludes exactly the compacted base
+	// from the "appended since the last compaction" tail — a marker, not
+	// an inference from position or generation, because a compaction of an
+	// empty collection writes no base at all.
+	Compacted bool `json:"compacted,omitempty"`
+}
+
+// segmentName returns the file name of segment idx (1-based) in a
+// compaction generation. Generation 0 keeps the pre-compaction naming, so
+// never-compacted directories stay byte-compatible with v2 layouts; later
+// generations embed the generation number, which guarantees a compaction
+// never overwrites a live segment of the generation it is replacing.
+func segmentName(generation, idx int) string {
+	if generation == 0 {
+		return fmt.Sprintf("segment-%06d.jsonl", idx)
+	}
+	return fmt.Sprintf("segment-g%03d-%06d.jsonl", generation, idx)
 }
 
 // Save checkpoints the collection into dir: records ingested since the last
@@ -110,6 +146,7 @@ func (c *Collection) Save(dir string) error {
 	n := c.log.Len()
 	drained := c.seen.Len() - len(c.pending) - c.inflight
 	persisted := c.persisted
+	generation := c.generation
 	segments := append([]segmentInfo(nil), c.segments...)
 	var pending []*record.Record
 	if n > persisted {
@@ -119,17 +156,12 @@ func (c *Collection) Save(dir string) error {
 
 	if len(pending) > 0 {
 		seg := segmentInfo{
-			Name:    fmt.Sprintf("segment-%06d.jsonl", len(segments)+1),
+			Name:    segmentName(generation, len(segments)+1),
 			Records: len(pending),
 			Drained: drained,
 		}
-		part := record.NewDataset(seg.Name)
-		for _, r := range pending {
-			part.Append(r.Entity, r.Attrs)
-		}
-		if err := writeFileAtomic(filepath.Join(dir, seg.Name), func(f *os.File) error {
-			return record.WriteJSONL(f, part)
-		}); err != nil {
+		var err error
+		if seg.Bytes, err = writeSegment(filepath.Join(dir, seg.Name), pending); err != nil {
 			return err
 		}
 		segments = append(segments, seg)
@@ -137,13 +169,10 @@ func (c *Collection) Save(dir string) error {
 	}
 	m := manifest{
 		Version: manifestVersion, Spec: c.spec,
-		Records: persisted, Drained: drained, Segments: segments,
+		Records: persisted, Drained: drained,
+		Generation: generation, Segments: segments,
 	}
-	if err := writeFileAtomic(filepath.Join(dir, manifestFile), func(f *os.File) error {
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		return enc.Encode(m)
-	}); err != nil {
+	if err := writeManifest(dir, m); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -153,13 +182,33 @@ func (c *Collection) Save(dir string) error {
 	return nil
 }
 
+// ErrOrphanFile marks a file found in a collection directory that the
+// manifest does not reference. Orphans are expected debris of a crash
+// between a compaction's segment writes and its manifest commit (or
+// between the commit and the old generation's removal): the manifest
+// rename is the atomic flip, so whichever generation it names is complete
+// and everything else is dead weight. LoadCollection logs each orphan with
+// this error and skips it — restoring from the live generation — and the
+// next successful compaction sweeps them.
+var ErrOrphanFile = errors.New("file not referenced by the collection manifest")
+
+// replayChunk bounds how many records one replay batch stages at once, so
+// restoring a compacted chain (typically one large segment) does not hold
+// the whole log's staging buffers in memory at the same time.
+const replayChunk = 4096
+
 // LoadCollection restores a collection from its directory: the manifest's
-// spec rebuilds the shared log and its table shards, and the segments are
-// replayed through them in order. The restored snapshot is identical to
-// the saved collection's at its last checkpoint (batch-parity by replay),
-// and the candidate drain resumes exactly at the manifest's durable cursor:
-// pairs delivered before the checkpoint are discarded from the replayed
-// sequence instead of redelivered. A v1 manifest has no cursor — the drain
+// spec rebuilds the shared log and its table shards, and the live
+// generation's segments are replayed through them in order via the
+// pair-free replay path (stream.ReplayStaged); the candidate ledger is
+// then reconstructed in one pass from the final table contents
+// (Collection.rebuildLedger). The restored snapshot is identical to the
+// saved collection's at its last checkpoint (batch-parity by replay), and
+// the candidate drain resumes exactly at the manifest's durable cursor:
+// pairs delivered before the checkpoint are discarded from the
+// reconstructed sequence instead of redelivered. Files the manifest does
+// not reference — debris of a crashed compaction — are logged with
+// ErrOrphanFile and skipped. A v1 manifest has no cursor — the drain
 // restarts from the full candidate set, with a logged warning.
 func LoadCollection(dir string) (*Collection, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
@@ -179,11 +228,16 @@ func LoadCollection(dir string) (*Collection, error) {
 		warnf("server: collection %s: manifest v%d predates the drain cursor; the candidate drain restarts from the full set (consumers may see redelivered pairs once)",
 			m.Spec.Name, m.Version)
 	}
+	if m.Generation < 0 {
+		return nil, fmt.Errorf("server: manifest %s has negative generation %d", dir, m.Generation)
+	}
+	logOrphans(dir, &m)
 	c, err := newCollection(m.Spec)
 	if err != nil {
 		return nil, err
 	}
-	for _, seg := range m.Segments {
+	for i := range m.Segments {
+		seg := &m.Segments[i]
 		f, err := os.Open(filepath.Join(dir, seg.Name))
 		if err != nil {
 			return nil, fmt.Errorf("server: open segment: %w", err)
@@ -199,29 +253,116 @@ func LoadCollection(dir string) (*Collection, error) {
 			return nil, fmt.Errorf("server: segment %s holds %d records, manifest says %d",
 				seg.Name, d.Len(), seg.Records)
 		}
-		rows := make([]stream.Row, 0, d.Len())
-		for _, r := range d.Records() {
-			rows = append(rows, stream.Row{Entity: r.Entity, Attrs: r.Attrs})
+		if seg.Bytes == 0 {
+			// Pre-v3 manifest: backfill the size so the compaction byte
+			// threshold sees the whole chain.
+			if st, err := os.Stat(filepath.Join(dir, seg.Name)); err == nil {
+				seg.Bytes = st.Size()
+			}
 		}
-		if _, err := c.Ingest(rows); err != nil {
-			return nil, err
+		recs := d.Records()
+		for lo := 0; lo < len(recs); lo += replayChunk {
+			hi := lo + replayChunk
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			rows := make([]stream.Row, 0, hi-lo)
+			for _, r := range recs[lo:hi] {
+				rows = append(rows, stream.Row{Entity: r.Entity, Attrs: r.Attrs})
+			}
+			c.replayRows(rows)
 		}
 	}
 	if c.Len() != m.Records {
 		return nil, fmt.Errorf("server: collection %s replayed %d records, manifest says %d",
 			m.Spec.Name, c.Len(), m.Records)
 	}
-	// Resume the drain at the durable cursor: replay queued the full pair
-	// sequence in canonical emission order, of which the first Drained
-	// were already delivered before the checkpoint.
-	if m.Drained < 0 || m.Drained > len(c.pending) {
-		return nil, fmt.Errorf("server: collection %s drain cursor %d outside the %d replayed pairs",
-			m.Spec.Name, m.Drained, len(c.pending))
+	// Rebuild the pair ledger from the replayed tables and resume the drain
+	// at the durable cursor: the canonical emission sequence is a pure
+	// function of the table contents, of which the first Drained pairs were
+	// already delivered before the checkpoint.
+	if err := c.rebuildLedger(m.Drained); err != nil {
+		return nil, err
 	}
-	c.pending = c.pending[m.Drained:]
 	c.segments = m.Segments
 	c.persisted = m.Records
+	c.generation = m.Generation
 	return c, nil
+}
+
+// liveFiles returns the set of file names a manifest references — the only
+// files that belong in its collection directory. Keep this the single
+// definition of "live": both the orphan diagnostics at load and the sweep
+// after a compaction derive from it, so they can never disagree about what
+// is debris.
+func liveFiles(m *manifest) map[string]bool {
+	live := make(map[string]bool, len(m.Segments)+1)
+	live[manifestFile] = true
+	for _, seg := range m.Segments {
+		live[seg.Name] = true
+	}
+	return live
+}
+
+// forEachUnreferenced calls fn for every plain file in dir the manifest
+// does not reference.
+func forEachUnreferenced(dir string, m *manifest, fn func(name string)) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	live := liveFiles(m)
+	for _, e := range entries {
+		if e.IsDir() || live[e.Name()] {
+			continue
+		}
+		fn(e.Name())
+	}
+	return nil
+}
+
+// logOrphans reports (and skips) files in a collection directory that the
+// manifest does not reference. Before this check a half-written compaction
+// generation left by a crash was silently invisible; now every stray file
+// is named once at load, wrapped in ErrOrphanFile, so the debris is
+// diagnosable. Unreadable directories are ignored — restore itself will
+// surface any real I/O problem.
+func logOrphans(dir string, m *manifest) {
+	_ = forEachUnreferenced(dir, m, func(name string) {
+		warnf("server: collection %s: skipping %s: %v (likely debris of an interrupted compaction or checkpoint; the next compaction removes it)",
+			m.Spec.Name, name, ErrOrphanFile)
+	})
+}
+
+// writeSegment atomically writes one JSONL record segment and returns its
+// size, which the manifest records so the compaction byte threshold never
+// has to stat the chain. It serialises straight from the immutable log
+// span — no copying into an intermediate dataset, which matters when a
+// compaction rewrites a multi-million-record log.
+func writeSegment(path string, recs []*record.Record) (int64, error) {
+	var size int64
+	err := writeFileAtomic(path, func(f *os.File) error {
+		if err := record.WriteJSONLRecords(f, recs); err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		size = st.Size()
+		return nil
+	})
+	return size, err
+}
+
+// writeManifest atomically writes the manifest of a collection directory.
+// Its rename is the commit point of both checkpoints and compactions.
+func writeManifest(dir string, m manifest) error {
+	return writeFileAtomic(filepath.Join(dir, manifestFile), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
 }
 
 // writeFileAtomic writes path via a temp file in the same directory plus a

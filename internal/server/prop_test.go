@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semblock/internal/lsh"
+	"semblock/internal/record"
+)
+
+// TestRandomOpsExactlyOnceAndParity is the property test for the
+// persistence + compaction machinery: for random interleavings of
+// ingest / drain / checkpoint / compact / graceful-restart / crash-restart,
+// two invariants must hold at every point and at the end:
+//
+//   - Delivered-exactly-once: a candidate pair is never delivered twice,
+//     except that a pair whose only delivery happened after the latest
+//     durable checkpoint may be redelivered across a *crash* restart (the
+//     documented at-least-once window — a checkpoint could not have
+//     recorded it). A pair covered by a checkpoint (or a compaction, which
+//     subsumes one) must never reappear.
+//   - Batch parity: after feeding everything and draining, the union of all
+//     deliveries equals the batch Block candidate set over the same record
+//     prefix, and the snapshot equals the batch blocks.
+//
+// The test tracks the committed set C (deliveries covered by the latest
+// durable checkpoint), the uncommitted set U (deliveries since), and the
+// persisted row count; a crash rolls U and the unpersisted rows back,
+// exactly like the process dying would.
+func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
+	d, rows := coraFixture(t, 150)
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			spec := baseSpec(fmt.Sprintf("prop%d", seed), 1+int(seed)%3)
+			c, err := newCollection(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			committed := record.NewPairSet(0)   // delivered, covered by a durable checkpoint
+			uncommitted := record.NewPairSet(0) // delivered after the latest checkpoint
+			fed, persisted := 0, 0
+			checkpointed := false // a manifest exists on disk
+
+			drain := func() {
+				for _, p := range c.Candidates() {
+					if _, dup := committed[p]; dup {
+						t.Fatalf("pair (%d,%d) delivered twice across a checkpoint", p.Left(), p.Right())
+					}
+					if _, dup := uncommitted[p]; dup {
+						t.Fatalf("pair (%d,%d) delivered twice within one process lifetime", p.Left(), p.Right())
+					}
+					uncommitted.AddPair(p)
+				}
+			}
+			commit := func() {
+				for p := range uncommitted {
+					committed.AddPair(p)
+				}
+				uncommitted = record.NewPairSet(0)
+				persisted = fed
+				checkpointed = true
+			}
+
+			for op := 0; op < 70; op++ {
+				switch rng.Intn(6) {
+				case 0, 1: // ingest a random mini-batch
+					n := 1 + rng.Intn(12)
+					if fed+n > len(rows) {
+						n = len(rows) - fed
+					}
+					if n == 0 {
+						continue
+					}
+					if _, err := c.Ingest(rows[fed : fed+n]); err != nil {
+						t.Fatal(err)
+					}
+					fed += n
+				case 2: // drain
+					drain()
+				case 3: // checkpoint
+					if err := c.Save(dir); err != nil {
+						t.Fatal(err)
+					}
+					commit()
+				case 4: // compact (subsumes a checkpoint)
+					if _, err := c.Compact(dir); err != nil {
+						t.Fatal(err)
+					}
+					commit()
+				case 5: // restart: graceful (save first) or crash
+					if rng.Intn(2) == 0 {
+						if err := c.Save(dir); err != nil {
+							t.Fatal(err)
+						}
+						commit()
+					}
+					if !checkpointed {
+						continue // nothing on disk to restart from
+					}
+					restored, err := LoadCollection(dir)
+					if err != nil {
+						t.Fatalf("op %d: restart failed: %v", op, err)
+					}
+					c = restored
+					// The crash rolls back everything the checkpoint did not
+					// cover: unpersisted rows are re-fed later, uncommitted
+					// deliveries may legally be redelivered.
+					fed = persisted
+					uncommitted = record.NewPairSet(0)
+				}
+			}
+
+			// Feed the tail, drain everything, and check both invariants.
+			if _, err := c.Ingest(rows[fed:]); err != nil {
+				t.Fatal(err)
+			}
+			fed = len(rows)
+			drain()
+			delivered := record.NewPairSet(committed.Len() + uncommitted.Len())
+			for p := range committed {
+				delivered.AddPair(p)
+			}
+			for p := range uncommitted {
+				delivered.AddPair(p)
+			}
+			if delivered.Len() != c.PairCount() {
+				t.Fatalf("deliveries cover %d distinct pairs, index emitted %d", delivered.Len(), c.PairCount())
+			}
+
+			cfg, err := spec.buildConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocker, err := lsh.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := blocker.Block(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchPairs := batch.CandidatePairs()
+			if delivered.Len() != batchPairs.Len() || delivered.Intersect(batchPairs) != batchPairs.Len() {
+				t.Fatalf("delivered %d pairs != batch candidate set %d (overlap %d)",
+					delivered.Len(), batchPairs.Len(), delivered.Intersect(batchPairs))
+			}
+			if got, want := canonical(c.Snapshot().Blocks), canonical(batch.Blocks); !sameCanonical(got, want) {
+				t.Fatal("final snapshot differs from the batch Block run")
+			}
+		})
+	}
+}

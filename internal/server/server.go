@@ -70,6 +70,16 @@ func WithDefaultShards(n int) Option {
 	}
 }
 
+// WithCompaction enables automatic background segment compaction: on each
+// checkpoint pass, a collection whose on-disk chain has crossed a policy
+// threshold is compacted in place instead of checkpointed — the compaction
+// covers the whole log, checkpoint included (see CompactionPolicy,
+// Collection.Compact and Server.Checkpoint). Requires WithDataDir to have
+// any effect.
+func WithCompaction(p CompactionPolicy) Option {
+	return func(s *Server) { s.compaction = p }
+}
+
 // Server is a multi-tenant blocking service: a registry of named
 // collections plus the HTTP front-end (Handler) and the persistence loop.
 // Construct with New; all methods are safe for concurrent use.
@@ -77,13 +87,20 @@ type Server struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
 
-	// persistMu serialises on-disk mutations (checkpoints vs deletes), so
-	// an in-flight checkpoint can never resurrect a concurrently deleted
-	// collection's directory. Lock order: persistMu before mu.
+	// persistMu serialises on-disk mutations (checkpoints, compactions,
+	// deletes), so an in-flight write can never resurrect a concurrently
+	// deleted collection's directory. Lock order: persistMu before mu.
+	// Known limitation: the mutex is server-wide, so one tenant's long
+	// rewrite (a big compaction, or a big checkpoint) delays the other
+	// tenants' persistence — serving paths are unaffected, only disk
+	// writes queue. Splitting it per collection (with a tombstone for the
+	// delete race) is the noted follow-up if checkpoint latency across
+	// tenants starts to matter.
 	persistMu sync.Mutex
 
 	dataDir       string
 	defaultShards int
+	compaction    CompactionPolicy
 	metrics       metrics
 }
 
@@ -184,6 +201,47 @@ func (s *Server) saveCollection(c *Collection) error {
 	return nil
 }
 
+// CompactCollection compacts one collection's on-disk segment chain under
+// the persistence mutex — like saveCollection, a concurrent delete can
+// never be resurrected by an in-flight compaction. It answers ErrNotFound
+// when the collection was deleted (or replaced) in the meantime and wraps
+// disk failures in ErrPersist. Compaction subsumes a checkpoint: the
+// compacted generation covers the entire record log at the time of the
+// call.
+func (s *Server) CompactCollection(c *Collection) (CompactionResult, error) {
+	if s.dataDir == "" {
+		// Without the guard, collectionDir would resolve to a bare relative
+		// path and the rewrite would scribble a directory into the process
+		// CWD while marking in-memory state as persisted.
+		return CompactionResult{}, fmt.Errorf("server: compaction needs a data dir")
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if cur, ok := s.Collection(c.Name()); !ok || cur != c {
+		return CompactionResult{}, fmt.Errorf("server: %w: %q", ErrNotFound, c.Name())
+	}
+	res, err := c.Compact(s.collectionDir(c.Name()))
+	if err != nil {
+		return res, fmt.Errorf("server: %w %q: %w", ErrPersist, c.Name(), err)
+	}
+	s.metrics.compactions.Add(1)
+	s.metrics.compactedBytes.Add(res.BytesAfter)
+	s.metrics.lastCompactionNanos.Store(int64(res.Duration))
+	return res, nil
+}
+
+// Compact compacts the named collection (no-op error without a data dir).
+func (s *Server) Compact(name string) (CompactionResult, error) {
+	if s.dataDir == "" {
+		return CompactionResult{}, fmt.Errorf("server: compaction needs a data dir")
+	}
+	c, ok := s.Collection(name)
+	if !ok {
+		return CompactionResult{}, fmt.Errorf("server: %w: %q", ErrNotFound, name)
+	}
+	return s.CompactCollection(c)
+}
+
 // Collection returns the named collection.
 func (s *Server) Collection(name string) (*Collection, bool) {
 	s.mu.RLock()
@@ -230,8 +288,17 @@ func (s *Server) Delete(name string) error {
 // It is the periodic persistence hook of "semblock serve". Every collection
 // is attempted even when one fails — a single unwritable directory must not
 // starve the other tenants' checkpoints — and the failures are joined into
-// the returned error.
-func (s *Server) Checkpoint() error {
+// the returned error. When a compaction policy is configured
+// (WithCompaction), a collection whose chain has crossed a threshold is
+// compacted *instead of* checkpointed — compaction subsumes a checkpoint
+// (it covers the whole log), so sealing the pending records into a segment
+// only to sweep it milliseconds later would double the I/O. If the rewrite
+// fails, a plain checkpoint is still attempted: a failed maintenance pass
+// must not cost ingest durability (and the smaller append may succeed
+// where the full rewrite could not, e.g. on a nearly full disk).
+func (s *Server) Checkpoint() error { return s.checkpointAll(true) }
+
+func (s *Server) checkpointAll(compact bool) error {
 	if s.dataDir == "" {
 		return nil
 	}
@@ -243,6 +310,15 @@ func (s *Server) Checkpoint() error {
 	s.mu.RUnlock()
 	var errs []error
 	for _, c := range cols {
+		if compact && c.needsCompaction(s.compaction) {
+			_, err := s.CompactCollection(c)
+			if err == nil || errors.Is(err, ErrNotFound) {
+				continue // compaction subsumed the checkpoint (or the collection is gone)
+			}
+			// The old generation stays intact and serving continues; fall
+			// through to the plain checkpoint below.
+			errs = append(errs, fmt.Errorf("compact %s: %w", c.Name(), err))
+		}
 		if err := s.saveCollection(c); err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", c.Name(), err))
 		}
@@ -261,9 +337,14 @@ func (s *Server) CheckpointEvery(interval time.Duration, stop <-chan struct{}, o
 			onError(err)
 		}
 	}
+	// The final checkpoint on stop skips auto-compaction: a shutdown must
+	// not rewrite a whole record log behind a SIGTERM — termination
+	// deadlines (systemd, k8s) would hard-kill it mid-rewrite and waste
+	// the work. Compaction is pure maintenance; the threshold is still
+	// crossed at the next boot's periodic checkpoint.
 	if interval <= 0 {
 		<-stop
-		report(s.Checkpoint())
+		report(s.checkpointAll(false))
 		return
 	}
 	t := time.NewTicker(interval)
@@ -273,15 +354,16 @@ func (s *Server) CheckpointEvery(interval time.Duration, stop <-chan struct{}, o
 		case <-t.C:
 			report(s.Checkpoint())
 		case <-stop:
-			report(s.Checkpoint())
+			report(s.checkpointAll(false))
 			return
 		}
 	}
 }
 
-// Close takes a final checkpoint. The server has no other resources to
-// release; HTTP listener lifecycle belongs to the caller.
-func (s *Server) Close() error { return s.Checkpoint() }
+// Close takes a final checkpoint (without maintenance compaction, like the
+// shutdown path). The server has no other resources to release; HTTP
+// listener lifecycle belongs to the caller.
+func (s *Server) Close() error { return s.checkpointAll(false) }
 
 // collectionDir returns the persistence directory of a collection.
 func (s *Server) collectionDir(name string) string {

@@ -547,6 +547,57 @@ func (ix *Indexer) InsertStaged(b StagedBatch) [][]record.Pair {
 	return out
 }
 
+// ReplayStaged files an already-staged batch into the index's hash tables
+// without materialising collision pairs. It is the replay-from-base-state
+// primitive the serving layer's restore path uses: co-bucketing alone
+// determines the candidate-pair set, and the canonical emission order is a
+// pure function of that set (a pair is always discovered when its
+// higher-ID record arrives, and a record's group is sorted by the lower
+// ID), so a caller replaying a persisted record log — in particular a
+// compacted segment chain — can rebuild its entire pair ledger from the
+// final Snapshot instead of collecting, deduplicating and merging
+// per-record groups for every replayed batch. Skipping the group
+// bookkeeping makes replay allocation-free on the pair side, which matters
+// when the drained prefix being replayed is large.
+func (ix *Indexer) ReplayStaged(b StagedBatch) {
+	if len(b.IDs) == 0 {
+		return
+	}
+	sigs := make([][]uint64, len(b.IDs))
+	parallelChunks(len(b.IDs), ix.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sigs[i] = ix.signer.SignStaged(b.stages[i], ix.sigComponents)
+		}
+	})
+	var wg sync.WaitGroup
+	for _, sh := range ix.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			keys := make([]uint64, 0, 8)
+			for i, id := range b.IDs {
+				keys = sh.replay(ix.signer, id, sigs[i], b.stages[i].Sem(), keys)
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// replay files the record into every table of the shard, discarding the
+// collision pairs (see ReplayStaged). It returns the key scratch slice so
+// the caller can reuse its capacity across records.
+func (sh *shard) replay(signer *lsh.Signer, id record.ID, sig []uint64, sem semantic.BitVec, keys []uint64) []uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, t := range sh.tables {
+		keys = signer.BucketKeys(t, sig, sem, keys[:0])
+		for _, key := range keys {
+			sh.store[i].Insert(key, id)
+		}
+	}
+	return keys
+}
+
 // insert files the record into every table of the shard and appends the
 // (not yet deduplicated) collision pairs to found.
 func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem semantic.BitVec, keys []uint64, found []record.Pair) []record.Pair {

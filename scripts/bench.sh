@@ -31,6 +31,10 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
+    # Strip the -GOMAXPROCS suffix (BenchmarkFoo-4 -> BenchmarkFoo) so the
+    # recorded names are comparable across machines with different core
+    # counts — the benchcmp regression gate matches entries by name.
+    sub(/-[0-9]+$/, "", name)
     iters = $2
     ns = ""
     bytes = ""

@@ -1,0 +1,119 @@
+// Command benchcmp compares two BENCH_pipeline.json files (the format
+// scripts/bench.sh writes) and fails when a tracked benchmark's allocs/op
+// regressed beyond a threshold. CI runs it against the committed baseline
+// after every bench run, so an accidental allocation regression on the
+// candidate-generation hot path fails the pipeline instead of landing
+// silently. allocs/op is the compared metric because it is deterministic
+// for a fixed code path — unlike ns/op, it does not vary with runner
+// hardware or load, so a small relative threshold is meaningful even on
+// shared CI machines.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-max-regress 25] baseline.json current.json
+//
+// Exit status 1 when any benchmark present in both files regressed by more
+// than -max-regress percent. Benchmarks missing from either side are
+// reported but never fail the run (the tracked set may legitimately grow
+// or shrink in a PR).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Generated  string  `json:"generated"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	out := make(map[string]bench, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed allocs/op regression in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-max-regress PCT] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-60s %14s %14s %9s\n", "benchmark", "base allocs/op", "cur allocs/op", "delta")
+	for _, b := range sortedNames(base) {
+		bb := base[b]
+		cb, ok := cur[b]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s %9s\n", b, bb.AllocsPerOp, "missing", "-")
+			continue
+		}
+		if bb.AllocsPerOp <= 0 {
+			fmt.Printf("%-60s %14s %14.0f %9s\n", b, "untracked", cb.AllocsPerOp, "-")
+			continue
+		}
+		delta := (cb.AllocsPerOp - bb.AllocsPerOp) / bb.AllocsPerOp * 100
+		marker := ""
+		if delta > *maxRegress {
+			marker = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+8.1f%%%s\n", b, bb.AllocsPerOp, cb.AllocsPerOp, delta, marker)
+	}
+	for _, b := range sortedNames(cur) {
+		if _, ok := base[b]; !ok {
+			fmt.Printf("%-60s %14s %14.0f %9s\n", b, "new", cur[b].AllocsPerOp, "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: allocs/op regressed beyond %.0f%% in at least one tracked benchmark\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: no allocs/op regression beyond %.0f%%\n", *maxRegress)
+}
+
+func sortedNames(m map[string]bench) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

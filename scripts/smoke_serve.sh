@@ -2,8 +2,10 @@
 # End-to-end smoke test of the serving layer: build the CLI, start
 # `semblock serve` with persistence, drive the HTTP API (create a sharded
 # collection, bulk-ingest JSONL, drain candidates, snapshot, metrics),
-# shut down gracefully with SIGTERM and assert the final checkpoint landed
-# on disk. CI runs this as the "serve-smoke" job; locally: make smoke.
+# compact the segment chain through the new endpoint, shut down gracefully
+# with SIGTERM, assert the final checkpoint landed on disk, then restart
+# the server from the compacted data dir and check the collection came back
+# intact. CI runs this as the "serve-smoke" job; locally: make smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,15 +23,18 @@ trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/semblock
 
-"$BIN" serve -addr "$ADDR" -data-dir "$DATA" -shards 2 -checkpoint 1h >"$LOG" 2>&1 &
-PID=$!
+start_server() {
+    "$BIN" serve -addr "$ADDR" -data-dir "$DATA" -shards 2 -checkpoint 1h >>"$LOG" 2>&1 &
+    PID=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+        kill -0 "$PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+        sleep 0.1
+    done
+    curl -fsS "$BASE/healthz" >/dev/null
+}
 
-for _ in $(seq 1 100); do
-    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-    kill -0 "$PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
-    sleep 0.1
-done
-curl -fsS "$BASE/healthz" >/dev/null
+start_server
 
 curl -fsS -X POST "$BASE/v1/collections" \
     -d '{"name":"smoke","attrs":["name"],"q":2,"k":2,"l":8,"seed":1,"shards":2}' >/dev/null
@@ -44,12 +49,34 @@ curl -fsS "$BASE/v1/collections/smoke/snapshot" | grep -q '"technique":"lsh"'
 curl -fsS "$BASE/v1/collections/smoke" | grep -q '"records":3'
 curl -fsS "$BASE/metrics" | grep -q '^semblock_ingested_records_total 3'
 
+# Checkpoint, then compact the chain through the endpoint: the response
+# carries the compaction summary and the collection must land on
+# generation 1 with a single compacted segment.
+curl -fsS -X POST "$BASE/v1/collections/smoke/checkpoint" >/dev/null
+COMPACT="$(curl -fsS -X POST "$BASE/v1/collections/smoke/compact")"
+echo "$COMPACT" | grep -q '"generation":1'
+echo "$COMPACT" | grep -q '"segments_after":1'
+curl -fsS "$BASE/metrics" | grep -q '^semblock_compactions_total 1'
+test -f "$DATA/smoke/segment-g001-000001.jsonl" || { echo "missing compacted segment"; ls -R "$DATA"; exit 1; }
+test ! -f "$DATA/smoke/segment-000001.jsonl" || { echo "old generation not swept"; ls -R "$DATA"; exit 1; }
+
 kill -TERM "$PID"
 wait "$PID" || { echo "server exited non-zero:"; cat "$LOG"; exit 1; }
 
-# The graceful shutdown must have taken a final checkpoint.
+# The graceful shutdown must have taken a final checkpoint on top of the
+# compacted generation.
 test -f "$DATA/smoke/manifest.json" || { echo "missing manifest after shutdown"; ls -R "$DATA"; exit 1; }
 grep -q '"records": 3' "$DATA/smoke/manifest.json"
-test -f "$DATA/smoke/segment-000001.jsonl"
+grep -q '"generation": 1' "$DATA/smoke/manifest.json"
+
+# Restart from the compacted data dir: restore-on-boot must replay only the
+# compacted generation and bring the collection back intact.
+start_server
+curl -fsS "$BASE/v1/collections/smoke" | grep -q '"records":3'
+curl -fsS "$BASE/v1/collections/smoke" | grep -q '"generation":1'
+curl -fsS "$BASE/v1/collections/smoke/snapshot" | grep -q '"technique":"lsh"'
+
+kill -TERM "$PID"
+wait "$PID" || { echo "server exited non-zero after restart:"; cat "$LOG"; exit 1; }
 
 echo "serve smoke OK"

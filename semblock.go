@@ -412,6 +412,10 @@ type (
 	MatchAttr = server.MatchAttr
 	// PruneSpec selects a meta-blocking stage in a ResolveRequest.
 	PruneSpec = server.PruneSpec
+	// CompactionPolicy configures automatic segment compaction thresholds.
+	CompactionPolicy = server.CompactionPolicy
+	// CompactionResult summarises one Collection.Compact run.
+	CompactionResult = server.CompactionResult
 )
 
 // NewServer builds a multi-tenant blocking service; see internal/server.
@@ -421,6 +425,7 @@ func NewServer(opts ...ServerOption) (*Server, error) { return server.New(opts..
 var (
 	WithDataDir       = server.WithDataDir
 	WithDefaultShards = server.WithDefaultShards
+	WithCompaction    = server.WithCompaction
 )
 
 // Serving-layer sentinel errors (match with errors.Is).
@@ -428,6 +433,10 @@ var (
 	ErrCollectionExists   = server.ErrExists
 	ErrCollectionNotFound = server.ErrNotFound
 	ErrCollectionPersist  = server.ErrPersist
+	// ErrCollectionOrphanFile marks unreferenced files in a collection
+	// directory (debris of an interrupted compaction), logged and skipped
+	// during restore.
+	ErrCollectionOrphanFile = server.ErrOrphanFile
 )
 
 // LoadCollection restores one collection from its persistence directory.
