@@ -23,12 +23,16 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
-# Compares the current BENCH_pipeline.json against the committed baseline
-# and fails on >25% allocs/op regression — the same gate the CI bench job
-# applies after every run.
+# Compares the current BENCH_pipeline.json against the committed baseline —
+# the same gates the CI bench job applies after every run: >25% allocs/op
+# or >100% ns/op regression, parallel/serial speedup < 1.5x (machines with
+# GOMAXPROCS >= 4 only), and CollectionIngest shards=8 allocs/op drifting
+# >10% above shards=1.
 benchcmp:
 	git show HEAD:BENCH_pipeline.json > /tmp/bench_baseline.json
-	go run ./scripts/benchcmp -max-regress 25 /tmp/bench_baseline.json BENCH_pipeline.json
+	go run ./scripts/benchcmp -max-regress 25 -max-ns-regress 100 \
+		-min-speedup 1.5 -flat-tolerance 10 \
+		/tmp/bench_baseline.json BENCH_pipeline.json
 
 # Runs the blocking/pipeline benchmarks and writes BENCH_pipeline.json so
 # the perf trajectory is tracked across PRs. BENCHTIME=1x for a smoke run.

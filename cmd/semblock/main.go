@@ -43,6 +43,12 @@
 //
 //	semblock compact -data-dir /var/lib/semblock            # all collections
 //	semblock compact -data-dir /var/lib/semblock -collection pubs
+//
+// The "bench serve" subcommand runs the serving-layer load harness: it
+// ingests a synthetic corpus into one in-process collection in mini-batches
+// and reports ingest throughput plus batch/drain latency quantiles:
+//
+//	semblock bench serve -records 1000000 -batch 1024 -shards 4
 package main
 
 import (
@@ -61,6 +67,7 @@ import (
 
 	"semblock"
 	"semblock/internal/datagen"
+	"semblock/internal/experiments"
 	"semblock/internal/lsh"
 	"semblock/internal/record"
 )
@@ -76,6 +83,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "compact":
 		err = runCompact(os.Args[2:])
+	case len(os.Args) > 2 && os.Args[1] == "bench" && os.Args[2] == "serve":
+		err = runBenchServe(os.Args[3:])
 	default:
 		err = run()
 	}
@@ -83,6 +92,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "semblock:", err)
 		os.Exit(1)
 	}
+}
+
+// runBenchServe implements the "bench serve" subcommand: the serving-layer
+// load harness. It ingests a synthetic corpus into one in-process collection
+// in mini-batches — exercising the shared-log staging, per-shard table
+// builds, striped pair dedup and candidate drains the HTTP ingest path runs
+// — and reports ingest throughput plus batch/drain latency quantiles:
+//
+//	semblock bench serve -records 1000000 -batch 1024 -shards 4
+func runBenchServe(args []string) error {
+	fs := flag.NewFlagSet("semblock bench serve", flag.ExitOnError)
+	var (
+		records    = fs.Int("records", 1_000_000, "records to ingest")
+		batch      = fs.Int("batch", 1024, "records per ingest batch")
+		shards     = fs.Int("shards", 4, "table-shard count of the collection")
+		workers    = fs.Int("workers", 0, "signature worker pool cap (0 = runtime default)")
+		drainEvery = fs.Int("drain-every", 1, "drain candidates every N batches (<0 = only at the end)")
+		seed       = fs.Int64("seed", 1, "synthetic corpus seed")
+		quiet      = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.LoadConfig{
+		Records: *records, Batch: *batch, Shards: *shards,
+		Workers: *workers, DrainEvery: *drainEvery, Seed: *seed,
+	}
+	if !*quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, "bench serve:", s) }
+	}
+	res, err := experiments.LoadBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
 }
 
 // runServe implements the "serve" subcommand: the long-lived multi-tenant

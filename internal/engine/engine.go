@@ -24,42 +24,173 @@ import (
 	"semblock/internal/record"
 )
 
-// Table is one hash table's bucket store. Buckets remember first-touch
-// order (the order their keys were first inserted), so exports are
-// deterministic regardless of Go map iteration order. The zero value is
-// not usable; construct with NewTable.
+// Table is one hash table's bucket store: a flat, slice-backed
+// open-addressing index over buckets whose member IDs live in chunked
+// arenas instead of one heap allocation per bucket. Compared to the
+// map[uint64]int32 + per-bucket []record.ID layout it replaced, inserting n
+// records costs O(1) amortised allocations instead of O(n): the slot array
+// and the bucket metadata grow geometrically, and member storage is carved
+// from shared chunks. Buckets remember first-touch order (the order their
+// keys were first inserted), so exports are deterministic regardless of
+// hash order. The zero value is not usable; construct with NewTable.
+//
+// A Table is not safe for concurrent use; the streaming shards guard theirs
+// with a mutex and the batch engine gives every worker its own.
 type Table struct {
-	index   map[uint64]int32 // key -> position in buckets
+	// slots is the open-addressing index: each slot holds 1+bucket index,
+	// 0 marks an empty slot. Capacity is a power of two; the table rehashes
+	// at 3/4 load. Keys are diffused once more before probing so that
+	// callers feeding unmixed keys (the fuzzer does) still probe well.
+	slots []uint32
+	mask  uint64
+
 	buckets []bucket
+	arena   idArena
 }
 
+// bucket is one key's member list. ids points into the table's arena
+// chunks; growth allocates a fresh, larger arena region and abandons the
+// old one (amortised like append, but without a heap allocation per
+// bucket).
 type bucket struct {
 	key uint64
 	ids []record.ID
+}
+
+// idArena hands out record.ID storage in geometrically growing chunks, so
+// bucket member lists cost one bump-pointer carve instead of a heap
+// allocation each. Abandoned regions (left behind when a bucket outgrows
+// its carve) are reclaimed only when the whole table is dropped or Reset —
+// bounded by the doubling schedule at less than the live storage.
+type idArena struct {
+	chunk     []record.ID // current chunk, carved by re-slicing
+	chunkSize int
+}
+
+// arenaMinChunk is the first chunk's capacity; chunks double up to
+// arenaMaxChunk so huge tables do not over-reserve on their last chunk.
+const (
+	arenaMinChunk = 1024
+	arenaMaxChunk = 1 << 18
+)
+
+// alloc carves a zero-length slice with the given capacity from the arena.
+func (a *idArena) alloc(capacity int) []record.ID {
+	if cap(a.chunk)-len(a.chunk) < capacity {
+		size := a.chunkSize * 2
+		if size < arenaMinChunk {
+			size = arenaMinChunk
+		}
+		if size > arenaMaxChunk {
+			size = arenaMaxChunk
+		}
+		if size < capacity {
+			size = capacity
+		}
+		a.chunkSize = size
+		a.chunk = make([]record.ID, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[:off+capacity]
+	return a.chunk[off : off : off+capacity]
+}
+
+// reset drops every chunk so the arena starts fresh.
+func (a *idArena) reset() {
+	a.chunk = nil
+	a.chunkSize = 0
+}
+
+// mix64 is the SplitMix64 finalizer, applied to keys before probing so the
+// slot distribution does not depend on callers pre-mixing their keys.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewTable returns an empty table. sizeHint is the expected number of
 // distinct keys — pass the dataset cardinality for batch builds (each
 // record files under at most a few keys per table) or 0 when unknown.
 func NewTable(sizeHint int) *Table {
-	if sizeHint < 0 {
-		sizeHint = 0
+	t := &Table{}
+	slots := 16
+	for slots*3/4 < sizeHint {
+		slots *= 2
 	}
-	return &Table{index: make(map[uint64]int32, sizeHint)}
+	t.slots = make([]uint32, slots)
+	t.mask = uint64(slots - 1)
+	if sizeHint > 0 {
+		t.buckets = make([]bucket, 0, sizeHint)
+	}
+	return t
+}
+
+// Reset empties the table for reuse, keeping the slot array's capacity (the
+// arena chunks are dropped — their buckets are gone). Exported blocks that
+// alias bucket storage must not be used across a Reset.
+func (t *Table) Reset() {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	t.buckets = t.buckets[:0]
+	t.arena.reset()
+}
+
+// grow doubles the slot array and re-files every bucket.
+func (t *Table) grow() {
+	slots := make([]uint32, len(t.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for i := range t.buckets {
+		j := mix64(t.buckets[i].key) & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j] = uint32(i) + 1
+	}
+	t.slots = slots
+	t.mask = mask
 }
 
 // Insert files id under key and returns the bucket's previous members —
 // the records id now collides with. The returned slice is shared with the
 // table; callers must only read it, and only until the next Insert.
 func (t *Table) Insert(key uint64, id record.ID) []record.ID {
-	if i, ok := t.index[key]; ok {
-		b := &t.buckets[i]
-		prior := b.ids
-		b.ids = append(b.ids, id)
-		return prior
+	j := mix64(key) & t.mask
+	for {
+		s := t.slots[j]
+		if s == 0 {
+			break
+		}
+		if b := &t.buckets[s-1]; b.key == key {
+			prior := b.ids
+			if len(b.ids) == cap(b.ids) {
+				grown := t.arena.alloc(2 * cap(b.ids))
+				grown = grown[:len(b.ids)]
+				copy(grown, b.ids)
+				b.ids = grown
+				// prior still points at the abandoned region, whose
+				// contents stay intact until the next Reset.
+			}
+			b.ids = append(b.ids, id)
+			return prior
+		}
+		j = (j + 1) & t.mask
 	}
-	t.index[key] = int32(len(t.buckets))
-	t.buckets = append(t.buckets, bucket{key: key, ids: []record.ID{id}})
+	// New bucket. Grow first if filing it would cross 3/4 load, then
+	// re-probe (the grow moved every slot).
+	if (len(t.buckets)+1)*4 > len(t.slots)*3 {
+		t.grow()
+		j = mix64(key) & t.mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+	}
+	ids := t.arena.alloc(2)[:1]
+	ids[0] = id
+	t.buckets = append(t.buckets, bucket{key: key, ids: ids})
+	t.slots[j] = uint32(len(t.buckets))
 	return nil
 }
 

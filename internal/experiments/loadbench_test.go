@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadBenchSmall runs the serving-layer load harness at a small scale
+// and checks the report is internally consistent — every record ingested,
+// every emitted pair drained, non-zero throughput, ordered quantiles.
+func TestLoadBenchSmall(t *testing.T) {
+	var progress []string
+	res, err := LoadBench(LoadConfig{
+		Records: 600, Batch: 64, Shards: 2, Workers: 2,
+		Progress: func(s string) { progress = append(progress, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 600 {
+		t.Fatalf("ingested %d records, want 600", res.Records)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("load run emitted no candidate pairs; corpus or config degenerate")
+	}
+	if res.Drained != res.Pairs {
+		t.Fatalf("drained %d pairs, emitted %d — drains lost or duplicated pairs", res.Drained, res.Pairs)
+	}
+	if res.RecordsPerSec <= 0 {
+		t.Fatalf("throughput %.2f records/s", res.RecordsPerSec)
+	}
+	if res.IngestP50 > res.IngestP95 || res.IngestP95 > res.IngestP99 {
+		t.Fatalf("ingest quantiles out of order: p50 %v p95 %v p99 %v",
+			res.IngestP50, res.IngestP95, res.IngestP99)
+	}
+	if res.DrainP50 > res.DrainP95 || res.DrainP95 > res.DrainP99 {
+		t.Fatalf("drain quantiles out of order: p50 %v p95 %v p99 %v",
+			res.DrainP50, res.DrainP95, res.DrainP99)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress lines delivered")
+	}
+	report := res.String()
+	for _, want := range []string{"records/s", "ingest batch latency", "drain latency", "p99"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLoadBenchNoDrain checks the drain-disabled mode: everything is
+// delivered by the final drain and the drain quantiles stay zero.
+func TestLoadBenchNoDrain(t *testing.T) {
+	res, err := LoadBench(LoadConfig{Records: 200, Batch: 32, Shards: 1, Workers: 1, DrainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drained != res.Pairs {
+		t.Fatalf("final drain delivered %d of %d pairs", res.Drained, res.Pairs)
+	}
+	if res.DrainP99 != 0 {
+		t.Fatalf("drain quantiles tracked despite DrainEvery<0: p99 %v", res.DrainP99)
+	}
+}

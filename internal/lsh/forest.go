@@ -60,26 +60,33 @@ func (f *Forest) Name() string { return "lsh-forest" }
 // Block builds the L prefix trees and emits their leaf buckets.
 func (f *Forest) Block(d *record.Dataset) (*blocking.Result, error) {
 	n := d.Len()
+	size := f.cfg.L * f.cfg.KMax
 	sigs := make([][]uint64, n)
+	backing := make([]uint64, n*size)
 	for i := 0; i < n; i++ {
 		r := d.Record(record.ID(i))
-		grams := textual.QGrams(r.Key(f.cfg.Attrs...), f.cfg.Q)
-		sigs[i] = f.fam.Signature(grams)
+		sigs[i] = backing[i*size : (i+1)*size : (i+1)*size]
+		f.fam.SignatureInto(textual.QGrams(r.Key(f.cfg.Attrs...), f.cfg.Q), sigs[i])
 	}
 	var blocks [][]record.ID
-	all := make([]record.ID, n)
-	for i := range all {
-		all[i] = record.ID(i)
-	}
+	scratch := make([]record.ID, n)
 	for tree := 0; tree < f.cfg.L; tree++ {
-		base := tree * f.cfg.KMax
-		blocks = f.split(all, sigs, base, 0, blocks)
+		// Each tree partitions the records from ID order; split permutes its
+		// slice in place, so the scratch is re-initialised per tree.
+		for i := range scratch {
+			scratch[i] = record.ID(i)
+		}
+		blocks = f.split(scratch, sigs, tree*f.cfg.KMax, 0, blocks)
 	}
 	return blocking.NewResult(f.Name(), blocks), nil
 }
 
 // split recursively partitions ids by the hash value at the given depth,
-// emitting buckets that are small enough (or at maximal depth).
+// emitting buckets that are small enough (or at maximal depth). ids is
+// permuted in place; no per-call map or group slices are allocated: a stable
+// sort groups equal hash values into runs — ascending value order, original
+// order within a run, exactly the group order the map-backed version
+// produced — and each run recurses on its sub-slice.
 func (f *Forest) split(ids []record.ID, sigs [][]uint64, base, depth int, blocks [][]record.ID) [][]record.ID {
 	if len(ids) < 2 {
 		return blocks
@@ -87,22 +94,17 @@ func (f *Forest) split(ids []record.ID, sigs [][]uint64, base, depth int, blocks
 	if len(ids) <= f.cfg.MaxBlock || depth == f.cfg.KMax {
 		out := make([]record.ID, len(ids))
 		copy(out, ids)
-		blocks = append(blocks, out)
-		return blocks
+		return append(blocks, out)
 	}
-	groups := make(map[uint64][]record.ID)
-	for _, id := range ids {
-		v := sigs[id][base+depth]
-		groups[v] = append(groups[v], id)
-	}
-	// Deterministic order over group keys.
-	keys := make([]uint64, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		blocks = f.split(groups[k], sigs, base, depth+1, blocks)
+	at := func(id record.ID) uint64 { return sigs[id][base+depth] }
+	sort.SliceStable(ids, func(i, j int) bool { return at(ids[i]) < at(ids[j]) })
+	for lo := 0; lo < len(ids); {
+		hi := lo + 1
+		for hi < len(ids) && at(ids[hi]) == at(ids[lo]) {
+			hi++
+		}
+		blocks = f.split(ids[lo:hi], sigs, base, depth+1, blocks)
+		lo = hi
 	}
 	return blocks
 }

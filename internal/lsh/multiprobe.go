@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semblock/internal/blocking"
+	"semblock/internal/engine"
 	"semblock/internal/minhash"
 	"semblock/internal/record"
 	"semblock/internal/textual"
@@ -56,28 +57,34 @@ func NewMultiProbe(cfg MultiProbeConfig) (*MultiProbe, error) {
 func (m *MultiProbe) Name() string { return "lsh-multiprobe" }
 
 // Block files every record under its primary and perturbed band buckets.
+// One flat bucket store (engine.Table) is Reset and reused across all l
+// tables instead of allocating a fresh map per table, and all 2n signature
+// buffers are carved from one backing array; blocks come out in bucket
+// first-touch order, so the output is deterministic (the map-backed version
+// emitted each table's blocks in map iteration order).
 func (m *MultiProbe) Block(d *record.Dataset) (*blocking.Result, error) {
 	n := d.Len()
 	k, l := m.cfg.K, m.cfg.L
+	size := k * l
 	sigs := make([][]uint64, n)
 	sig2s := make([][]uint64, n)
+	backing := make([]uint64, 2*n*size)
 	for i := 0; i < n; i++ {
 		r := d.Record(record.ID(i))
 		grams := textual.QGrams(r.Key(m.cfg.Attrs...), m.cfg.Q)
-		sig := make([]uint64, k*l)
-		sig2 := make([]uint64, k*l)
-		m.fam.Signature2Into(grams, sig, sig2)
-		sigs[i], sig2s[i] = sig, sig2
+		sigs[i] = backing[(2*i)*size : (2*i+1)*size : (2*i+1)*size]
+		sig2s[i] = backing[(2*i+1)*size : (2*i+2)*size : (2*i+2)*size]
+		m.fam.Signature2Into(grams, sigs[i], sig2s[i])
 	}
 	var blocks [][]record.ID
 	probe := make([]uint64, k)
+	tb := engine.NewTable(n)
 	for table := 0; table < l; table++ {
-		buckets := make(map[uint64][]record.ID)
+		tb.Reset()
 		lo := table * k
 		for i := 0; i < n; i++ {
 			band := sigs[i][lo : lo+k]
-			key := minhash.BandKey(table, band)
-			buckets[key] = append(buckets[key], record.ID(i))
+			tb.Insert(minhash.BandKey(table, band), record.ID(i))
 			// Perturbations: replace component j with the second minimum.
 			for j := 0; j < m.cfg.Probes; j++ {
 				if sig2s[i][lo+j] == ^uint64(0) {
@@ -85,30 +92,30 @@ func (m *MultiProbe) Block(d *record.Dataset) (*blocking.Result, error) {
 				}
 				copy(probe, band)
 				probe[j] = sig2s[i][lo+j]
-				pk := minhash.BandKey(table, probe)
-				buckets[pk] = append(buckets[pk], record.ID(i))
+				tb.Insert(minhash.BandKey(table, probe), record.ID(i))
 			}
 		}
-		for _, ids := range buckets {
-			if len(ids) >= 2 {
-				blocks = append(blocks, dedupeIDs(ids))
-			}
+		// Members are copied (the table is Reset next round) and then
+		// deduplicated: a record reaching one bucket through its primary key
+		// and a probe files consecutively, so duplicates are adjacent runs.
+		start := len(blocks)
+		blocks = engine.AppendBlocks(blocks, tb, 2, true)
+		for b := start; b < len(blocks); b++ {
+			blocks[b] = dedupeAdjacent(blocks[b])
 		}
 	}
 	return blocking.NewResult(m.Name(), blocks), nil
 }
 
-// dedupeIDs removes duplicates (a record can reach the same bucket through
-// its primary key and a probe) while preserving first-seen order.
-func dedupeIDs(ids []record.ID) []record.ID {
-	seen := make(map[record.ID]struct{}, len(ids))
-	out := ids[:0]
-	for _, id := range ids {
-		if _, ok := seen[id]; ok {
-			continue
+// dedupeAdjacent collapses adjacent duplicate IDs in place. Bucket members
+// are in insertion order and all of one record's inserts into a table are
+// consecutive, so equal IDs can only appear as adjacent runs.
+func dedupeAdjacent(ids []record.ID) []record.ID {
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
 		}
-		seen[id] = struct{}{}
-		out = append(out, id)
 	}
 	return out
 }

@@ -18,10 +18,18 @@ import (
 // (internal/stream): both paths derive bucket membership exclusively from a
 // Signer, which is what guarantees that a streamed index snapshot and a
 // batch Block run over the same records produce the same blocks.
+//
+// Signing is interned: a record's q-grams are streamed straight out of the
+// normalised blocking key (textual.VisitQGrams) into base hashes
+// (minhash.BaseHash) — no gram strings and no gram slice are materialised —
+// and the scratch hash buffers are pooled across records, so a steady-state
+// Sign costs one normalised-key allocation plus the returned signature.
 type Signer struct {
 	cfg  Config
 	fam  *minhash.Family
 	bits [][]int // per-table semantic bit choices; nil without Semantic
+
+	hashPool sync.Pool // *[]uint64 scratch buffers for shingle base hashes
 }
 
 // NewSigner validates the configuration and precomputes the per-table
@@ -64,10 +72,44 @@ func (s *Signer) Config() Config { return s.cfg }
 // Semantic reports whether the signer is configured for SA-LSH.
 func (s *Signer) Semantic() bool { return s.cfg.Semantic != nil }
 
+// getHashes hands out a pooled scratch buffer for shingle base hashes;
+// putHashes returns it. Pooling keeps steady-state signing free of scratch
+// allocations no matter how many goroutines sign concurrently.
+func (s *Signer) getHashes() []uint64 {
+	if p, ok := s.hashPool.Get().(*[]uint64); ok {
+		return (*p)[:0]
+	}
+	return make([]uint64, 0, 128)
+}
+
+func (s *Signer) putHashes(h []uint64) {
+	s.hashPool.Put(&h)
+}
+
+// AppendKeyHashes appends the base hashes of the record's q-gram shingles
+// to dst and returns the extended slice — the interned form of
+// minhash.ShingleHashes(textual.QGrams(key, q)): grams are hashed as views
+// into the normalised key, never materialised as strings.
+func (s *Signer) AppendKeyHashes(r *record.Record, dst []uint64) []uint64 {
+	textual.VisitQGrams(r.Key(s.cfg.Attrs...), s.cfg.Q, func(g string) {
+		dst = append(dst, minhash.BaseHash(g))
+	})
+	return dst
+}
+
 // Sign computes the k·l-component minhash signature of one record.
 func (s *Signer) Sign(r *record.Record) []uint64 {
-	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
-	return s.fam.Signature(grams)
+	sig := make([]uint64, s.fam.Size())
+	s.SignInto(r, sig)
+	return sig
+}
+
+// SignInto computes the signature into sig, which must have length
+// fam.Size() — the buffer-reusing form of Sign.
+func (s *Signer) SignInto(r *record.Record, sig []uint64) {
+	hashes := s.AppendKeyHashes(r, s.getHashes())
+	s.fam.SignatureFromHashesInto(hashes, sig)
+	s.putHashes(hashes)
 }
 
 // TableComponents returns the signature-component indices the given tables
@@ -91,10 +133,23 @@ func (s *Signer) TableComponents(tables []int) []int {
 // partitioning the tables collectively performs the same hashing as one
 // full signer.
 func (s *Signer) SignComponents(r *record.Record, components []int) []uint64 {
-	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
 	sig := make([]uint64, s.fam.Size())
-	s.fam.SignatureSubsetInto(grams, components, sig)
+	s.SignComponentsInto(r, components, sig)
 	return sig
+}
+
+// SignComponentsInto computes the given components (all of them when
+// components is nil) into a caller-owned buffer of length fam.Size() — the
+// arena-backed form batch insertion uses to sign a whole mini-batch into one
+// backing array.
+func (s *Signer) SignComponentsInto(r *record.Record, components []int, sig []uint64) {
+	hashes := s.AppendKeyHashes(r, s.getHashes())
+	if components == nil {
+		s.fam.SignatureFromHashesInto(hashes, sig)
+	} else {
+		s.fam.SignatureSubsetFromHashesInto(hashes, components, sig)
+	}
+	s.putHashes(hashes)
 }
 
 // Stage is the shard-independent half of one record's signature work: the
@@ -104,10 +159,11 @@ func (s *Signer) SignComponents(r *record.Record, components []int) []uint64 {
 // taxonomy walk behind the semhash — so a Stage computed once can be shared
 // by any number of table-subset indexers, each deriving only its own minhash
 // components via SignStaged. stream.SharedLog.Append computes one Stage per
-// appended record and hands the staged batch to every attached shard; the
+// appended record — hash storage carved from a per-batch arena via
+// StageAppend — and hands the staged batch to every attached shard; the
 // stages are per-batch hand-offs, not retained state.
 type Stage struct {
-	hashes []uint64 // base hashes of the record's q-grams (minhash.ShingleHashes)
+	hashes []uint64 // base hashes of the record's q-grams
 	sem    semantic.BitVec
 }
 
@@ -119,8 +175,21 @@ func (st *Stage) Sem() semantic.BitVec { return st.sem }
 // q-gram shingling of the blocking key, the shingles' base hashes, and the
 // semhash signature. SignStaged consumes the result.
 func (s *Signer) Stage(r *record.Record) *Stage {
-	grams := textual.QGrams(r.Key(s.cfg.Attrs...), s.cfg.Q)
-	return &Stage{hashes: minhash.ShingleHashes(grams), sem: s.SemSign(r)}
+	st, _ := s.StageAppend(r, nil)
+	return &st
+}
+
+// StageAppend computes a record's signature stage, storing the hash
+// material by appending to arena, and returns the stage plus the extended
+// arena. Batch staging (stream.SharedLog.Append) threads one growing arena
+// through a whole mini-batch, so staging n records costs O(log n) hash
+// allocations instead of one per record; a stage's hash view stays valid
+// even when a later append reallocates the arena (the abandoned backing
+// array is untouched).
+func (s *Signer) StageAppend(r *record.Record, arena []uint64) (Stage, []uint64) {
+	off := len(arena)
+	arena = s.AppendKeyHashes(r, arena)
+	return Stage{hashes: arena[off:len(arena):len(arena)], sem: s.SemSign(r)}, arena
 }
 
 // SignStaged derives minhash signature components from a precomputed Stage:
@@ -131,12 +200,19 @@ func (s *Signer) Stage(r *record.Record) *Stage {
 // freely in one index.
 func (s *Signer) SignStaged(st *Stage, components []int) []uint64 {
 	sig := make([]uint64, s.fam.Size())
+	s.SignStagedInto(st, components, sig)
+	return sig
+}
+
+// SignStagedInto is SignStaged into a caller-owned buffer of length
+// fam.Size(), for arena-backed batch signing (stream.Indexer.InsertStaged
+// carves all of a batch's signatures from one backing array).
+func (s *Signer) SignStagedInto(st *Stage, components []int, sig []uint64) {
 	if components == nil {
 		s.fam.SignatureFromHashesInto(st.hashes, sig)
 	} else {
 		s.fam.SignatureSubsetFromHashesInto(st.hashes, components, sig)
 	}
-	return sig
 }
 
 // SemSign computes the semhash signature of one record. Without a semantic
@@ -149,15 +225,25 @@ func (s *Signer) SemSign(r *record.Record) semantic.BitVec {
 }
 
 // SignDataset computes the minhash signatures of every record in parallel,
-// indexed by record ID. The indexing relies on record IDs being dense
-// 0..n-1 (the invariant Dataset.Append maintains); a dataset violating it
-// yields a *SparseIDError instead of silently mis-assigning signatures.
+// indexed by record ID. All n signatures are carved from one backing array,
+// so the signature stage of a batch build costs O(1) allocations per worker
+// instead of O(n). The indexing relies on record IDs being dense 0..n-1
+// (the invariant Dataset.Append maintains); a dataset violating it yields a
+// *SparseIDError instead of silently mis-assigning signatures.
 func (s *Signer) SignDataset(d *record.Dataset) ([][]uint64, error) {
 	if err := ValidateDenseIDs(d); err != nil {
 		return nil, err
 	}
 	n := d.Len()
 	sigs := make([][]uint64, n)
+	if n == 0 {
+		return sigs, nil
+	}
+	size := s.fam.Size()
+	backing := make([]uint64, n*size)
+	for i := 0; i < n; i++ {
+		sigs[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -182,8 +268,10 @@ func (s *Signer) SignDataset(d *record.Dataset) ([][]uint64, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			hashes := make([]uint64, 0, 128)
 			for i := lo; i < hi; i++ {
-				sigs[i] = s.Sign(d.Record(record.ID(i)))
+				hashes = s.AppendKeyHashes(d.Record(record.ID(i)), hashes[:0])
+				s.fam.SignatureFromHashesInto(hashes, sigs[i])
 			}
 		}(lo, hi)
 	}

@@ -8,7 +8,6 @@
 package minhash
 
 import (
-	"hash/fnv"
 	"math/rand"
 )
 
@@ -38,11 +37,26 @@ func (f *Family) Size() int { return len(f.seeds) }
 
 // baseHash maps a shingle to a 64-bit value; per-function values are
 // derived from it by seeded mixing so each shingle is string-hashed once.
+// FNV-64a, written out so hashing a gram neither allocates a hasher nor
+// copies the string to bytes (hash/fnv does both).
 func baseHash(gram string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(gram))
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(gram); i++ {
+		h ^= uint64(gram[i])
+		h *= prime64
+	}
+	return h
 }
+
+// BaseHash exposes the shingle base hash (FNV-64a) for callers that stream
+// grams through textual.VisitQGrams instead of materialising a gram slice —
+// the interned-hashing fast path of lsh.Signer. BaseHash(g) equals the
+// value ShingleHashes records for g.
+func BaseHash(gram string) uint64 { return baseHash(gram) }
 
 // splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
 // high-quality 64-bit mixer.

@@ -48,11 +48,15 @@ type Collection struct {
 	cfg       lsh.Config
 	technique string
 
-	mu       sync.Mutex        // serialises ingest (ID assignment), drains, snapshots
-	log      *stream.SharedLog // the one record log + staging pass all shards share
-	seen     record.PairSet    // every candidate pair ever merged from the shards
-	pending  []record.Pair     // emitted but not yet drained, canonical order
-	inflight int               // popped by DrainCandidates, outcome not yet known
+	mu  sync.Mutex        // serialises ingest (ID assignment), drains, snapshots
+	log *stream.SharedLog // the one record log + staging pass all shards share
+	// seen is the global dedup ledger of every candidate pair ever merged
+	// from the shards. It is striped (independently locked shards of the
+	// pair space) so the canonical merge can deduplicate one batch's records
+	// in parallel instead of serialising every pair through c.mu.
+	seen     record.StripedPairSet
+	pending  []record.Pair // emitted but not yet drained, canonical order
+	inflight int           // popped by DrainCandidates, outcome not yet known
 
 	drainMu sync.Mutex // serialises DrainCandidates deliveries (prefix invariant)
 
@@ -98,7 +102,6 @@ func newCollection(spec CollectionSpec) (*Collection, error) {
 		cfg:       cfg,
 		technique: technique,
 		log:       log,
-		seen:      record.NewPairSet(0),
 	}
 	shardWorkers := spec.Workers
 	if shardWorkers <= 0 {
@@ -158,7 +161,7 @@ func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	batch := c.log.Append(rows)
-	perShard := make([][][]record.Pair, len(c.shards))
+	perShard := make([]stream.PairGroups, len(c.shards))
 	var wg sync.WaitGroup
 	for si, sh := range c.shards {
 		wg.Add(1)
@@ -175,20 +178,69 @@ func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 	// sequence — independent of batch boundaries, shard count, and worker
 	// count — which is what lets the persisted drain cursor (a plain count)
 	// resume delivery exactly after a replay.
-	for i := range rows {
-		var fresh []record.Pair
-		for _, perRecord := range perShard {
-			for _, p := range perRecord[i] {
-				if _, dup := c.seen[p]; !dup {
-					c.seen.AddPair(p)
-					fresh = append(fresh, p)
+	//
+	// The per-record dedup runs in parallel: every pair in record i's group
+	// has Right() == batch.IDs[i] (a pair is discovered when its higher-ID
+	// record arrives), so two distinct batch records can never contribute
+	// the same pair and the striped seen set resolves same-record repeats
+	// across shards atomically. Only the final in-order queue append is
+	// sequential.
+	fresh := make([][]record.Pair, len(rows))
+	parallelChunks(len(rows), c.mergeWorkers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var g []record.Pair
+			for si := range perShard {
+				for _, p := range perShard[si].Group(i) {
+					if c.seen.AddPair(p) {
+						g = append(g, p)
+					}
 				}
 			}
+			record.SortPairs(g)
+			fresh[i] = g
 		}
-		record.SortPairs(fresh)
-		c.pending = append(c.pending, fresh...)
+	})
+	for _, g := range fresh {
+		c.pending = append(c.pending, g...)
 	}
 	return batch.IDs, nil
+}
+
+// mergeWorkers sizes the canonical-merge worker pool.
+func (c *Collection) mergeWorkers() int {
+	if c.spec.Workers > 0 {
+		return c.spec.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// parallelChunks splits [0,n) into up to `workers` contiguous chunks and
+// runs fn on each concurrently, returning when all chunks finish.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // replayRows rebuilds the hash tables from a persisted record batch
@@ -245,7 +297,10 @@ func (c *Collection) rebuildLedger(drained int) error {
 		return fmt.Errorf("server: collection %s drain cursor %d outside the %d replayed pairs",
 			c.spec.Name, drained, len(seq))
 	}
-	c.seen = seen
+	c.seen.Reset()
+	for _, p := range seq {
+		c.seen.AddPair(p)
+	}
 	// Copy the undelivered tail so the drained prefix's backing array is
 	// released instead of pinned behind the re-slice.
 	c.pending = append([]record.Pair(nil), seq[drained:]...)

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"semblock/internal/lsh"
@@ -45,8 +47,8 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 			fed, persisted := 0, 0
 			checkpointed := false // a manifest exists on disk
 
-			drain := func() {
-				for _, p := range c.Candidates() {
+			deliver := func(pairs []record.Pair) {
+				for _, p := range pairs {
 					if _, dup := committed[p]; dup {
 						t.Fatalf("pair (%d,%d) delivered twice across a checkpoint", p.Left(), p.Right())
 					}
@@ -56,6 +58,7 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 					uncommitted.AddPair(p)
 				}
 			}
+			drain := func() { deliver(c.Candidates()) }
 			commit := func() {
 				for p := range uncommitted {
 					committed.AddPair(p)
@@ -66,7 +69,7 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 			}
 
 			for op := 0; op < 70; op++ {
-				switch rng.Intn(6) {
+				switch rng.Intn(7) {
 				case 0, 1: // ingest a random mini-batch
 					n := 1 + rng.Intn(12)
 					if fed+n > len(rows) {
@@ -111,6 +114,40 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 					// deliveries may legally be redelivered.
 					fed = persisted
 					uncommitted = record.NewPairSet(0)
+				case 6: // concurrent build + drains: Candidates races Ingest
+					n := 1 + rng.Intn(12)
+					if fed+n > len(rows) {
+						n = len(rows) - fed
+					}
+					if n == 0 {
+						continue
+					}
+					// Two drainers pop while the ingest commits through the
+					// striped ledger; the pairs they catch plus a final drain
+					// must still be exactly-once — every pop lands in exactly
+					// one drained batch, none lost, none duplicated.
+					var mu sync.Mutex
+					var raced []record.Pair
+					var wg sync.WaitGroup
+					for w := 0; w < 2; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for k := 0; k < 4; k++ {
+								ps := c.Candidates()
+								mu.Lock()
+								raced = append(raced, ps...)
+								mu.Unlock()
+								runtime.Gosched()
+							}
+						}()
+					}
+					if _, err := c.Ingest(rows[fed : fed+n]); err != nil {
+						t.Fatal(err)
+					}
+					fed += n
+					wg.Wait()
+					deliver(raced)
 				}
 			}
 

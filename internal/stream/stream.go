@@ -101,11 +101,14 @@ type StagedBatch struct {
 	// IDs are the records' assigned (dense, global) IDs, in batch order.
 	IDs []record.ID
 
-	stages []*lsh.Stage
+	stages []lsh.Stage
 }
 
 // Append appends a mini-batch of records to the log, computes their
 // signature stages with the worker pool, and returns the staged batch.
+// Stages are stored by value and each worker appends its records' hash
+// material to one growing arena (lsh.Signer.StageAppend), so staging a
+// batch of n records costs O(workers · log n) allocations, not O(n).
 func (l *SharedLog) Append(rows []Row) StagedBatch {
 	if len(rows) == 0 {
 		return StagedBatch{}
@@ -115,10 +118,11 @@ func (l *SharedLog) Append(rows []Row) StagedBatch {
 	for i, r := range recs {
 		ids[i] = r.ID
 	}
-	stages := make([]*lsh.Stage, len(recs))
+	stages := make([]lsh.Stage, len(recs))
 	parallelChunks(len(recs), l.workers, func(lo, hi int) {
+		var arena []uint64
 		for i := lo; i < hi; i++ {
-			stages[i] = l.signer.Stage(recs[i])
+			stages[i], arena = l.signer.StageAppend(recs[i], arena)
 		}
 	})
 	return StagedBatch{IDs: ids, stages: stages}
@@ -274,9 +278,13 @@ type Indexer struct {
 	log    *SharedLog // record log + stage computation; private unless shared
 	shared bool       // attached via WithSharedLog
 
-	mu      sync.Mutex     // guards the pair ledger
-	seen    record.PairSet // every candidate pair ever emitted
-	pending []record.Pair  // emitted but not yet drained by Candidates
+	// seen is the global dedup ledger: every candidate pair ever emitted.
+	// It is striped so concurrent inserters commit without serialising on
+	// one mutex; only the pending hand-off queue keeps a single lock, and
+	// commits touch it once per batch, not once per pair.
+	seen      record.StripedPairSet
+	pendingMu sync.Mutex
+	pending   []record.Pair // emitted but not yet drained by Candidates
 
 	shards []*shard
 }
@@ -297,7 +305,6 @@ type shard struct {
 func NewIndexer(cfg lsh.Config, opts ...Option) (*Indexer, error) {
 	ix := &Indexer{
 		workers: runtime.NumCPU(),
-		seen:    record.NewPairSet(0),
 	}
 	for _, opt := range opts {
 		opt(ix)
@@ -455,12 +462,13 @@ func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
 		ids[i] = r.ID
 	}
 
-	// Stage 1: signature computation, chunked over the worker pool.
-	sigs := make([][]uint64, len(recs))
+	// Stage 1: signature computation, chunked over the worker pool; all
+	// signatures are carved from one backing array.
+	sigs := ix.sigArena(len(recs))
 	sems := make([]semantic.BitVec, len(recs))
 	parallelChunks(len(recs), ix.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			sigs[i] = ix.sign(recs[i])
+			ix.signer.SignComponentsInto(recs[i], ix.sigComponents, sigs[i])
 			sems[i] = ix.signer.SemSign(recs[i])
 		}
 	})
@@ -496,53 +504,101 @@ func (ix *Indexer) sign(r *record.Record) []uint64 {
 	return ix.signer.SignComponents(r, ix.sigComponents)
 }
 
+// sigArena returns n signature buffers carved from one backing array, so a
+// batch's signature stage costs two allocations instead of n.
+func (ix *Indexer) sigArena(n int) [][]uint64 {
+	cfg := ix.signer.Config()
+	size := cfg.K * cfg.L
+	backing := make([]uint64, n*size)
+	sigs := make([][]uint64, n)
+	for i := range sigs {
+		sigs[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	return sigs
+}
+
+// PairGroups is a flat, record-major grouping of collision pairs: Group(i)
+// holds the pairs batch record i collided into. All groups share one
+// backing slice, so grouping a batch costs O(1) allocations per shard
+// regardless of how many records collided — the per-record-slice layout it
+// replaced allocated once per colliding record per shard, which made the
+// serving layer's ingest allocs/op grow with the shard count.
+type PairGroups struct {
+	pairs []record.Pair
+	off   []int // len(groups)+1 prefix offsets into pairs
+}
+
+// Len returns the number of groups (the batch size).
+func (g *PairGroups) Len() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// Group returns group i as a subslice of the shared backing array. The
+// caller must not append to it.
+func (g *PairGroups) Group(i int) []record.Pair {
+	return g.pairs[g.off[i]:g.off[i+1]]
+}
+
+// Pairs returns every group's pairs as one record-major slice.
+func (g *PairGroups) Pairs() []record.Pair { return g.pairs }
+
 // InsertStaged files an already-staged mini-batch (SharedLog.Append) into
 // this index's hash tables and returns the raw collision pairs grouped per
-// batch record: result[i] holds the pairs record b.IDs[i] collided into,
+// batch record: Group(i) holds the pairs record b.IDs[i] collided into,
 // in this index's table order, not deduplicated against earlier emissions.
 // Unlike Insert/InsertBatch it does NOT touch the index's own candidate
 // ledger — the caller owns deduplication and delivery. This is the serving
 // layer's fan-out primitive: the collection appends a batch to the shared
 // log once, hands the staged batch to every shard, and merges the returned
 // groups into its single global ledger in canonical record order.
-func (ix *Indexer) InsertStaged(b StagedBatch) [][]record.Pair {
+func (ix *Indexer) InsertStaged(b StagedBatch) PairGroups {
 	if len(b.IDs) == 0 {
-		return nil
+		return PairGroups{}
 	}
 	// Stage 1: this index's minhash components, derived from the shared
-	// stages by the worker pool (the q-grams were hashed once, in the log).
-	sigs := make([][]uint64, len(b.IDs))
+	// stages by the worker pool (the q-grams were hashed once, in the log),
+	// all signatures carved from one backing array.
+	sigs := ix.sigArena(len(b.IDs))
 	parallelChunks(len(b.IDs), ix.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			sigs[i] = ix.signer.SignStaged(b.stages[i], ix.sigComponents)
+			ix.signer.SignStagedInto(&b.stages[i], ix.sigComponents, sigs[i])
 		}
 	})
 
 	// Stage 2: bucket updates, one goroutine per shard, records in order,
-	// collision pairs collected per record.
-	perShard := make([][][]record.Pair, len(ix.shards))
+	// collision pairs accumulated flat with per-record offsets.
+	perShard := make([]PairGroups, len(ix.shards))
 	var wg sync.WaitGroup
 	for si, sh := range ix.shards {
 		wg.Add(1)
 		go func(si int, sh *shard) {
 			defer wg.Done()
-			perRecord := make([][]record.Pair, len(b.IDs))
+			g := PairGroups{off: make([]int, len(b.IDs)+1)}
 			keys := make([]uint64, 0, 8)
 			for i, id := range b.IDs {
-				perRecord[i] = sh.insert(ix.signer, id, sigs[i], b.stages[i].Sem(), keys, nil)
+				g.pairs = sh.insert(ix.signer, id, sigs[i], b.stages[i].Sem(), keys, g.pairs)
+				g.off[i+1] = len(g.pairs)
 			}
-			perShard[si] = perRecord
+			perShard[si] = g
 		}(si, sh)
 	}
 	wg.Wait()
 	if len(ix.shards) == 1 {
 		return perShard[0]
 	}
-	out := make([][]record.Pair, len(b.IDs))
-	for i := range out {
-		for _, perRecord := range perShard {
-			out[i] = append(out[i], perRecord[i]...)
+	total := 0
+	for _, g := range perShard {
+		total += len(g.pairs)
+	}
+	out := PairGroups{pairs: make([]record.Pair, 0, total), off: make([]int, len(b.IDs)+1)}
+	for i := range b.IDs {
+		for _, g := range perShard {
+			out.pairs = append(out.pairs, g.Group(i)...)
 		}
+		out.off[i+1] = len(out.pairs)
 	}
 	return out
 }
@@ -563,10 +619,10 @@ func (ix *Indexer) ReplayStaged(b StagedBatch) {
 	if len(b.IDs) == 0 {
 		return
 	}
-	sigs := make([][]uint64, len(b.IDs))
+	sigs := ix.sigArena(len(b.IDs))
 	parallelChunks(len(b.IDs), ix.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			sigs[i] = ix.signer.SignStaged(b.stages[i], ix.sigComponents)
+			ix.signer.SignStagedInto(&b.stages[i], ix.sigComponents, sigs[i])
 		}
 	})
 	var wg sync.WaitGroup
@@ -615,19 +671,27 @@ func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem sema
 }
 
 // commit merges freshly found collision pairs into the global ledger,
-// queueing the never-seen-before ones for Candidates.
+// queueing the never-seen-before ones for Candidates. Deduplication runs on
+// the striped ledger (contended only per stripe), and the pending queue's
+// lock is taken once per commit for a bulk append — concurrent inserters no
+// longer serialise per pair on one mutex. found is filtered in place; the
+// caller must not reuse it.
 func (ix *Indexer) commit(found []record.Pair) {
 	if len(found) == 0 {
 		return
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	fresh := found[:0]
 	for _, p := range found {
-		if _, dup := ix.seen[p]; !dup {
-			ix.seen.AddPair(p)
-			ix.pending = append(ix.pending, p)
+		if ix.seen.AddPair(p) {
+			fresh = append(fresh, p)
 		}
 	}
+	if len(fresh) == 0 {
+		return
+	}
+	ix.pendingMu.Lock()
+	ix.pending = append(ix.pending, fresh...)
+	ix.pendingMu.Unlock()
 }
 
 // Candidates drains and returns the candidate pairs discovered since the
@@ -650,8 +714,8 @@ func (ix *Indexer) commit(found []record.Pair) {
 // returns nothing there, the caller merges the per-record pair groups
 // InsertStaged hands back (see internal/server.Collection).
 func (ix *Indexer) Candidates() []record.Pair {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.pendingMu.Lock()
+	defer ix.pendingMu.Unlock()
 	out := ix.pending
 	ix.pending = nil
 	return out
@@ -660,8 +724,6 @@ func (ix *Indexer) Candidates() []record.Pair {
 // PairCount returns the total number of distinct candidate pairs emitted so
 // far (drained or not) through the index's own ledger (Insert/InsertBatch).
 func (ix *Indexer) PairCount() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	return ix.seen.Len()
 }
 

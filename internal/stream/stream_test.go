@@ -363,10 +363,12 @@ func TestSharedLogFamilyParity(t *testing.T) {
 					t.Fatalf("batch [%d:%d) assigned ids %v", lo, hi, b.IDs)
 				}
 				for _, ix := range ixs {
-					for _, ps := range ix.InsertStaged(b) {
-						for _, p := range ps {
-							merged.AddPair(p)
-						}
+					groups := ix.InsertStaged(b)
+					if groups.Len() != len(b.IDs) {
+						t.Fatalf("InsertStaged returned %d groups for %d records", groups.Len(), len(b.IDs))
+					}
+					for _, p := range groups.Pairs() {
+						merged.AddPair(p)
 					}
 				}
 			}

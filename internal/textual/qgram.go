@@ -38,24 +38,51 @@ func Tokens(s string) []string {
 // QGrams returns the multiset of character q-grams of the normalised input.
 // Strings shorter than q yield a single gram equal to the whole string
 // (so very short values still shingle to something non-empty). q must be
-// positive; q <= 0 is treated as 1.
+// positive; q <= 0 is treated as 1. Each gram is a zero-copy view into one
+// normalised string, so retaining a gram pins that string (not an issue for
+// the hashing paths, which drop grams immediately).
 func QGrams(s string, q int) []string {
+	var grams []string
+	VisitQGrams(s, q, func(g string) { grams = append(grams, g) })
+	return grams
+}
+
+// VisitQGrams calls fn for every character q-gram of the normalised input,
+// in order — the same grams QGrams returns, as zero-copy substring views,
+// without materialising the slice. This is the allocation-free shingling
+// primitive of the signature hot path (lsh.Signer): one normalised string
+// is allocated per call, never one string per gram. Strings shorter than q
+// yield one gram equal to the whole (normalised) string; empty input yields
+// none.
+func VisitQGrams(s string, q int, fn func(gram string)) {
 	if q <= 0 {
 		q = 1
 	}
 	s = Normalize(s)
 	if s == "" {
-		return nil
+		return
 	}
-	runes := []rune(s)
-	if len(runes) <= q {
-		return []string{string(runes)}
+	// Slide a window of q runes over s by tracking the byte offsets of the
+	// last q+1 rune starts in a small ring. Normalize always emits valid
+	// UTF-8, so byte-offset substrings equal the re-encoded rune windows.
+	var offsets [16]int
+	ring := offsets[:]
+	if q+1 > len(ring) {
+		ring = make([]int, q+1)
 	}
-	grams := make([]string, 0, len(runes)-q+1)
-	for i := 0; i+q <= len(runes); i++ {
-		grams = append(grams, string(runes[i:i+q]))
+	count := 0
+	for i := range s {
+		if count >= q {
+			fn(s[ring[(count-q)%(q+1)]:i])
+		}
+		ring[count%(q+1)] = i
+		count++
 	}
-	return grams
+	if count >= q {
+		fn(s[ring[(count-q)%(q+1)]:])
+		return
+	}
+	fn(s) // fewer than q runes: the whole string is the single gram
 }
 
 // QGramSet returns the distinct q-grams of s as a set.

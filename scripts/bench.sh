@@ -31,9 +31,13 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
-    # Strip the -GOMAXPROCS suffix (BenchmarkFoo-4 -> BenchmarkFoo) so the
-    # recorded names are comparable across machines with different core
-    # counts — the benchcmp regression gate matches entries by name.
+    # Capture the -GOMAXPROCS suffix (BenchmarkFoo-4 -> 4) before stripping
+    # it, so the recorded names stay comparable across machines with
+    # different core counts while benchcmp can still tell how many procs
+    # the run had — its parallel-speedup gate only applies at >= 4.
+    # No suffix means the run had GOMAXPROCS=1.
+    maxprocs = 1
+    if (match(name, /-[0-9]+$/)) maxprocs = substr(name, RSTART + 1)
     sub(/-[0-9]+$/, "", name)
     iters = $2
     ns = ""
@@ -51,7 +55,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
             i++
         }
     }
-    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    entry = sprintf("    {\"name\": \"%s\", \"maxprocs\": %d, \"iterations\": %s", name, maxprocs, iters)
     if (ns != "")     entry = entry sprintf(", \"ns_per_op\": %s", ns)
     if (bytes != "")  entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)

@@ -1,21 +1,40 @@
 // Command benchcmp compares two BENCH_pipeline.json files (the format
-// scripts/bench.sh writes) and fails when a tracked benchmark's allocs/op
-// regressed beyond a threshold. CI runs it against the committed baseline
-// after every bench run, so an accidental allocation regression on the
-// candidate-generation hot path fails the pipeline instead of landing
-// silently. allocs/op is the compared metric because it is deterministic
-// for a fixed code path — unlike ns/op, it does not vary with runner
-// hardware or load, so a small relative threshold is meaningful even on
-// shared CI machines.
+// scripts/bench.sh writes) and fails when a tracked benchmark regressed
+// beyond its threshold. CI runs it against the committed baseline after
+// every bench run, so a perf regression on the candidate-generation hot
+// path fails the pipeline instead of landing silently.
+//
+// Three gates:
+//
+//   - allocs/op regression (-max-regress, percent): allocs/op is
+//     deterministic for a fixed code path — unlike ns/op, it does not vary
+//     with runner hardware or load — so a small relative threshold is
+//     meaningful even on shared CI machines.
+//   - ns/op regression (-max-ns-regress, percent; -ns-tolerance overrides
+//     per benchmark): a coarse wall-time gate that catches catastrophic
+//     slowdowns while tolerating runner noise. Per-benchmark overrides let
+//     noisy benchmarks carry a wider band without loosening the rest.
+//   - intra-run ratio gates (-min-speedup, -alloc-flat): compare two
+//     benchmarks *within the current file*, so they are hardware-independent
+//     — the committed baseline's machine does not matter. -min-speedup
+//     enforces the parallel/serial speedup floor (only when the run had
+//     GOMAXPROCS >= 4; a 1-core runner cannot exhibit parallel speedup) and
+//     -alloc-flat enforces that sharding stays allocation-flat.
 //
 // Usage:
 //
-//	go run ./scripts/benchcmp [-max-regress 25] baseline.json current.json
+//	go run ./scripts/benchcmp [-max-regress 25] [-max-ns-regress 100] \
+//	    [-ns-tolerance 'BenchmarkFoo=150,BenchmarkBar=50'] \
+//	    [-min-speedup 1.5] \
+//	    [-speedup-serial BenchmarkPipelineBlock/serial] \
+//	    [-speedup-parallel BenchmarkPipelineBlock/parallel] \
+//	    [-alloc-flat 'BenchmarkCollectionIngest/shards=8:BenchmarkCollectionIngest/shards=1'] \
+//	    [-flat-tolerance 10] \
+//	    baseline.json current.json
 //
-// Exit status 1 when any benchmark present in both files regressed by more
-// than -max-regress percent. Benchmarks missing from either side are
-// reported but never fail the run (the tracked set may legitimately grow
-// or shrink in a PR).
+// Exit status 1 when any gate fails. Benchmarks missing from either side
+// are reported but never fail the run (the tracked set may legitimately
+// grow or shrink in a PR).
 package main
 
 import (
@@ -24,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type benchFile struct {
@@ -33,6 +54,7 @@ type benchFile struct {
 
 type bench struct {
 	Name        string  `json:"name"`
+	MaxProcs    int     `json:"maxprocs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -54,15 +76,51 @@ func load(path string) (map[string]bench, error) {
 	return out, nil
 }
 
+// parseTolerances parses "name=pct,name=pct" per-benchmark ns/op overrides.
+// The percent is everything after the LAST '=' so benchmark names carrying
+// sub-bench parameters ("BenchmarkFoo/shards=8") parse too.
+func parseTolerances(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		i := strings.LastIndex(part, "=")
+		if i <= 0 {
+			return nil, fmt.Errorf("bad -ns-tolerance entry %q (want name=pct)", part)
+		}
+		v, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ns-tolerance percent in %q: %v", part, err)
+		}
+		out[part[:i]] = v
+	}
+	return out, nil
+}
+
 func main() {
 	maxRegress := flag.Float64("max-regress", 25, "maximum allowed allocs/op regression in percent")
+	maxNsRegress := flag.Float64("max-ns-regress", 100, "maximum allowed ns/op regression in percent (0 disables the gate)")
+	nsTolerance := flag.String("ns-tolerance", "", "per-benchmark ns/op tolerance overrides, 'name=pct,name=pct'")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "minimum parallel/serial ns/op speedup in the current file (0 disables; skipped below 4 procs)")
+	speedupSerial := flag.String("speedup-serial", "BenchmarkPipelineBlock/serial", "serial benchmark of the speedup gate")
+	speedupParallel := flag.String("speedup-parallel", "BenchmarkPipelineBlock/parallel", "parallel benchmark of the speedup gate")
+	allocFlat := flag.String("alloc-flat", "BenchmarkCollectionIngest/shards=8:BenchmarkCollectionIngest/shards=1",
+		"allocation-flatness pairs 'target:base,...': target allocs/op must stay within -flat-tolerance of base, in the current file ('' disables)")
+	flatTolerance := flag.Float64("flat-tolerance", 10, "allowed allocs/op excess of an -alloc-flat target over its base, in percent")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchcmp [-max-regress PCT] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	nsTol, err := parseTolerances(*nsTolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -76,37 +134,111 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
-	fmt.Printf("%-60s %14s %14s %9s\n", "benchmark", "base allocs/op", "cur allocs/op", "delta")
-	for _, b := range sortedNames(base) {
-		bb := base[b]
-		cb, ok := cur[b]
+	var failures []string
+
+	// Gates 1+2: per-benchmark allocs/op and ns/op regression vs baseline.
+	fmt.Printf("%-52s %13s %13s %8s %12s %12s %8s\n",
+		"benchmark", "base allocs", "cur allocs", "delta", "base ns/op", "cur ns/op", "delta")
+	for _, name := range sortedNames(base) {
+		bb := base[name]
+		cb, ok := cur[name]
 		if !ok {
-			fmt.Printf("%-60s %14.0f %14s %9s\n", b, bb.AllocsPerOp, "missing", "-")
+			fmt.Printf("%-52s %13.0f %13s\n", name, bb.AllocsPerOp, "missing")
 			continue
 		}
-		if bb.AllocsPerOp <= 0 {
-			fmt.Printf("%-60s %14s %14.0f %9s\n", b, "untracked", cb.AllocsPerOp, "-")
-			continue
+		allocDelta, allocBad := delta(bb.AllocsPerOp, cb.AllocsPerOp, *maxRegress)
+		nsLimit := *maxNsRegress
+		if v, ok := nsTol[name]; ok {
+			nsLimit = v
 		}
-		delta := (cb.AllocsPerOp - bb.AllocsPerOp) / bb.AllocsPerOp * 100
-		marker := ""
-		if delta > *maxRegress {
-			marker = "  REGRESSION"
-			failed = true
+		nsDelta, nsBad := delta(bb.NsPerOp, cb.NsPerOp, nsLimit)
+		if allocBad {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %+.1f%% exceeds %.0f%%", name, allocDelta, *maxRegress))
 		}
-		fmt.Printf("%-60s %14.0f %14.0f %+8.1f%%%s\n", b, bb.AllocsPerOp, cb.AllocsPerOp, delta, marker)
+		if nsBad {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %+.1f%% exceeds %.0f%%", name, nsDelta, nsLimit))
+		}
+		mark := ""
+		if allocBad || nsBad {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-52s %13.0f %13.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+			name, bb.AllocsPerOp, cb.AllocsPerOp, allocDelta, bb.NsPerOp, cb.NsPerOp, nsDelta, mark)
 	}
-	for _, b := range sortedNames(cur) {
-		if _, ok := base[b]; !ok {
-			fmt.Printf("%-60s %14s %14.0f %9s\n", b, "new", cur[b].AllocsPerOp, "-")
+	for _, name := range sortedNames(cur) {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-52s %13s %13.0f\n", name, "new", cur[name].AllocsPerOp)
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: allocs/op regressed beyond %.0f%% in at least one tracked benchmark\n", *maxRegress)
+
+	// Gate 3: parallel/serial speedup within the current file. Skipped when
+	// the run had fewer than 4 procs — a machine without parallelism to give
+	// cannot fail a parallelism gate.
+	if *minSpeedup > 0 {
+		ser, okS := cur[*speedupSerial]
+		par, okP := cur[*speedupParallel]
+		switch {
+		case !okS || !okP:
+			fmt.Printf("speedup gate: %s or %s not in current file, skipped\n", *speedupSerial, *speedupParallel)
+		case par.MaxProcs < 4:
+			fmt.Printf("speedup gate: run had GOMAXPROCS=%d (< 4), skipped\n", par.MaxProcs)
+		case par.NsPerOp <= 0 || ser.NsPerOp <= 0:
+			fmt.Printf("speedup gate: ns/op untracked, skipped\n")
+		default:
+			speedup := ser.NsPerOp / par.NsPerOp
+			fmt.Printf("speedup gate: %s / %s = %.2fx at GOMAXPROCS=%d (floor %.2fx)\n",
+				*speedupSerial, *speedupParallel, speedup, par.MaxProcs, *minSpeedup)
+			if speedup < *minSpeedup {
+				failures = append(failures, fmt.Sprintf("parallel speedup %.2fx below the %.2fx floor at GOMAXPROCS=%d",
+					speedup, *minSpeedup, par.MaxProcs))
+			}
+		}
+	}
+
+	// Gate 4: allocation flatness across configurations, in the current file.
+	if *allocFlat != "" {
+		for _, part := range strings.Split(*allocFlat, ",") {
+			target, baseName, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchcmp: bad -alloc-flat entry %q (want target:base)\n", part)
+				os.Exit(2)
+			}
+			tb, okT := cur[target]
+			bb, okB := cur[baseName]
+			if !okT || !okB {
+				fmt.Printf("alloc-flat gate: %s or %s not in current file, skipped\n", target, baseName)
+				continue
+			}
+			if bb.AllocsPerOp <= 0 {
+				continue
+			}
+			excess := (tb.AllocsPerOp - bb.AllocsPerOp) / bb.AllocsPerOp * 100
+			fmt.Printf("alloc-flat gate: %s allocs/op is %+.1f%% vs %s (tolerance %.0f%%)\n",
+				target, excess, baseName, *flatTolerance)
+			if excess > *flatTolerance {
+				failures = append(failures, fmt.Sprintf("%s allocs/op %+.1f%% over %s exceeds %.0f%%",
+					target, excess, baseName, *flatTolerance))
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchcmp: FAIL:", f)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchcmp: no allocs/op regression beyond %.0f%%\n", *maxRegress)
+	fmt.Println("benchcmp: all gates passed")
+}
+
+// delta returns the percent change from base to cur and whether it exceeds
+// the limit (limit <= 0 = gate disabled; untracked base never fails).
+func delta(base, cur, limit float64) (float64, bool) {
+	if base <= 0 {
+		return 0, false
+	}
+	d := (cur - base) / base * 100
+	return d, limit > 0 && d > limit
 }
 
 func sortedNames(m map[string]bench) []string {
