@@ -367,6 +367,66 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	b.ReportMetric(f1, "f1")
 }
 
+// BenchmarkPipelineBudget measures the progressive pipeline at fractional
+// comparison budgets (10/25/50/100% of the exhaustive count), reporting the
+// achieved recall per point so BENCH_pipeline.json tracks the
+// recall-vs-budget curve alongside the speed of each truncated run.
+func BenchmarkPipelineBudget(b *testing.B) {
+	d, schema := coraFixture(b)
+	cfg := semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+	}
+	blk, err := semblock.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "title", Weight: 0.6},
+		{Attr: "authors", Weight: 0.4},
+	}, 0.55)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := semblock.NewPipeline(blk,
+		semblock.WithPruning(semblock.WeightSchemeCBS, semblock.PruneWEP),
+		semblock.WithMatcher(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := probe.Run(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exhaustive := full.Stats.ComparisonsUsed
+	for _, pct := range []int{10, 25, 50, 100} {
+		b.Run(strconv.Itoa(pct)+"pct", func(b *testing.B) {
+			p, err := semblock.NewPipeline(blk,
+				semblock.WithPruning(semblock.WeightSchemeCBS, semblock.PruneWEP),
+				semblock.WithMatcher(m),
+				semblock.WithBudget(exhaustive*int64(pct)/100, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var recall float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := p.Run(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q, err := out.Resolution.Evaluate(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = q.Recall
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
 // --- Ablation benches (DESIGN.md §4) ------------------------------------
 
 // BenchmarkAblationSemPlacement compares the paper's per-table random

@@ -464,6 +464,8 @@ func runPipeline(args []string) error {
 		threshold = fs.Float64("threshold", 0.5, "match classification threshold in [0,1]")
 		streamed  = fs.Bool("stream", false, "run in streaming mode through an incremental index")
 		batch     = fs.Int("batch", 256, "pair-batch / row mini-batch size")
+		budget    = fs.Int64("budget", 0, "max pair comparisons in the matching stage (0 = unlimited); budgeted pairs are scored best-first by edge weight")
+		deadline  = fs.Duration("deadline", 0, "max matching wall time, e.g. 500ms (0 = none); the run truncates, never errors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -513,6 +515,9 @@ func runPipeline(args []string) error {
 		}
 		opts = append(opts, semblock.WithMatcher(m))
 	}
+	if *budget > 0 || *deadline > 0 {
+		opts = append(opts, semblock.WithBudget(*budget, *deadline))
+	}
 	p, err := semblock.NewPipeline(b, opts...)
 	if err != nil {
 		return err
@@ -557,6 +562,10 @@ func runPipeline(args []string) error {
 	if out.Matches != nil || out.Stats.PairsScored > 0 {
 		fmt.Printf("matching:          %d of %d scored pairs matched (%v)\n",
 			out.Stats.Matches, out.Stats.PairsScored, out.Stats.MatchTime.Round(time.Microsecond))
+	}
+	if out.Stats.Truncated {
+		fmt.Printf("budget:            truncated after %d comparisons (best-first)\n",
+			out.Stats.ComparisonsUsed)
 	}
 	if out.Resolution != nil {
 		fmt.Printf("clusters:          %d\n", out.Resolution.NumClusters)

@@ -32,6 +32,7 @@ type AttrWeight struct {
 type Matcher struct {
 	attrs     []AttrWeight
 	sims      []textual.SimFunc
+	kinds     []simKind
 	threshold float64
 }
 
@@ -60,6 +61,7 @@ func NewMatcher(attrs []AttrWeight, threshold float64) (*Matcher, error) {
 			return nil, err
 		}
 		m.sims = append(m.sims, f)
+		m.kinds = append(m.kinds, kindOf(name))
 	}
 	for i := range m.attrs {
 		m.attrs[i].Weight /= total
@@ -70,7 +72,13 @@ func NewMatcher(attrs []AttrWeight, threshold float64) (*Matcher, error) {
 // Score computes the weighted similarity of two records. Attributes
 // missing from both records contribute their full weight (agreeing on
 // absence); attributes missing from exactly one contribute zero.
+//
+// The q-gram set similarities (Jaccard q=2, bigram Dice) run over pooled
+// gram-hash buffers instead of per-call map sets; repeated scoring of the
+// same records is cheaper still through a Kernel, which caches the hashed
+// gram sets per record.
 func (m *Matcher) Score(a, b *record.Record) float64 {
+	sc := scratchPool.Get().(*scoreScratch)
 	var s float64
 	for i, aw := range m.attrs {
 		va, vb := a.Value(aw.Attr), b.Value(aw.Attr)
@@ -80,9 +88,17 @@ func (m *Matcher) Score(a, b *record.Record) float64 {
 		case va == "" || vb == "":
 			// no contribution
 		default:
-			s += aw.Weight * m.sims[i](va, vb)
+			switch m.kinds[i] {
+			case kindJaccard2:
+				s += aw.Weight * sc.gramSim(va, vb, false)
+			case kindDice2:
+				s += aw.Weight * sc.gramSim(va, vb, true)
+			default:
+				s += aw.Weight * m.sims[i](va, vb)
+			}
 		}
 	}
+	scratchPool.Put(sc)
 	return s
 }
 

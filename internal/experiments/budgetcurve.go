@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semblock/internal/er"
+	"semblock/internal/lsh"
+	"semblock/internal/metablocking"
+	"semblock/internal/pipeline"
+)
+
+func init() {
+	register("budget", runBudgetCurve)
+}
+
+// BudgetPoint is one point of the recall-vs-budget curve: the progressive
+// pipeline run at a fraction of the exhaustive comparison count.
+type BudgetPoint struct {
+	// Pct is the budget as a percentage of the exhaustive comparison count.
+	Pct int
+	// Budget is the absolute comparison budget handed to the pipeline.
+	Budget int64
+	// ComparisonsUsed is what the run actually spent.
+	ComparisonsUsed int64
+	// Truncated reports whether the budget cut the run short.
+	Truncated bool
+	// Recall, Precision and F1 score the run's resolution against ground
+	// truth.
+	Recall, Precision, F1 float64
+	// Elapsed is the run's wall time; WallRatio is Elapsed over the
+	// exhaustive run's wall time.
+	Elapsed   time.Duration
+	WallRatio float64
+}
+
+// BudgetCurveResult is the output of BudgetCurve: the exhaustive reference
+// run plus one point per swept budget fraction.
+type BudgetCurveResult struct {
+	ExhaustiveComparisons int64
+	ExhaustiveElapsed     time.Duration
+	ExhaustiveRecall      float64
+	ExhaustiveF1          float64
+	Points                []BudgetPoint
+}
+
+// budgetPcts is the swept budget fractions, in percent of the exhaustive
+// comparison count.
+var budgetPcts = []int{10, 25, 50, 100}
+
+// BudgetCurve measures the progressive pipeline's recall-vs-budget curve
+// on the Cora domain at the paper's SA-LSH parameters: one exhaustive
+// reference run, then one budgeted run per fraction of its comparison
+// count. Because the budgeted drain is best-first, recall is expected to
+// rise steeply at small budgets and the curve to be monotone.
+func BudgetCurve(cfg Config) (*BudgetCurveResult, error) {
+	dom, err := coraDomain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := dom.saBlocker(dom.k, dom.l, 3, lsh.ModeOR, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := er.NewMatcher([]er.AttrWeight{
+		{Attr: "title", Weight: 0.6}, {Attr: "authors", Weight: 0.4},
+	}, 0.55)
+	if err != nil {
+		return nil, err
+	}
+	newPipe := func(budget int64) (*pipeline.Pipeline, error) {
+		opts := []pipeline.Option{
+			pipeline.WithPruning(metablocking.CBS, metablocking.WEP),
+			pipeline.WithMatcher(m),
+		}
+		if budget > 0 {
+			opts = append(opts, pipeline.WithBudget(budget, 0))
+		}
+		return pipeline.New(blk, opts...)
+	}
+
+	p, err := newPipe(0)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	full, err := p.Run(dom.data)
+	if err != nil {
+		return nil, err
+	}
+	out := &BudgetCurveResult{
+		ExhaustiveComparisons: full.Stats.ComparisonsUsed,
+		ExhaustiveElapsed:     time.Since(start),
+	}
+	q, err := full.Resolution.Evaluate(dom.data)
+	if err != nil {
+		return nil, err
+	}
+	out.ExhaustiveRecall, out.ExhaustiveF1 = q.Recall, q.F1
+
+	for _, pct := range budgetPcts {
+		pt := BudgetPoint{Pct: pct, Budget: out.ExhaustiveComparisons * int64(pct) / 100}
+		if pt.Budget == 0 {
+			return nil, fmt.Errorf("experiments: %d%% of %d comparisons is an empty budget", pct, out.ExhaustiveComparisons)
+		}
+		p, err := newPipe(pt.Budget)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := p.Run(dom.data)
+		if err != nil {
+			return nil, err
+		}
+		pt.Elapsed = time.Since(start)
+		if out.ExhaustiveElapsed > 0 {
+			pt.WallRatio = float64(pt.Elapsed) / float64(out.ExhaustiveElapsed)
+		}
+		pt.ComparisonsUsed = res.Stats.ComparisonsUsed
+		pt.Truncated = res.Stats.Truncated
+		q, err := res.Resolution.Evaluate(dom.data)
+		if err != nil {
+			return nil, err
+		}
+		pt.Recall, pt.Precision, pt.F1 = q.Recall, q.Precision, q.F1
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// runBudgetCurve renders the curve as the "budget" experiment artifact.
+func runBudgetCurve(cfg Config) (*Result, error) {
+	curve, err := BudgetCurve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Recall vs comparison budget (Cora, exhaustive = %d comparisons, %.0f ms)",
+			curve.ExhaustiveComparisons, curve.ExhaustiveElapsed.Seconds()*1000),
+		Header: []string{"budget", "comparisons", "used", "truncated", "recall", "precision", "F1", "wall ratio"},
+	}
+	for _, pt := range curve.Points {
+		t.AddRow(
+			fmt.Sprintf("%d%%", pt.Pct),
+			fmt.Sprint(pt.Budget),
+			fmt.Sprint(pt.ComparisonsUsed),
+			fmt.Sprint(pt.Truncated),
+			f4(pt.Recall), f4(pt.Precision), f4(pt.F1),
+			f2(pt.WallRatio),
+		)
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}

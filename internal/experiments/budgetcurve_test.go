@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestBudgetCurveShape runs the recall-vs-budget harness at miniature scale
+// and checks the curve's structural properties: one point per swept
+// fraction, monotone non-decreasing recall (the best-first drain makes each
+// budget's scored set a prefix of the next), and the 100% point reproducing
+// the exhaustive run exactly.
+func TestBudgetCurveShape(t *testing.T) {
+	curve, err := BudgetCurve(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != len(budgetPcts) {
+		t.Fatalf("curve has %d points, want %d", len(curve.Points), len(budgetPcts))
+	}
+	if curve.ExhaustiveComparisons == 0 || curve.ExhaustiveRecall == 0 {
+		t.Fatalf("degenerate exhaustive reference: %+v", curve)
+	}
+	prev := -1.0
+	for _, pt := range curve.Points {
+		if pt.Recall < prev {
+			t.Errorf("budget %d%%: recall %v below previous point %v", pt.Pct, pt.Recall, prev)
+		}
+		prev = pt.Recall
+		if pt.ComparisonsUsed > pt.Budget {
+			t.Errorf("budget %d%%: used %d > budget %d", pt.Pct, pt.ComparisonsUsed, pt.Budget)
+		}
+	}
+	last := curve.Points[len(curve.Points)-1]
+	if last.Pct != 100 || last.Truncated {
+		t.Errorf("100%% point truncated: %+v", last)
+	}
+	if last.Recall != curve.ExhaustiveRecall || last.F1 != curve.ExhaustiveF1 {
+		t.Errorf("100%% point recall/F1 %v/%v differ from exhaustive %v/%v",
+			last.Recall, last.F1, curve.ExhaustiveRecall, curve.ExhaustiveF1)
+	}
+}

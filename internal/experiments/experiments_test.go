@@ -21,7 +21,7 @@ func testConfig() Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig5", "fig6", "tab1", "fig7", "fig8", "fig9", "tab2", "tab3", "fig11", "fig12", "fig13"}
+	want := []string{"fig5", "fig6", "tab1", "fig7", "fig8", "fig9", "tab2", "tab3", "fig11", "fig12", "fig13", "budget"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments (%v), want %d", len(got), got, len(want))

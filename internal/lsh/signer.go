@@ -180,16 +180,20 @@ func (s *Signer) Stage(r *record.Record) *Stage {
 }
 
 // StageAppend computes a record's signature stage, storing the hash
-// material by appending to arena, and returns the stage plus the extended
-// arena. Batch staging (stream.SharedLog.Append) threads one growing arena
-// through a whole mini-batch, so staging n records costs O(log n) hash
-// allocations instead of one per record; a stage's hash view stays valid
-// even when a later append reallocates the arena (the abandoned backing
-// array is untouched).
+// material — and, for SA-LSH, the semhash signature's words — by appending
+// to arena, and returns the stage plus the extended arena. Batch staging
+// (stream.SharedLog.Append) threads one growing arena through a whole
+// mini-batch, so staging n records costs O(log n) allocations instead of
+// one hash buffer plus one semhash vector per record; a stage's views stay
+// valid even when a later append reallocates the arena (the abandoned
+// backing array is untouched).
 func (s *Signer) StageAppend(r *record.Record, arena []uint64) (Stage, []uint64) {
 	off := len(arena)
 	arena = s.AppendKeyHashes(r, arena)
-	return Stage{hashes: arena[off:len(arena):len(arena)], sem: s.SemSign(r)}, arena
+	hashes := arena[off:len(arena):len(arena)]
+	var sem semantic.BitVec
+	sem, arena = s.AppendSemSign(r, arena)
+	return Stage{hashes: hashes, sem: sem}, arena
 }
 
 // SignStaged derives minhash signature components from a precomputed Stage:
@@ -222,6 +226,17 @@ func (s *Signer) SemSign(r *record.Record) semantic.BitVec {
 		return semantic.BitVec{}
 	}
 	return s.cfg.Semantic.Schema.Signature(r)
+}
+
+// AppendSemSign is the arena-backed form of SemSign: the signature's words
+// are appended to arena and both are returned. Without a semantic option it
+// returns the zero BitVec and the arena untouched, so batch paths can call
+// it unconditionally.
+func (s *Signer) AppendSemSign(r *record.Record, arena []uint64) (semantic.BitVec, []uint64) {
+	if s.cfg.Semantic == nil {
+		return semantic.BitVec{}, arena
+	}
+	return s.cfg.Semantic.Schema.AppendSignature(r, arena)
 }
 
 // SignDataset computes the minhash signatures of every record in parallel,

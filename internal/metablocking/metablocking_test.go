@@ -30,10 +30,10 @@ func TestBuildGraphEdgeCount(t *testing.T) {
 
 func TestCBSWeights(t *testing.T) {
 	g := BuildGraph(toyBlocks(), CBS)
-	if w := g.weights[record.MakePair(0, 1)]; w != 2 {
+	if w, _ := g.WeightOf(record.MakePair(0, 1)); w != 2 {
 		t.Errorf("CBS(0,1) = %v, want 2 (two common blocks)", w)
 	}
-	if w := g.weights[record.MakePair(0, 2)]; w != 1 {
+	if w, _ := g.WeightOf(record.MakePair(0, 2)); w != 1 {
 		t.Errorf("CBS(0,2) = %v, want 1", w)
 	}
 }
@@ -42,11 +42,11 @@ func TestARCSWeights(t *testing.T) {
 	g := BuildGraph(toyBlocks(), ARCS)
 	// (0,1): block of 2 (1 comparison) + block of 3 (3 comparisons):
 	// 1/1 + 1/3 = 4/3.
-	if w := g.weights[record.MakePair(0, 1)]; w < 1.333 || w > 1.334 {
+	if w, _ := g.WeightOf(record.MakePair(0, 1)); w < 1.333 || w > 1.334 {
 		t.Errorf("ARCS(0,1) = %v, want 4/3", w)
 	}
 	// (3,4): only the 3-block: 1/3.
-	if w := g.weights[record.MakePair(3, 4)]; w < 0.333 || w > 0.334 {
+	if w, _ := g.WeightOf(record.MakePair(3, 4)); w < 0.333 || w > 0.334 {
 		t.Errorf("ARCS(3,4) = %v, want 1/3", w)
 	}
 }
@@ -54,11 +54,11 @@ func TestARCSWeights(t *testing.T) {
 func TestJSWeights(t *testing.T) {
 	g := BuildGraph(toyBlocks(), JS)
 	// (0,1): |B0|=2, |B1|=2, common=2 -> 2/(2+2-2) = 1.
-	if w := g.weights[record.MakePair(0, 1)]; w != 1 {
+	if w, _ := g.WeightOf(record.MakePair(0, 1)); w != 1 {
 		t.Errorf("JS(0,1) = %v, want 1", w)
 	}
 	// (0,2): |B0|=2, |B2|=1, common=1 -> 1/2.
-	if w := g.weights[record.MakePair(0, 2)]; w != 0.5 {
+	if w, _ := g.WeightOf(record.MakePair(0, 2)); w != 0.5 {
 		t.Errorf("JS(0,2) = %v, want 0.5", w)
 	}
 }
@@ -70,8 +70,8 @@ func TestECBSAndEJSRankHigherForRarerRecords(t *testing.T) {
 	// endpoint 0 is promiscuous.
 	for _, scheme := range []WeightScheme{ECBS, EJS} {
 		g := BuildGraph(toyBlocks(), scheme)
-		w34 := g.weights[record.MakePair(3, 4)]
-		w02 := g.weights[record.MakePair(0, 2)]
+		w34, _ := g.WeightOf(record.MakePair(3, 4))
+		w02, _ := g.WeightOf(record.MakePair(0, 2))
 		if w34 <= w02 {
 			t.Errorf("%s: w(3,4)=%v should exceed w(0,2)=%v (rarity boost)", scheme, w34, w02)
 		}
@@ -218,5 +218,64 @@ func TestAllSchemeAlgoCombinationsRun(t *testing.T) {
 				t.Fatalf("%s+%s: %v", algo, scheme, err)
 			}
 		}
+	}
+}
+
+func TestTopWeightedBestFirstOrder(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	all := g.TopWeighted(0)
+	if len(all) != g.NumEdges() {
+		t.Fatalf("TopWeighted(0) returned %d of %d edges", len(all), g.NumEdges())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Weight < all[i].Weight {
+			t.Fatalf("weights not descending at %d: %v < %v", i, all[i-1].Weight, all[i].Weight)
+		}
+		if all[i-1].Weight == all[i].Weight && all[i-1].Pair >= all[i].Pair {
+			t.Fatalf("tie at %d not broken by ascending pair", i)
+		}
+	}
+	// The heaviest edge is (0,1) with CBS weight 2.
+	if all[0].Pair != record.MakePair(0, 1) || all[0].Weight != 2 {
+		t.Errorf("top edge = %v w=%v, want (0,1) w=2", all[0].Pair, all[0].Weight)
+	}
+	// A truncated selection is exactly the prefix of the full order.
+	top3 := g.TopWeighted(3)
+	if len(top3) != 3 {
+		t.Fatalf("TopWeighted(3) returned %d", len(top3))
+	}
+	for i := range top3 {
+		if top3[i] != all[i] {
+			t.Errorf("TopWeighted(3)[%d] = %v, want full-order prefix %v", i, top3[i], all[i])
+		}
+	}
+}
+
+func TestRankPairsSubset(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	pairs := []record.Pair{
+		record.MakePair(0, 2),
+		record.MakePair(0, 1),
+		record.MakePair(7, 9), // not a graph edge: weight 0, ranks last
+	}
+	ranked := g.RankPairs(pairs, 0)
+	if len(ranked) != 3 {
+		t.Fatalf("RankPairs returned %d", len(ranked))
+	}
+	if ranked[0].Pair != record.MakePair(0, 1) {
+		t.Errorf("heaviest of subset should be (0,1), got %v", ranked[0].Pair)
+	}
+	if ranked[2].Pair != record.MakePair(7, 9) || ranked[2].Weight != 0 {
+		t.Errorf("non-edge should rank last with weight 0, got %v w=%v", ranked[2].Pair, ranked[2].Weight)
+	}
+	if got := g.RankPairs(pairs, 2); len(got) != 2 || got[0] != ranked[0] || got[1] != ranked[1] {
+		t.Errorf("RankPairs(k=2) should be the prefix of the full ranking")
+	}
+}
+
+func TestWeightOfMissingEdge(t *testing.T) {
+	g := BuildGraph(toyBlocks(), CBS)
+	if w, ok := g.WeightOf(record.MakePair(0, 5)); ok || w != 0 {
+		t.Errorf("WeightOf(non-edge) = %v,%v, want 0,false", w, ok)
 	}
 }

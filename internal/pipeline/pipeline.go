@@ -33,6 +33,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -68,6 +69,14 @@ type Stats struct {
 	PairsScored int64
 	// Matches is the number of pairs at or above the threshold.
 	Matches int
+	// ComparisonsUsed is the number of candidate comparisons the matching
+	// stage actually performed. It equals PairsScored; on a budgeted run it
+	// can be smaller than PrunedComparisons.
+	ComparisonsUsed int64
+	// Truncated reports whether a comparison budget, duration budget or
+	// context deadline cut the matching stage short of the full candidate
+	// set. Unbudgeted runs always report false.
+	Truncated bool
 	// BlockTime, PruneTime and MatchTime are wall-clock stage durations.
 	// In streaming mode BlockTime covers insertion and MatchTime overlaps
 	// it (scoring runs while later batches insert).
@@ -101,6 +110,7 @@ type Pipeline struct {
 	prune   *pruneStage
 	matcher *er.Matcher
 	sink    func(Match)
+	budget  budget
 	workers int
 	batch   int
 }
@@ -109,6 +119,14 @@ type pruneStage struct {
 	scheme metablocking.WeightScheme
 	algo   metablocking.PruneAlgo
 }
+
+// budget bounds the matching stage. The zero value means unbudgeted.
+type budget struct {
+	maxComparisons int64
+	maxDuration    time.Duration
+}
+
+func (b budget) active() bool { return b.maxComparisons > 0 || b.maxDuration > 0 }
 
 // Option customises a Pipeline.
 type Option func(*Pipeline)
@@ -146,6 +164,31 @@ func WithBatchSize(n int) Option {
 	}
 }
 
+// WithBudget bounds the matching stage: at most maxComparisons candidate
+// pairs are scored (0 = unlimited), within at most maxDuration of the run's
+// start (0 = unlimited). A budgeted run drains candidates best-first — in
+// descending meta-blocking edge weight (the pruning stage's scheme, or CBS
+// when no pruning stage is configured) — so the comparisons most likely to
+// be matches are spent first, following the progressive-ER framing of
+// arXiv 2005.14326. Stats.ComparisonsUsed and Stats.Truncated report what
+// the budget admitted.
+//
+// Both values zero (or the option absent) leaves the pipeline exhaustive:
+// candidates are scored in canonical order and the output is identical to
+// a pipeline without the option. The budget only affects the matching
+// stage; blocking and pruning always run in full.
+func WithBudget(maxComparisons int64, maxDuration time.Duration) Option {
+	return func(p *Pipeline) {
+		if maxComparisons < 0 {
+			maxComparisons = 0
+		}
+		if maxDuration < 0 {
+			maxDuration = 0
+		}
+		p.budget = budget{maxComparisons: maxComparisons, maxDuration: maxDuration}
+	}
+}
+
 // WithMatchSink registers a callback observing every match as it is
 // scored, before the run completes — the live-consumption hook for
 // streaming runs. The callback is invoked from a single collector
@@ -173,24 +216,36 @@ func New(b blocking.Blocker, opts ...Option) (*Pipeline, error) {
 
 // Run executes the pipeline in batch mode over the dataset.
 func (p *Pipeline) Run(d *record.Dataset) (*Result, error) {
+	return p.RunContext(context.Background(), d)
+}
+
+// RunContext is Run with a context: cancellation (or a context deadline)
+// truncates the matching stage at the next batch boundary and returns the
+// well-formed partial result with Stats.Truncated set — it never aborts
+// with an error once blocking has succeeded. Combined with WithBudget this
+// is the serving entry point: the matching stage drains candidates
+// best-first, so whatever fits before the deadline is the highest-weight
+// slice of the candidate set.
+func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, error) {
+	start := time.Now()
 	res := &Result{}
 	res.Stats.Records = d.Len()
 
-	t0 := time.Now()
 	blocks, err := p.blocker.Block(d)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.BlockTime = time.Since(t0)
+	res.Stats.BlockTime = time.Since(start)
 	res.Blocks = blocks
 	res.Stats.Blocks = blocks.NumBlocks()
 	res.Stats.Comparisons = blocks.Comparisons()
 
 	res.Final = blocks
 	res.Stats.PrunedComparisons = res.Stats.Comparisons
+	var g *metablocking.Graph
 	if p.prune != nil {
 		t1 := time.Now()
-		res.Pruned = p.applyPruning(blocks)
+		res.Pruned, g = p.applyPruning(blocks)
 		res.Stats.PruneTime = time.Since(t1)
 		res.Final = res.Pruned
 		res.Stats.PrunedComparisons = res.Pruned.Comparisons()
@@ -198,12 +253,90 @@ func (p *Pipeline) Run(d *record.Dataset) (*Result, error) {
 
 	if p.matcher != nil {
 		t2 := time.Now()
-		pairs := res.Final.CandidatePairs().Slice()
-		matches := p.scorePairs(d.Records(), pairs)
+		kern := er.NewKernel(p.matcher, d.Len())
+		var prepare func([]record.Pair)
+		if p.budget.active() {
+			// Budgeted run: featurize lazily, only the records the ranked
+			// drain actually touches — a truncating budget then pays a
+			// proportional share of the featurization cost, not all of it.
+			prepare = func(drain []record.Pair) {
+				need := make([]bool, d.Len())
+				for _, pr := range drain {
+					need[pr.Left()] = true
+					need[pr.Right()] = true
+				}
+				for id, ok := range need {
+					if ok {
+						kern.Featurize(d.Record(record.ID(id)))
+					}
+				}
+			}
+		} else {
+			for _, r := range d.Records() {
+				kern.Featurize(r)
+			}
+		}
+		p.matchFinal(ctx, start, res, g, kern.Score, prepare, nil, d.Len())
 		res.Stats.MatchTime = time.Since(t2)
-		p.finishMatches(res, matches, int64(len(pairs)), d.Len())
 	}
 	return res, nil
+}
+
+// matchFinal runs the (possibly budgeted) scoring stage over the final
+// collection's candidate pairs: rank best-first when a budget is active,
+// drain through the worker pool, and finish the result. prepare, when
+// non-nil, is called with the drain set before any scoring — the batch
+// path uses it to featurize only the records the drain touches. lock,
+// when non-nil, is read-held around each batch (streaming mode, where the
+// kernel still grows concurrently).
+func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result, g *metablocking.Graph, score func(a, b record.ID) float64, prepare func([]record.Pair), lock *sync.RWMutex, n int) {
+	pairs := res.Final.CandidatePairs().Slice()
+	drain := pairs
+	capped := false
+	if p.budget.active() {
+		if g == nil {
+			// No pruning stage: weight the raw block collection under CBS,
+			// the cheapest scheme, purely to order the drain.
+			g = metablocking.BuildGraph(res.Blocks, metablocking.CBS)
+		}
+		k := 0
+		if p.budget.maxComparisons > 0 && p.budget.maxComparisons < int64(len(pairs)) {
+			k = int(p.budget.maxComparisons)
+			capped = true
+		}
+		ranked := g.RankPairs(pairs, k)
+		drain = make([]record.Pair, len(ranked))
+		for i, wp := range ranked {
+			drain[i] = wp.Pair
+		}
+	}
+	if prepare != nil {
+		prepare(drain)
+	}
+	deadline := time.Time{}
+	if p.budget.maxDuration > 0 {
+		deadline = start.Add(p.budget.maxDuration)
+	}
+
+	sc := p.newScorer(score, lock)
+	var used int64
+	cut := false
+	for lo := 0; lo < len(drain); lo += p.batch {
+		if ctx.Err() != nil || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+			cut = true
+			break
+		}
+		hi := lo + p.batch
+		if hi > len(drain) {
+			hi = len(drain)
+		}
+		sc.submit(drain[lo:hi])
+		used += int64(hi - lo)
+	}
+	matches := sc.wait()
+	res.Stats.ComparisonsUsed = used
+	res.Stats.Truncated = cut || capped
+	p.finishMatches(res, matches, used, n)
 }
 
 // RunStream executes the pipeline in streaming mode: rows received from
@@ -220,45 +353,62 @@ func (p *Pipeline) Run(d *record.Dataset) (*Result, error) {
 // and the pipeline's blocker is not used. RunStream returns after the rows
 // channel closes and all stages drain.
 func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Result, error) {
+	return p.RunStreamContext(context.Background(), ix, rows)
+}
+
+// RunStreamContext is RunStream with a context for the matching stage (see
+// RunContext). With an active budget, live scoring is skipped: scoring any
+// pair as it is discovered would spend budget on pairs a best-first drain
+// would never admit. Instead the budgeted matching stage runs once over
+// the final (pruned) collection, so the sink observes the budgeted matches
+// at the end of the stream rather than live, and the drain order is the
+// same best-first order as the batch run's.
+func (p *Pipeline) RunStreamContext(ctx context.Context, ix *stream.Indexer, rows <-chan stream.Row) (*Result, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("pipeline: nil indexer")
 	}
 	if ix.Len() != 0 {
 		return nil, fmt.Errorf("pipeline: indexer already holds %d records; RunStream needs a fresh index", ix.Len())
 	}
+	start := time.Now()
 	res := &Result{}
 
-	// Mirror of the inserted records for the scoring stage; candidate
-	// pairs only ever reference already-inserted IDs, and an append-only
-	// slice indexed under the mutex is safe against the feeder's appends.
-	var mu sync.Mutex
-	var mirror []*record.Record
+	// The kernel mirrors the inserted records for the scoring stage:
+	// candidate pairs only ever reference already-inserted IDs, so workers
+	// read-lock the kernel per batch while the feeder write-locks to
+	// featurize new records.
+	var mu sync.RWMutex
+	var kern *er.Kernel
+	if p.matcher != nil {
+		kern = er.NewKernel(p.matcher, 0)
+	}
+	budgeted := p.budget.active()
 
 	var sc *scorer
 	var scored int64
 	matchStart := time.Now()
-	if p.matcher != nil {
-		sc = p.newScorer(func(id record.ID) *record.Record {
-			mu.Lock()
-			r := mirror[id]
-			mu.Unlock()
-			return r
-		})
+	if p.matcher != nil && !budgeted {
+		sc = p.newScorer(kern.Score, &mu)
 	}
 
 	// Feed stage: mini-batch insertion plus candidate draining.
-	t0 := time.Now()
 	dataset := record.NewDataset("pipeline-stream")
 	batch := make([]stream.Row, 0, p.batch)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		mu.Lock()
-		for _, row := range batch {
-			mirror = append(mirror, dataset.Append(row.Entity, row.Attrs))
+		if kern != nil {
+			mu.Lock()
+			for _, row := range batch {
+				kern.Featurize(dataset.Append(row.Entity, row.Attrs))
+			}
+			mu.Unlock()
+		} else {
+			for _, row := range batch {
+				dataset.Append(row.Entity, row.Attrs)
+			}
 		}
-		mu.Unlock()
 		ix.InsertBatch(batch)
 		batch = batch[:0]
 		// Drain even without a matcher, so the indexer's pending queue
@@ -276,7 +426,7 @@ func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Resul
 		}
 	}
 	flush()
-	res.Stats.BlockTime = time.Since(t0)
+	res.Stats.BlockTime = time.Since(start)
 	var matches []Match
 	if sc != nil {
 		matches = sc.wait()
@@ -290,13 +440,14 @@ func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Resul
 	res.Stats.Comparisons = blocks.Comparisons()
 	res.Final = blocks
 	res.Stats.PrunedComparisons = res.Stats.Comparisons
+	var g *metablocking.Graph
 	if p.prune != nil {
 		t1 := time.Now()
-		res.Pruned = p.applyPruning(blocks)
+		res.Pruned, g = p.applyPruning(blocks)
 		res.Stats.PruneTime = time.Since(t1)
 		res.Final = res.Pruned
 		res.Stats.PrunedComparisons = res.Pruned.Comparisons()
-		if p.matcher != nil {
+		if p.matcher != nil && !budgeted {
 			// Keep only matches the pruning stage retained, restoring
 			// batch/stream result parity: every pruned-collection pair was
 			// scored live (it is a subset of the emitted candidates).
@@ -311,67 +462,97 @@ func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Resul
 		}
 	}
 	if p.matcher != nil {
-		p.finishMatches(res, matches, scored, dataset.Len())
+		if budgeted {
+			// The stream has closed: the kernel is complete and immutable,
+			// so the budgeted drain needs no locking.
+			t2 := time.Now()
+			p.matchFinal(ctx, start, res, g, kern.Score, nil, nil, dataset.Len())
+			res.Stats.MatchTime = time.Since(t2)
+		} else {
+			res.Stats.ComparisonsUsed = scored
+			p.finishMatches(res, matches, scored, dataset.Len())
+		}
 	}
 	return res, nil
 }
 
 // applyPruning rebuilds the block collection through the meta-blocking
-// graph stage.
-func (p *Pipeline) applyPruning(blocks *blocking.Result) *blocking.Result {
+// graph stage, returning the graph as well so a budgeted matching stage
+// can rank the survivors under the same weights.
+func (p *Pipeline) applyPruning(blocks *blocking.Result) (*blocking.Result, *metablocking.Graph) {
 	g := metablocking.BuildGraph(blocks, p.prune.scheme)
-	return g.Prune(p.prune.algo)
+	return g.Prune(p.prune.algo), g
 }
 
 // scorer is the concurrent scoring stage shared by Run and RunStream: pair
 // batches fan out over a channel to a worker pool, matches fan back in
-// through a single collector goroutine that feeds the sink. The two run
-// modes differ only in the record lookup they plug in.
+// through a single collector goroutine that feeds the sink. Scoring goes
+// through an er.Kernel score function — the zero-allocation per-pair path —
+// and the per-batch []Match buffers cycle through a pool between workers
+// and collector, so the steady-state stage costs no allocation per batch.
 type scorer struct {
 	p         *Pipeline
-	lookup    func(record.ID) *record.Record
+	score     func(a, b record.ID) float64
+	lock      *sync.RWMutex // read-held per batch when the kernel still grows
 	pairCh    chan []record.Pair
-	matchCh   chan []Match
+	matchCh   chan *[]Match
+	bufPool   sync.Pool
 	workerWG  sync.WaitGroup
 	collectWG sync.WaitGroup
 	matches   []Match
 }
 
 // newScorer starts the worker pool and collector. Callers feed batches via
-// submit and finish with wait.
-func (p *Pipeline) newScorer(lookup func(record.ID) *record.Record) *scorer {
+// submit and finish with wait. lock, when non-nil, is read-held around
+// each batch's scoring (streaming mode, where the feeder concurrently
+// featurizes new records under the write lock).
+func (p *Pipeline) newScorer(score func(a, b record.ID) float64, lock *sync.RWMutex) *scorer {
 	s := &scorer{
 		p:       p,
-		lookup:  lookup,
+		score:   score,
+		lock:    lock,
 		pairCh:  make(chan []record.Pair, p.workers),
-		matchCh: make(chan []Match, p.workers),
+		matchCh: make(chan *[]Match, p.workers),
 	}
+	s.bufPool.New = func() any {
+		buf := make([]Match, 0, p.batch)
+		return &buf
+	}
+	thr := p.matcher.Threshold()
 	for w := 0; w < p.workers; w++ {
 		s.workerWG.Add(1)
 		go func() {
 			defer s.workerWG.Done()
 			for batch := range s.pairCh {
-				out := make([]Match, 0, len(batch))
+				bp := s.bufPool.Get().(*[]Match)
+				out := (*bp)[:0]
+				if s.lock != nil {
+					s.lock.RLock()
+				}
 				for _, pr := range batch {
-					score := p.matcher.Score(s.lookup(pr.Left()), s.lookup(pr.Right()))
-					if score >= p.matcher.Threshold() {
-						out = append(out, Match{Pair: pr, Score: score})
+					if sc := s.score(pr.Left(), pr.Right()); sc >= thr {
+						out = append(out, Match{Pair: pr, Score: sc})
 					}
 				}
-				s.matchCh <- out
+				if s.lock != nil {
+					s.lock.RUnlock()
+				}
+				*bp = out
+				s.matchCh <- bp
 			}
 		}()
 	}
 	s.collectWG.Add(1)
 	go func() {
 		defer s.collectWG.Done()
-		for batch := range s.matchCh {
-			for _, m := range batch {
+		for bp := range s.matchCh {
+			for _, m := range *bp {
 				if p.sink != nil {
 					p.sink(m)
 				}
 				s.matches = append(s.matches, m)
 			}
+			s.bufPool.Put(bp)
 		}
 	}()
 	go func() {
@@ -390,20 +571,6 @@ func (s *scorer) wait() []Match {
 	close(s.pairCh)
 	s.collectWG.Wait()
 	return s.matches
-}
-
-// scorePairs runs the scoring stage over a fixed pair list — the batch
-// mode front-end of the scorer.
-func (p *Pipeline) scorePairs(recs []*record.Record, pairs []record.Pair) []Match {
-	sc := p.newScorer(func(id record.ID) *record.Record { return recs[id] })
-	for lo := 0; lo < len(pairs); lo += p.batch {
-		hi := lo + p.batch
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		sc.submit(pairs[lo:hi])
-	}
-	return sc.wait()
 }
 
 // finishMatches orders the matches canonically and derives the resolution.

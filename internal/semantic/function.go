@@ -60,11 +60,15 @@ func (p *Pattern) String() string {
 // order; the Fallback concepts apply when nothing matches (the paper's
 // pattern tables are complete, so a fallback only fires on malformed data).
 type PatternFunction struct {
-	tax              *taxonomy.Taxonomy
-	patterns         []Pattern
-	fallback         []string
-	resolved         [][]*taxonomy.Concept // per pattern, resolved concepts
-	fallbackResolved []*taxonomy.Concept
+	tax      *taxonomy.Taxonomy
+	patterns []Pattern
+	fallback []string
+	// A pattern's interpretation is a pure function of its concept labels,
+	// so the normalised form is computed once at construction and shared by
+	// every record the pattern matches. Callers must treat the returned
+	// interpretations as read-only (all in-tree callers only iterate).
+	normalized   []taxonomy.Interpretation // per pattern
+	fallbackNorm taxonomy.Interpretation
 }
 
 // NewPatternFunction builds a pattern-based semantic function. Every
@@ -89,23 +93,25 @@ func NewPatternFunction(tax *taxonomy.Taxonomy, patterns []Pattern, fallback []s
 		if err != nil {
 			return nil, err
 		}
-		f.resolved = append(f.resolved, cs)
+		f.normalized = append(f.normalized, tax.NormalizeInterpretation(cs))
 	}
-	var err error
-	if f.fallbackResolved, err = resolve(fallback); err != nil {
+	fb, err := resolve(fallback)
+	if err != nil {
 		return nil, err
 	}
+	f.fallbackNorm = tax.NormalizeInterpretation(fb)
 	return f, nil
 }
 
-// Interpret returns the interpretation of the first matching pattern.
+// Interpret returns the interpretation of the first matching pattern. The
+// result is a shared pre-normalised slice; callers must not mutate it.
 func (f *PatternFunction) Interpret(r *record.Record) taxonomy.Interpretation {
 	for i := range f.patterns {
 		if f.patterns[i].matches(r) {
-			return f.tax.NormalizeInterpretation(f.resolved[i])
+			return f.normalized[i]
 		}
 	}
-	return f.tax.NormalizeInterpretation(f.fallbackResolved)
+	return f.fallbackNorm
 }
 
 // Taxonomy returns the underlying taxonomy.

@@ -71,6 +71,13 @@ func (s *Schema) Signature(r *record.Record) BitVec {
 // interpretation.
 func (s *Schema) SignatureOf(z taxonomy.Interpretation) BitVec {
 	v := NewBitVec(len(s.features))
+	s.signatureInto(z, v)
+	return v
+}
+
+// signatureInto sets the bits of z's signature in v, which must be an
+// all-zero vector of Bits() width.
+func (s *Schema) signatureInto(z taxonomy.Interpretation, v BitVec) {
 	tax := s.fn.Taxonomy()
 	for _, c := range z {
 		for _, leafID := range tax.LeafSet(c) {
@@ -79,15 +86,40 @@ func (s *Schema) SignatureOf(z taxonomy.Interpretation) BitVec {
 			}
 		}
 	}
-	return v
+}
+
+// sigWords returns the number of uint64 words one signature occupies.
+func (s *Schema) sigWords() int { return (len(s.features) + 63) / 64 }
+
+// AppendSignature computes the record's semhash signature with its word
+// storage appended to arena, returning the signature and the extended
+// arena. Batch callers thread one arena through a whole mini-batch, so
+// signing n records costs O(log n) word allocations instead of one BitVec
+// allocation per record; a returned signature's view stays valid even when
+// a later append reallocates the arena.
+func (s *Schema) AppendSignature(r *record.Record, arena []uint64) (BitVec, []uint64) {
+	w := s.sigWords()
+	off := len(arena)
+	for i := 0; i < w; i++ {
+		arena = append(arena, 0)
+	}
+	v := BitVec{n: len(s.features), words: arena[off : off+w : off+w]}
+	s.signatureInto(s.fn.Interpret(r), v)
+	return v, arena
 }
 
 // SignatureMatrix computes signatures for every record of the dataset
-// (Algorithm 1's output M), indexed by record ID.
+// (Algorithm 1's output M), indexed by record ID. All n signatures are
+// carved from one backing array, so the matrix costs O(1) allocations
+// instead of O(n).
 func (s *Schema) SignatureMatrix(d *record.Dataset) []BitVec {
 	out := make([]BitVec, d.Len())
+	w := s.sigWords()
+	backing := make([]uint64, d.Len()*w)
 	for _, r := range d.Records() {
-		out[r.ID] = s.Signature(r)
+		v := BitVec{n: len(s.features), words: backing[int(r.ID)*w : (int(r.ID)+1)*w : (int(r.ID)+1)*w]}
+		s.signatureInto(s.fn.Interpret(r), v)
+		out[r.ID] = v
 	}
 	return out
 }

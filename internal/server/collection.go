@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"semblock/internal/blocking"
 	"semblock/internal/er"
@@ -463,6 +465,17 @@ type ResolveRequest struct {
 	Threshold float64 `json:"threshold"`
 	// Pruning optionally inserts a meta-blocking stage before matching.
 	Pruning *PruneSpec `json:"pruning,omitempty"`
+	// Budget caps the number of candidate comparisons the matching stage
+	// performs (0 = exhaustive). A budgeted resolve drains candidates
+	// best-first by meta-blocking edge weight, so the budget is spent on
+	// the likeliest matches; the response reports comparisons_used and
+	// whether the run was truncated.
+	Budget int64 `json:"budget,omitempty"`
+	// DeadlineMS bounds the resolve wall time in milliseconds (0 = none).
+	// The deadline is enforced through the request context: when it trips,
+	// the matching stage stops at the next batch boundary and the response
+	// is the well-formed truncated result, not an error.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Resolve runs the existing blocking→pruning→matching pipeline over a
@@ -472,8 +485,19 @@ type ResolveRequest struct {
 // same records. Ingestion may continue concurrently; it does not affect the
 // running resolve.
 func (c *Collection) Resolve(req ResolveRequest) (*pipeline.Result, error) {
+	return c.ResolveContext(context.Background(), req)
+}
+
+// ResolveContext is Resolve under a context: cancellation (the HTTP client
+// going away, or the deadline the handler derives from DeadlineMS)
+// truncates the matching stage instead of failing it. Blocking and pruning
+// always complete; only matching is bounded.
+func (c *Collection) ResolveContext(ctx context.Context, req ResolveRequest) (*pipeline.Result, error) {
 	if len(req.Match) == 0 {
 		return nil, fmt.Errorf("server: resolve needs at least one match attribute")
+	}
+	if req.Budget < 0 || req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("server: resolve budget and deadline_ms must be non-negative")
 	}
 	weights := make([]er.AttrWeight, len(req.Match))
 	for i, m := range req.Match {
@@ -495,6 +519,9 @@ func (c *Collection) Resolve(req ResolveRequest) (*pipeline.Result, error) {
 		}
 		opts = append(opts, pipeline.WithPruning(scheme, algo))
 	}
+	if req.Budget > 0 || req.DeadlineMS > 0 {
+		opts = append(opts, pipeline.WithBudget(req.Budget, time.Duration(req.DeadlineMS)*time.Millisecond))
+	}
 
 	c.mu.Lock()
 	ds := c.datasetCopyLocked()
@@ -505,7 +532,7 @@ func (c *Collection) Resolve(req ResolveRequest) (*pipeline.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(ds)
+	return p.RunContext(ctx, ds)
 }
 
 // staticBlocker adapts an already-materialised snapshot to the

@@ -2,12 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"semblock/internal/record"
 	"semblock/internal/stream"
@@ -239,7 +241,17 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collec
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse resolve request: %w", err))
 		return
 	}
-	res, err := c.Resolve(req)
+	// The deadline rides the request context, so a tripped deadline (or the
+	// client going away) truncates the matching stage at the next batch
+	// boundary: the response is a well-formed best-first prefix of the full
+	// resolution, never a 500 or a hung handler.
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := c.ResolveContext(ctx, req)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
@@ -256,6 +268,8 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collec
 		"comparisons":        res.Stats.Comparisons,
 		"pruned_comparisons": res.Stats.PrunedComparisons,
 		"pairs_scored":       res.Stats.PairsScored,
+		"comparisons_used":   res.Stats.ComparisonsUsed,
+		"budget_truncated":   res.Stats.Truncated,
 		"matches":            matches,
 		"num_matches":        len(matches),
 	}

@@ -87,16 +87,16 @@ type Server struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
 
-	// persistMu serialises on-disk mutations (checkpoints, compactions,
-	// deletes), so an in-flight write can never resurrect a concurrently
-	// deleted collection's directory. Lock order: persistMu before mu.
-	// Known limitation: the mutex is server-wide, so one tenant's long
-	// rewrite (a big compaction, or a big checkpoint) delays the other
-	// tenants' persistence — serving paths are unaffected, only disk
-	// writes queue. Splitting it per collection (with a tombstone for the
-	// delete race) is the noted follow-up if checkpoint latency across
-	// tenants starts to matter.
-	persistMu sync.Mutex
+	// persistLocks serialises on-disk mutations (checkpoints, compactions,
+	// deletes) *per collection name*, so an in-flight write can never
+	// resurrect a concurrently deleted collection's directory while one
+	// tenant's long rewrite no longer queues other tenants' disk writes.
+	// Entries are tombstoned on delete (see persistLock.dead) so a waiter
+	// holding a stale lock pointer can never write the removed directory
+	// concurrently with a fresh create's checkpoint. Lock order: a
+	// collection's persist lock before mu; never two persist locks at once.
+	persistLocksMu sync.Mutex
+	persistLocks   map[string]*persistLock
 
 	dataDir       string
 	defaultShards int
@@ -109,7 +109,11 @@ type Server struct {
 // corrupted collection directory fails construction rather than serving a
 // partial index.
 func New(opts ...Option) (*Server, error) {
-	s := &Server{collections: make(map[string]*Collection), defaultShards: 1}
+	s := &Server{
+		collections:   make(map[string]*Collection),
+		persistLocks:  make(map[string]*persistLock),
+		defaultShards: 1,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -186,11 +190,53 @@ func (s *Server) Create(spec CollectionSpec) (*Collection, error) {
 	return c, nil
 }
 
-// saveCollection checkpoints one collection under persistMu, skipping it
-// when it was deleted in the meantime.
+// persistLock serialises the on-disk mutations of one collection name.
+// dead marks a tombstone: set (under the lock) by the delete that removed
+// the directory and unregistered the entry, it tells waiters their pointer
+// is stale — the name's current lock, if any, lives in the map.
+type persistLock struct {
+	mu   sync.Mutex
+	dead bool
+}
+
+// acquirePersist locks the named collection's persist lock, creating it on
+// first use. A waiter that wakes on a tombstoned entry retries against the
+// current map entry, so after a delete+recreate every writer serialises on
+// the fresh lock, never the stale one.
+func (s *Server) acquirePersist(name string) *persistLock {
+	for {
+		s.persistLocksMu.Lock()
+		l, ok := s.persistLocks[name]
+		if !ok {
+			l = &persistLock{}
+			s.persistLocks[name] = l
+		}
+		s.persistLocksMu.Unlock()
+		l.mu.Lock()
+		if !l.dead {
+			return l
+		}
+		l.mu.Unlock()
+	}
+}
+
+// tombstonePersist marks the held lock dead and drops it from the map (the
+// caller still unlocks it). Part of the delete path.
+func (s *Server) tombstonePersist(name string, l *persistLock) {
+	l.dead = true
+	s.persistLocksMu.Lock()
+	if s.persistLocks[name] == l {
+		delete(s.persistLocks, name)
+	}
+	s.persistLocksMu.Unlock()
+}
+
+// saveCollection checkpoints one collection under its per-collection
+// persist lock, skipping it when it was deleted in the meantime. Two
+// tenants' checkpoints never queue behind each other.
 func (s *Server) saveCollection(c *Collection) error {
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
+	l := s.acquirePersist(c.Name())
+	defer l.mu.Unlock()
 	if cur, ok := s.Collection(c.Name()); !ok || cur != c {
 		return nil // deleted (or replaced) since the caller picked it up
 	}
@@ -215,8 +261,8 @@ func (s *Server) CompactCollection(c *Collection) (CompactionResult, error) {
 		// CWD while marking in-memory state as persisted.
 		return CompactionResult{}, fmt.Errorf("server: compaction needs a data dir")
 	}
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
+	l := s.acquirePersist(c.Name())
+	defer l.mu.Unlock()
 	if cur, ok := s.Collection(c.Name()); !ok || cur != c {
 		return CompactionResult{}, fmt.Errorf("server: %w: %q", ErrNotFound, c.Name())
 	}
@@ -263,12 +309,16 @@ func (s *Server) List() []string {
 }
 
 // Delete removes a collection and, with persistence enabled, its on-disk
-// data. It holds the persistence mutex, so a concurrent checkpoint either
-// completes before the directory is removed or skips the collection
-// entirely — deleted data is never resurrected on a later boot.
+// data. It holds the collection's persistence lock, so a concurrent
+// checkpoint either completes before the directory is removed or skips the
+// collection entirely — deleted data is never resurrected on a later boot.
+// The lock entry is tombstoned on the way out: a checkpoint that was
+// already waiting on it wakes, sees the tombstone, and re-acquires against
+// whatever lock the name holds now (none, or a recreate's fresh one).
 func (s *Server) Delete(name string) error {
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
+	l := s.acquirePersist(name)
+	defer l.mu.Unlock()
+	defer s.tombstonePersist(name, l)
 	s.mu.Lock()
 	_, ok := s.collections[name]
 	delete(s.collections, name)

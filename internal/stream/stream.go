@@ -467,9 +467,13 @@ func (ix *Indexer) InsertBatch(rows []Row) []record.ID {
 	sigs := ix.sigArena(len(recs))
 	sems := make([]semantic.BitVec, len(recs))
 	parallelChunks(len(recs), ix.workers, func(lo, hi int) {
+		// One semhash word arena per chunk: the vectors' views outlive the
+		// loop, so the arena cannot be pooled, but carving them from one
+		// append-grown backing keeps the batch at O(log n) allocations.
+		var semArena []uint64
 		for i := lo; i < hi; i++ {
 			ix.signer.SignComponentsInto(recs[i], ix.sigComponents, sigs[i])
-			sems[i] = ix.signer.SemSign(recs[i])
+			sems[i], semArena = ix.signer.AppendSemSign(recs[i], semArena)
 		}
 	})
 

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${PATTERN:-BenchmarkPipelineBlock|BenchmarkPipelineEndToEnd|BenchmarkBlockLSH|BenchmarkBlockSALSH|BenchmarkIndexerInsertBatch|BenchmarkServerIngest|BenchmarkCollectionIngest}"
+PATTERN="${PATTERN:-BenchmarkPipelineBlock|BenchmarkPipelineEndToEnd|BenchmarkPipelineBudget|BenchmarkBlockLSH|BenchmarkBlockSALSH|BenchmarkIndexerInsertBatch|BenchmarkServerIngest|BenchmarkCollectionIngest}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_pipeline.json}"

@@ -76,7 +76,8 @@ func load(path string) (map[string]bench, error) {
 	return out, nil
 }
 
-// parseTolerances parses "name=pct,name=pct" per-benchmark ns/op overrides.
+// parseTolerances parses "name=value,name=value" per-benchmark overrides
+// (ns/op tolerance percents, allocs/op ceilings).
 // The percent is everything after the LAST '=' so benchmark names carrying
 // sub-bench parameters ("BenchmarkFoo/shards=8") parse too.
 func parseTolerances(s string) (map[string]float64, error) {
@@ -88,11 +89,11 @@ func parseTolerances(s string) (map[string]float64, error) {
 		part = strings.TrimSpace(part)
 		i := strings.LastIndex(part, "=")
 		if i <= 0 {
-			return nil, fmt.Errorf("bad -ns-tolerance entry %q (want name=pct)", part)
+			return nil, fmt.Errorf("bad entry %q (want name=value)", part)
 		}
 		v, err := strconv.ParseFloat(part[i+1:], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad -ns-tolerance percent in %q: %v", part, err)
+			return nil, fmt.Errorf("bad value in %q: %v", part, err)
 		}
 		out[part[:i]] = v
 	}
@@ -109,6 +110,8 @@ func main() {
 	allocFlat := flag.String("alloc-flat", "BenchmarkCollectionIngest/shards=8:BenchmarkCollectionIngest/shards=1",
 		"allocation-flatness pairs 'target:base,...': target allocs/op must stay within -flat-tolerance of base, in the current file ('' disables)")
 	flatTolerance := flag.Float64("flat-tolerance", 10, "allowed allocs/op excess of an -alloc-flat target over its base, in percent")
+	allocCeiling := flag.String("alloc-ceiling", "BenchmarkPipelineEndToEnd=90000",
+		"absolute allocs/op ceilings 'name=max,...' checked against the current file — hardware-independent hard caps ('' disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] baseline.json current.json\n")
 		flag.PrintDefaults()
@@ -218,6 +221,30 @@ func main() {
 			if excess > *flatTolerance {
 				failures = append(failures, fmt.Sprintf("%s allocs/op %+.1f%% over %s exceeds %.0f%%",
 					target, excess, baseName, *flatTolerance))
+			}
+		}
+	}
+
+	// Gate 5: absolute allocs/op ceilings in the current file. Like gates
+	// 3+4 these are hardware-independent — allocs/op is deterministic for a
+	// fixed code path — so they hold a hot path's allocation count to a hard
+	// cap regardless of what the committed baseline drifted to.
+	if *allocCeiling != "" {
+		ceilings, err := parseTolerances(*allocCeiling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		for _, name := range sortedNames(cur) {
+			max, ok := ceilings[name]
+			if !ok {
+				continue
+			}
+			cb := cur[name]
+			fmt.Printf("alloc-ceiling gate: %s allocs/op %.0f (ceiling %.0f)\n", name, cb.AllocsPerOp, max)
+			if cb.AllocsPerOp > max {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds the %.0f ceiling",
+					name, cb.AllocsPerOp, max))
 			}
 		}
 	}

@@ -385,6 +385,7 @@ var (
 	WithPipelineWorkers = pipeline.WithWorkers
 	WithBatchSize       = pipeline.WithBatchSize
 	WithMatchSink       = pipeline.WithMatchSink
+	WithBudget          = pipeline.WithBudget
 )
 
 // Multi-tenant serving layer (internal/server): a Server owns named
