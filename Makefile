@@ -27,12 +27,15 @@ lint:
 # the same gates the CI bench job applies after every run: >25% allocs/op
 # or >100% ns/op regression, parallel/serial speedup < 1.5x (machines with
 # GOMAXPROCS >= 4 only), CollectionIngest shards=8 allocs/op drifting
-# >10% above shards=1, and the PipelineEndToEnd allocs/op hard ceiling.
+# >10% above shards=1, the PipelineEndToEnd allocs/op hard ceiling, and
+# the traced pipeline staying within 10% ns/op of the untraced one.
 benchcmp:
 	git show HEAD:BENCH_pipeline.json > /tmp/bench_baseline.json
 	go run ./scripts/benchcmp -max-regress 25 -max-ns-regress 100 \
 		-min-speedup 1.5 -flat-tolerance 10 \
 		-alloc-ceiling BenchmarkPipelineEndToEnd=90000 \
+		-ns-overhead BenchmarkPipelineEndToEndTraced:BenchmarkPipelineEndToEnd \
+		-overhead-tolerance 10 \
 		/tmp/bench_baseline.json BENCH_pipeline.json
 
 # Runs the blocking/pipeline benchmarks and writes BENCH_pipeline.json so

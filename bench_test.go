@@ -12,6 +12,7 @@ package semblock_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http/httptest"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 	"semblock/internal/datagen"
 	"semblock/internal/experiments"
 	"semblock/internal/lsh"
+	"semblock/internal/obs"
 )
 
 // benchConfig mirrors experiments.DefaultConfig at bench-friendly scale.
@@ -358,6 +360,54 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		q, err := out.Resolution.Evaluate(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = q.F1
+	}
+	b.ReportMetric(f1, "f1")
+}
+
+// BenchmarkPipelineEndToEndTraced is BenchmarkPipelineEndToEnd with a live
+// tracer on the context: every run pays for trace creation, five stage
+// spans, and per-stage histogram observations. The benchcmp traced-overhead
+// gate compares its ns/op against the untraced baseline to keep the
+// instrumentation cost ≤10%.
+func BenchmarkPipelineEndToEndTraced(b *testing.B) {
+	d, schema := coraFixture(b)
+	blk, err := semblock.New(semblock.Config{
+		Attrs: []string{"authors", "title"}, Q: 4, K: 4, L: 63, Seed: 1,
+		Semantic: &semblock.SemanticOption{Schema: schema, W: 3, Mode: semblock.ModeOR},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := semblock.NewMatcher([]semblock.AttrWeight{
+		{Attr: "title", Weight: 0.6},
+		{Attr: "authors", Weight: 0.4},
+	}, 0.55)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := semblock.NewPipeline(blk,
+		semblock.WithPruning(semblock.WeightSchemeCBS, semblock.PruneWEP),
+		semblock.WithMatcher(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.DefaultTraceBuffer,
+		obs.NewDurationVec("bench_stage_seconds", "bench", "stage"))
+	var f1 float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, t := tracer.StartTrace(context.Background(), "bench")
+		out, err := p.RunContext(ctx, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracer.Finish(t)
 		q, err := out.Resolution.Evaluate(d)
 		if err != nil {
 			b.Fatal(err)

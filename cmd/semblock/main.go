@@ -32,10 +32,15 @@
 // /metrics), periodic snapshot checkpoints into -data-dir, automatic
 // segment compaction once a chain crosses -compact-segments/-compact-bytes,
 // restore-on-boot, and graceful shutdown (with a final checkpoint) on
-// SIGINT/SIGTERM:
+// SIGINT/SIGTERM. Observability is built in: structured request logs
+// (-log-format text|json, -log-level), per-request traces surfaced via the
+// X-Semblock-Trace header and GET /debug/traces, slow-request warnings with
+// a per-stage span breakdown (-slow-request-ms), and an optional pprof
+// listener on a separate address (-debug-addr):
 //
 //	semblock serve -addr :8080 -data-dir /var/lib/semblock \
-//	    -shards 4 -checkpoint 30s -compact-segments 32
+//	    -shards 4 -checkpoint 30s -compact-segments 32 \
+//	    -log-format json -slow-request-ms 250 -debug-addr 127.0.0.1:6060
 //
 // The "compact" subcommand compacts persisted collections offline — the
 // same rewrite the serve loop performs, for data directories of a server
@@ -56,7 +61,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,6 +76,7 @@ import (
 	"semblock/internal/datagen"
 	"semblock/internal/experiments"
 	"semblock/internal/lsh"
+	"semblock/internal/obs"
 	"semblock/internal/record"
 )
 
@@ -141,12 +149,25 @@ func runServe(args []string) error {
 		checkpoint   = fs.Duration("checkpoint", 30*time.Second, "checkpoint interval (requires -data-dir; 0 = only on shutdown)")
 		compactSegs  = fs.Int("compact-segments", 32, "auto-compact a collection once its chain exceeds this many segments (0 = never by count)")
 		compactBytes = fs.Int64("compact-bytes", 0, "auto-compact a collection once the segments appended since its last compaction exceed this many bytes (0 = never by size)")
+		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		slowMS       = fs.Int64("slow-request-ms", 0, "log requests slower than this at WARN with a span breakdown (0 = never)")
+		debugAddr    = fs.String("debug-addr", "", "separate pprof/debug listener address, e.g. localhost:6060 (empty = disabled)")
+		traceBuf     = fs.Int("trace-buffer", 0, "completed request traces retained for GET /debug/traces (0 = default 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var opts []semblock.ServerOption
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	// Library-level diagnostics (restore warnings etc.) flow through
+	// slog.Default, so the configured handler sees everything.
+	slog.SetDefault(logger)
+
+	opts := []semblock.ServerOption{semblock.WithServerLogger(logger)}
 	if *dataDir != "" {
 		opts = append(opts, semblock.WithDataDir(*dataDir))
 		opts = append(opts, semblock.WithCompaction(semblock.CompactionPolicy{
@@ -156,16 +177,41 @@ func runServe(args []string) error {
 	if *shards > 0 {
 		opts = append(opts, semblock.WithDefaultShards(*shards))
 	}
+	if *slowMS > 0 {
+		opts = append(opts, semblock.WithSlowRequestThreshold(time.Duration(*slowMS)*time.Millisecond))
+	}
+	if *traceBuf > 0 {
+		opts = append(opts, semblock.WithTraceBuffer(*traceBuf))
+	}
 	srv, err := semblock.NewServer(opts...)
 	if err != nil {
 		return err
 	}
 	if n := len(srv.List()); n > 0 {
-		fmt.Printf("restored %d collection(s) from %s: %s\n", n, *dataDir, strings.Join(srv.List(), ", "))
+		logger.Info("restored collections", "count", n, "data_dir", *dataDir, "collections", strings.Join(srv.List(), ", "))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		// The profiling endpoints live on their own listener so they can be
+		// bound to localhost (or firewalled) independently of the API port.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -182,7 +228,7 @@ func runServe(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("semblock serve listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -195,7 +241,7 @@ func runServe(args []string) error {
 			return
 		}
 		srv.CheckpointEvery(*checkpoint, stopCheckpoints, func(err error) {
-			fmt.Fprintln(os.Stderr, "semblock serve: checkpoint:", err)
+			logger.Error("checkpoint failed", "err", err)
 		})
 	}()
 
@@ -206,7 +252,7 @@ func runServe(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("semblock serve: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"semblock/internal/datagen"
+	"semblock/internal/obs"
 	"semblock/internal/server"
 	"semblock/internal/stream"
 )
@@ -130,10 +130,15 @@ func LoadBench(cfg LoadConfig) (*LoadResult, error) {
 		return nil, err
 	}
 
+	// Latencies are accumulated into the same fixed-bucket histograms the
+	// serving layer exports on /metrics, so the harness's quantiles are the
+	// estimate a PromQL histogram_quantile over the production series would
+	// produce — O(1) memory regardless of batch count, at bucket resolution
+	// instead of exact order statistics.
 	res := &LoadResult{Records: len(rows)}
 	batches := (len(rows) + cfg.Batch - 1) / cfg.Batch
-	ingestLat := make([]time.Duration, 0, batches)
-	drainLat := make([]time.Duration, 0, batches)
+	ingestHist := obs.NewHistogram()
+	drainHist := obs.NewHistogram()
 	progressStep := batches / 10
 
 	start := time.Now()
@@ -147,11 +152,11 @@ func LoadBench(cfg LoadConfig) (*LoadResult, error) {
 		if _, err := c.Ingest(rows[lo:hi]); err != nil {
 			return nil, err
 		}
-		ingestLat = append(ingestLat, time.Since(t0))
+		ingestHist.Observe(time.Since(t0))
 		if cfg.DrainEvery > 0 && (b+1)%cfg.DrainEvery == 0 {
 			t0 = time.Now()
 			res.Drained += len(c.Candidates())
-			drainLat = append(drainLat, time.Since(t0))
+			drainHist.Observe(time.Since(t0))
 		}
 		if cfg.Progress != nil && progressStep > 0 && (b+1)%progressStep == 0 {
 			cfg.Progress(fmt.Sprintf("%d/%d records, %d pairs", hi, len(rows), c.PairCount()))
@@ -163,27 +168,15 @@ func LoadBench(cfg LoadConfig) (*LoadResult, error) {
 	if s := res.Elapsed.Seconds(); s > 0 {
 		res.RecordsPerSec = float64(res.Records) / s
 	}
-	res.IngestP50, res.IngestP95, res.IngestP99 = quantiles(ingestLat)
-	res.DrainP50, res.DrainP95, res.DrainP99 = quantiles(drainLat)
+	res.IngestP50, res.IngestP95, res.IngestP99 = quantiles(ingestHist)
+	res.DrainP50, res.DrainP95, res.DrainP99 = quantiles(drainHist)
 	return res, nil
 }
 
-// quantiles returns the p50/p95/p99 of the samples (zeros when empty).
-func quantiles(samples []time.Duration) (p50, p95, p99 time.Duration) {
-	if len(samples) == 0 {
+// quantiles returns the histogram's p50/p95/p99 (zeros when empty).
+func quantiles(h *obs.Histogram) (p50, p95, p99 time.Duration) {
+	if h.Count() == 0 {
 		return 0, 0, 0
 	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(p float64) time.Duration {
-		i := int(p*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 }

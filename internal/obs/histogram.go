@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the log-spaced (1-2.5-5 per decade) latency bucket
+// upper bounds in seconds, 100µs through 60s — wide enough to hold both a
+// sub-millisecond candidate drain and a multi-second million-record
+// compaction in one fixed layout. Shared by every duration histogram so
+// PromQL can aggregate across series without bucket mismatch.
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic
+// counters, an atomic nanosecond sum, no allocation per Observe. A nil
+// *Histogram is a valid no-op receiver — the uninstrumented fast path.
+//
+// Rendering follows the Prometheus histogram convention: cumulative
+// bucket counts labelled by upper bound `le`, plus _sum and _count.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram builds a histogram over DefaultBuckets.
+func NewHistogram() *Histogram { return NewHistogramBuckets(DefaultBuckets) }
+
+// NewHistogramBuckets builds a histogram over the given ascending upper
+// bounds (seconds). The bounds slice is retained; do not mutate it.
+func NewHistogramBuckets(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration. Nil receiver no-ops; negative durations
+// clamp to zero. Allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[h.bucket(d.Seconds())].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// bucket returns the index of the first bound >= v (len(bounds) = +Inf).
+func (h *Histogram) bucket(v float64) int {
+	// The bucket count is small and fixed; a linear scan beats binary
+	// search's branch misses and keeps the common (fast) case — small
+	// latencies in the first few buckets — shortest.
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the owning bucket — the same
+// estimate PromQL's histogram_quantile computes. Returns 0 with no
+// observations; the top (+Inf) bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return secondsToDuration(lo)
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return secondsToDuration(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return secondsToDuration(h.bounds[len(h.bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// WriteProm renders the histogram as one Prometheus histogram family:
+// HELP/TYPE header plus cumulative buckets, _sum and _count. labels is the
+// rendered label set without braces ("" for none), e.g.
+// `stage="match"`.
+func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writePromSeries(w, name, "")
+}
+
+// writePromSeries renders the bucket/_sum/_count sample lines of one
+// labelled series (header emitted by the caller, once per family).
+func (h *Histogram) writePromSeries(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix(labels), formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(labels), cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum().Seconds(), name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.Sum().Seconds(), name, labels, h.count.Load())
+	}
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float representation).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// DurationVec is a family of Histograms sharing one metric name, keyed by a
+// label set — semblock_http_request_duration_seconds{route,code} and
+// friends. Label values join into the map key; a nil *DurationVec no-ops.
+//
+// With is a read-locked map hit on the steady state (every label
+// combination is created once), so observing through a vec stays cheap and
+// allocation-free after warm-up.
+type DurationVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu   sync.RWMutex
+	hist map[string]*Histogram // key: joined label values
+}
+
+// NewDurationVec builds a labelled histogram family. labels are the label
+// names in render order.
+func NewDurationVec(name, help string, labels ...string) *DurationVec {
+	return &DurationVec{name: name, help: help, labels: labels, hist: make(map[string]*Histogram)}
+}
+
+// With returns the histogram of the given label values (created on first
+// use), which must match the label names in number. Nil vec returns nil —
+// which Observe then no-ops on.
+func (v *DurationVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := joinKey(values)
+	v.mu.RLock()
+	h, ok := v.hist[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.hist[key]; ok {
+		return h
+	}
+	if len(values) != len(v.labels) {
+		// Programming error; surface it loudly in tests without panicking
+		// a production scrape path.
+		panic(fmt.Sprintf("obs: %s needs %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	h = NewHistogram()
+	v.hist[key] = h
+	return h
+}
+
+// joinKey joins label values with an unlikely separator.
+func joinKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	key := values[0]
+	for _, v := range values[1:] {
+		key += "\x1f" + v
+	}
+	return key
+}
+
+// WriteProm renders the whole family: one HELP/TYPE header, then every
+// labelled series in sorted key order (deterministic exposition).
+func (v *DurationVec) WriteProm(w io.Writer) {
+	if v == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.hist))
+	for k := range v.hist {
+		keys = append(keys, k)
+	}
+	hists := make(map[string]*Histogram, len(v.hist))
+	for k, h := range v.hist {
+		hists[k] = h
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		values := splitKey(k, len(v.labels))
+		parts := make([]string, len(v.labels))
+		for i, name := range v.labels {
+			parts[i] = fmt.Sprintf("%s=%q", name, values[i])
+		}
+		labels := ""
+		for i, p := range parts {
+			if i > 0 {
+				labels += ","
+			}
+			labels += p
+		}
+		hists[k].writePromSeries(w, v.name, labels)
+	}
+}
+
+func splitKey(key string, n int) []string {
+	if n <= 1 {
+		return []string{key}
+	}
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// gcPauseSample is the runtime/metrics histogram of stop-the-world GC pause
+// latencies. Present since go1.17; read defensively anyway so a renamed
+// metric degrades to "series absent", never a panic.
+const gcPauseSample = "/gc/pauses:seconds"
+
+// WriteRuntimeMetrics renders the process runtime gauges in Prometheus text
+// format: goroutine count, heap bytes in use, total heap reserved from the
+// OS, and the GC pause latency distribution re-bucketed onto
+// DefaultBuckets so it aggregates with the request histograms.
+func WriteRuntimeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP semblock_goroutines Live goroutines.\n# TYPE semblock_goroutines gauge\nsemblock_goroutines %d\n",
+		runtime.NumGoroutine())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP semblock_heap_bytes Heap bytes in use.\n# TYPE semblock_heap_bytes gauge\nsemblock_heap_bytes %d\n",
+		ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP semblock_heap_sys_bytes Heap bytes reserved from the OS.\n# TYPE semblock_heap_sys_bytes gauge\nsemblock_heap_sys_bytes %d\n",
+		ms.HeapSys)
+	fmt.Fprintf(w, "# HELP semblock_gc_cycles_total Completed GC cycles.\n# TYPE semblock_gc_cycles_total counter\nsemblock_gc_cycles_total %d\n",
+		ms.NumGC)
+
+	writeGCPauses(w)
+}
+
+// writeGCPauses re-buckets the runtime's GC pause histogram onto
+// DefaultBuckets. The runtime's buckets are far finer than ours, so each
+// runtime bucket is credited to the first of our bounds at or above its
+// upper edge; the _sum is the midpoint approximation (the runtime does not
+// expose an exact sum), which is accurate enough for a p99 panel and
+// clearly documented as an estimate.
+func writeGCPauses(w io.Writer) {
+	samples := []metrics.Sample{{Name: gcPauseSample}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := samples[0].Value.Float64Histogram()
+
+	counts := make([]uint64, len(DefaultBuckets)+1)
+	var total uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		// Runtime bucket i spans [Buckets[i], Buckets[i+1]); the edge
+		// buckets can be unbounded (±Inf), so fall back to the finite edge.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		mid := (lo + hi) / 2
+		idx := len(DefaultBuckets)
+		for j, b := range DefaultBuckets {
+			if hi <= b {
+				idx = j
+				break
+			}
+		}
+		counts[idx] += c
+		total += c
+		sum += mid * float64(c)
+	}
+	const name = "semblock_gc_pause_seconds"
+	fmt.Fprintf(w, "# HELP %s GC stop-the-world pause latency (sum is a midpoint estimate).\n# TYPE %s histogram\n", name, name)
+	var cum uint64
+	for i, b := range DefaultBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += counts[len(DefaultBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, total)
+}

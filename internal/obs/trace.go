@@ -1,0 +1,265 @@
+// Package obs is the repository's zero-dependency observability core:
+// request tracing (Trace/Span with context propagation and a ring buffer of
+// recent traces), fixed-bucket latency histograms rendered in Prometheus
+// text format, structured-logging setup over log/slog, and runtime gauges.
+//
+// Everything here is built for the hot path's benefit of absence: a nil
+// *Trace, nil *Tracer or nil *Histogram is a valid receiver whose methods
+// no-op without allocating, so instrumented code calls straight through
+// unconditionally — `span := obs.From(ctx).Start("block")` costs a context
+// lookup and nothing else when tracing is off. The serving layer turns the
+// instruments on; library callers that never install them pay (almost)
+// nothing.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Span names the pipeline stages record. Spans are not limited to these —
+// any string is a valid span name — but the pipeline's chain uses exactly
+// this vocabulary, and the per-stage latency histogram is keyed by it.
+const (
+	StageSign  = "sign"  // record featurization / signature staging
+	StageBlock = "block" // blocking (table build or snapshot materialisation)
+	StageGraph = "graph" // meta-blocking graph build + pruning
+	StageRank  = "rank"  // best-first candidate ranking (budgeted runs)
+	StageMatch = "match" // pairwise scoring drain
+)
+
+// Span is one timed region inside a Trace. StartNS is the monotonic offset
+// from the trace start, so spans order and sum without wall-clock caveats.
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"duration_ns"`
+	// Truncated marks a stage a budget, deadline or cancellation cut short.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Trace is one in-flight request's span collection. Construct through
+// Tracer.StartTrace; a nil *Trace is a valid no-op receiver, which is the
+// fast path instrumented code takes when tracing is not configured.
+//
+// Spans may be added from the goroutine driving the request while another
+// goroutine dumps recent traces, so the span list is mutex-guarded; the
+// mutex is never touched on the nil path.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time // monotonic anchor for span offsets
+
+	mu        sync.Mutex
+	spans     []Span
+	truncated bool
+}
+
+// ID returns the trace's hex identifier ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Spans returns a copy of the spans recorded so far (nil on a nil trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SpanHandle is an open span: End (or EndTruncated) closes it. The zero
+// value — what Start returns on a nil trace — ends as a no-op.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a span. On a nil trace it returns the zero handle without
+// reading the clock.
+func (t *Trace) Start(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span and records it on its trace.
+func (s SpanHandle) End() { s.EndTruncated(false) }
+
+// EndTruncated closes the span, marking whether the stage was cut short.
+// A truncated span also marks the whole trace truncated.
+func (s SpanHandle) EndTruncated(truncated bool) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	sp := Span{
+		Name:      s.name,
+		StartNS:   s.start.Sub(s.t.start).Nanoseconds(),
+		DurNS:     now.Sub(s.start).Nanoseconds(),
+		Truncated: truncated,
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, sp)
+	if truncated {
+		s.t.truncated = true
+	}
+	s.t.mu.Unlock()
+}
+
+// ctxKey keys the active trace in a context.
+type ctxKey struct{}
+
+// With returns ctx carrying the trace. A nil trace returns ctx unchanged,
+// keeping the downstream From lookup on the nil fast path.
+func With(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the trace carried by ctx, or nil. All trace methods accept
+// the nil result, so callers chain unconditionally:
+// obs.From(ctx).Start("block").
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// TraceRecord is a completed trace as /debug/traces serves it.
+type TraceRecord struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	Truncated  bool      `json:"truncated,omitempty"`
+	Spans      []Span    `json:"spans"`
+}
+
+// Tracer mints traces and retains the most recent completed ones in a ring
+// buffer. A nil *Tracer is a valid no-op: StartTrace returns (ctx, nil) and
+// the nil trace disables every downstream span. Construct with NewTracer.
+type Tracer struct {
+	stages *DurationVec // per-stage latency sink for completed spans (may be nil)
+
+	mu   sync.Mutex
+	ring []TraceRecord // completed traces, ring[next-1] newest
+	next int
+	full bool
+	rnd  *rand.Rand // trace-ID source, guarded by mu
+}
+
+// DefaultTraceBuffer is the ring capacity NewTracer(0, ...) gets.
+const DefaultTraceBuffer = 64
+
+// NewTracer builds a tracer retaining the last `buffer` completed traces
+// (<= 0 means DefaultTraceBuffer). Completed span durations are also
+// observed into stages (keyed by span name) when it is non-nil — the hook
+// that feeds semblock_pipeline_stage_duration_seconds.
+func NewTracer(buffer int, stages *DurationVec) *Tracer {
+	if buffer <= 0 {
+		buffer = DefaultTraceBuffer
+	}
+	return &Tracer{
+		stages: stages,
+		ring:   make([]TraceRecord, buffer),
+		// A process-seeded PCG is plenty for trace IDs: they need to be
+		// unique within the ring buffer's lifetime, not unguessable.
+		rnd: rand.New(rand.NewPCG(rand.Uint64(), uint64(time.Now().UnixNano()))),
+	}
+}
+
+// StartTrace opens a trace named after the operation (conventionally the
+// route pattern) and returns the derived context carrying it. On a nil
+// tracer it returns (ctx, nil) — the no-op path.
+func (tr *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if tr == nil {
+		return ctx, nil
+	}
+	var id [8]byte
+	tr.mu.Lock()
+	v := tr.rnd.Uint64()
+	tr.mu.Unlock()
+	for i := 0; i < 8; i++ {
+		id[i] = byte(v >> (8 * i))
+	}
+	t := &Trace{
+		id:    hex.EncodeToString(id[:]),
+		name:  name,
+		start: time.Now(),
+		spans: make([]Span, 0, 8),
+	}
+	return With(ctx, t), t
+}
+
+// Finish seals the trace and pushes it into the ring buffer, observing each
+// span into the tracer's per-stage histogram. Nil tracer or nil trace
+// no-ops.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	dur := time.Since(t.start)
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	truncated := t.truncated
+	t.mu.Unlock()
+	if tr.stages != nil {
+		for _, sp := range spans {
+			tr.stages.With(sp.Name).Observe(time.Duration(sp.DurNS))
+		}
+	}
+	rec := TraceRecord{
+		TraceID:    t.id,
+		Name:       t.name,
+		Start:      t.start,
+		DurationNS: dur.Nanoseconds(),
+		Truncated:  truncated,
+		Spans:      spans,
+	}
+	tr.mu.Lock()
+	tr.ring[tr.next] = rec
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Traces returns the completed traces, newest first (nil tracer: nil).
+func (tr *Tracer) Traces() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.next
+	if tr.full {
+		n = len(tr.ring)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the newest slot, wrapping once.
+		idx := tr.next - 1 - i
+		if idx < 0 {
+			idx += len(tr.ring)
+		}
+		out = append(out, tr.ring[idx])
+	}
+	return out
+}

@@ -43,6 +43,7 @@ import (
 	"semblock/internal/blocking"
 	"semblock/internal/er"
 	"semblock/internal/metablocking"
+	"semblock/internal/obs"
 	"semblock/internal/record"
 	"semblock/internal/stream"
 )
@@ -231,10 +232,19 @@ func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, 
 	res := &Result{}
 	res.Stats.Records = d.Len()
 
+	// The trace, when the context carries one, records one span per stage
+	// (obs.StageBlock/Graph/Sign/Rank/Match). With no trace every Start/End
+	// is a nil no-op — the hot path stays allocation-identical to the
+	// uninstrumented pipeline.
+	tr := obs.From(ctx)
+
+	sp := tr.Start(obs.StageBlock)
 	blocks, err := p.blocker.Block(d)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	res.Stats.BlockTime = time.Since(start)
 	res.Blocks = blocks
 	res.Stats.Blocks = blocks.NumBlocks()
@@ -245,7 +255,9 @@ func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, 
 	var g *metablocking.Graph
 	if p.prune != nil {
 		t1 := time.Now()
+		sp = tr.Start(obs.StageGraph)
 		res.Pruned, g = p.applyPruning(blocks)
+		sp.End()
 		res.Stats.PruneTime = time.Since(t1)
 		res.Final = res.Pruned
 		res.Stats.PrunedComparisons = res.Pruned.Comparisons()
@@ -260,6 +272,7 @@ func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, 
 			// drain actually touches — a truncating budget then pays a
 			// proportional share of the featurization cost, not all of it.
 			prepare = func(drain []record.Pair) {
+				sp := tr.Start(obs.StageSign)
 				need := make([]bool, d.Len())
 				for _, pr := range drain {
 					need[pr.Left()] = true
@@ -270,11 +283,14 @@ func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, 
 						kern.Featurize(d.Record(record.ID(id)))
 					}
 				}
+				sp.End()
 			}
 		} else {
+			sp = tr.Start(obs.StageSign)
 			for _, r := range d.Records() {
 				kern.Featurize(r)
 			}
+			sp.End()
 		}
 		p.matchFinal(ctx, start, res, g, kern.Score, prepare, nil, d.Len())
 		res.Stats.MatchTime = time.Since(t2)
@@ -290,6 +306,7 @@ func (p *Pipeline) RunContext(ctx context.Context, d *record.Dataset) (*Result, 
 // when non-nil, is read-held around each batch (streaming mode, where the
 // kernel still grows concurrently).
 func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result, g *metablocking.Graph, score func(a, b record.ID) float64, prepare func([]record.Pair), lock *sync.RWMutex, n int) {
+	tr := obs.From(ctx)
 	pairs := res.Final.CandidatePairs().Slice()
 	drain := pairs
 	capped := false
@@ -297,18 +314,22 @@ func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result,
 		if g == nil {
 			// No pruning stage: weight the raw block collection under CBS,
 			// the cheapest scheme, purely to order the drain.
+			sp := tr.Start(obs.StageGraph)
 			g = metablocking.BuildGraph(res.Blocks, metablocking.CBS)
+			sp.End()
 		}
 		k := 0
 		if p.budget.maxComparisons > 0 && p.budget.maxComparisons < int64(len(pairs)) {
 			k = int(p.budget.maxComparisons)
 			capped = true
 		}
+		sp := tr.Start(obs.StageRank)
 		ranked := g.RankPairs(pairs, k)
 		drain = make([]record.Pair, len(ranked))
 		for i, wp := range ranked {
 			drain[i] = wp.Pair
 		}
+		sp.End()
 	}
 	if prepare != nil {
 		prepare(drain)
@@ -318,6 +339,7 @@ func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result,
 		deadline = start.Add(p.budget.maxDuration)
 	}
 
+	spMatch := tr.Start(obs.StageMatch)
 	sc := p.newScorer(score, lock)
 	var used int64
 	cut := false
@@ -334,6 +356,7 @@ func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result,
 		used += int64(hi - lo)
 	}
 	matches := sc.wait()
+	spMatch.EndTruncated(cut || capped)
 	res.Stats.ComparisonsUsed = used
 	res.Stats.Truncated = cut || capped
 	p.finishMatches(res, matches, used, n)
@@ -443,7 +466,9 @@ func (p *Pipeline) RunStreamContext(ctx context.Context, ix *stream.Indexer, row
 	var g *metablocking.Graph
 	if p.prune != nil {
 		t1 := time.Now()
+		sp := obs.From(ctx).Start(obs.StageGraph)
 		res.Pruned, g = p.applyPruning(blocks)
+		sp.End()
 		res.Stats.PruneTime = time.Since(t1)
 		res.Final = res.Pruned
 		res.Stats.PrunedComparisons = res.Pruned.Comparisons()

@@ -14,6 +14,7 @@ import (
 	"semblock/internal/er"
 	"semblock/internal/lsh"
 	"semblock/internal/metablocking"
+	"semblock/internal/obs"
 	"semblock/internal/pipeline"
 	"semblock/internal/record"
 	"semblock/internal/stream"
@@ -71,6 +72,11 @@ type Collection struct {
 	segments   []segmentInfo
 	persisted  int // records covered by on-disk segments
 	generation int // compaction generation of the on-disk chain (0 = never compacted)
+
+	// Per-collection latency distributions, surfaced as quantiles in
+	// Stats. Histograms are internally atomic; observing takes no lock.
+	ingestHist  *obs.Histogram
+	resolveHist *obs.Histogram
 }
 
 // newCollection builds an empty collection from a validated spec.
@@ -100,10 +106,12 @@ func newCollection(spec CollectionSpec) (*Collection, error) {
 		return nil, fmt.Errorf("server: shared log of %s: %w", spec.Name, err)
 	}
 	c := &Collection{
-		spec:      spec,
-		cfg:       cfg,
-		technique: technique,
-		log:       log,
+		spec:        spec,
+		cfg:         cfg,
+		technique:   technique,
+		log:         log,
+		ingestHist:  obs.NewHistogram(),
+		resolveHist: obs.NewHistogram(),
 	}
 	shardWorkers := spec.Workers
 	if shardWorkers <= 0 {
@@ -160,6 +168,8 @@ func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	defer func() { c.ingestHist.Observe(time.Since(start)) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	batch := c.log.Append(rows)
@@ -523,10 +533,19 @@ func (c *Collection) ResolveContext(ctx context.Context, req ResolveRequest) (*p
 		opts = append(opts, pipeline.WithBudget(req.Budget, time.Duration(req.DeadlineMS)*time.Millisecond))
 	}
 
+	start := time.Now()
+	defer func() { c.resolveHist.Observe(time.Since(start)) }()
+
+	// The snapshot materialisation is this run's real blocking stage (the
+	// pipeline's staticBlocker.Block call is a pointer return), so span it
+	// as "block": traces of a /resolve then show where the wall time went
+	// even though no hash tables are built here.
+	sp := obs.From(ctx).Start(obs.StageBlock)
 	c.mu.Lock()
 	ds := c.datasetCopyLocked()
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	sp.End()
 
 	p, err := pipeline.New(staticBlocker{res: snap}, opts...)
 	if err != nil {
@@ -593,6 +612,32 @@ type Stats struct {
 	Segments     int   `json:"segments"`
 	SegmentBytes int64 `json:"segment_bytes"`
 	Generation   int   `json:"generation"`
+
+	// Latency quantiles of this collection's ingest batches and resolve
+	// runs, estimated from fixed-bucket histograms (same buckets as the
+	// /metrics exposition).
+	IngestLatency  LatencyStats `json:"ingest_latency"`
+	ResolveLatency LatencyStats `json:"resolve_latency"`
+}
+
+// LatencyStats summarises one operation's latency distribution.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// latencyStats renders a histogram's quantiles (zero value on nil or empty).
+func latencyStats(h *obs.Histogram) LatencyStats {
+	n := h.Count()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	ms := func(q float64) float64 {
+		return float64(h.Quantile(q)) / float64(time.Millisecond)
+	}
+	return LatencyStats{Count: n, P50MS: ms(0.50), P95MS: ms(0.95), P99MS: ms(0.99)}
 }
 
 // Stats returns a consistent summary of the collection.
@@ -615,5 +660,7 @@ func (c *Collection) Stats() Stats {
 		Segments:         len(c.segments),
 		SegmentBytes:     bytes,
 		Generation:       c.generation,
+		IngestLatency:    latencyStats(c.ingestHist),
+		ResolveLatency:   latencyStats(c.resolveHist),
 	}
 }

@@ -3,7 +3,6 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -184,12 +183,12 @@ func TestCompactCrashAtEveryStep(t *testing.T) {
 			warnf = func(format string, args ...any) {
 				warnings = append(warnings, fmt.Sprintf(format, args...))
 			}
-			defer func() { warnf = log.Printf }()
+			defer func() { warnf = slogWarnf }()
 			crashed, err := LoadCollection(dir)
 			if err != nil {
 				t.Fatalf("crashed dir not loadable: %v", err)
 			}
-			warnf = log.Printf
+			warnf = slogWarnf
 			fromChain, err := LoadCollection(control)
 			if err != nil {
 				t.Fatal(err)
@@ -608,12 +607,12 @@ func TestLoadCollectionLogsOrphans(t *testing.T) {
 	warnf = func(format string, args ...any) {
 		warnings = append(warnings, fmt.Sprintf(format, args...))
 	}
-	defer func() { warnf = log.Printf }()
+	defer func() { warnf = slogWarnf }()
 	restored, err := LoadCollection(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warnf = log.Printf
+	warnf = slogWarnf
 	if restored.Len() != len(rows) {
 		t.Fatalf("restored %d records, want %d", restored.Len(), len(rows))
 	}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"semblock/internal/obs"
 	"semblock/internal/record"
 	"semblock/internal/stream"
 )
@@ -31,27 +33,125 @@ import (
 //	POST   /v1/collections/{name}/resolve      pruning+matching pipeline run
 //	POST   /v1/collections/{name}/checkpoint   force a persistence checkpoint
 //	POST   /v1/collections/{name}/compact      compact the segment chain
+//	GET    /debug/traces                       recent request traces (JSON)
 //
 // A row is {"entity":ID,"attrs":{...}} — the same wire format as
 // record.ReadJSONL/WriteJSONL, so a dataset file can be POSTed verbatim.
+//
+// Every route runs through the instrumentation middleware: the request gets
+// a trace (ID echoed in the X-Semblock-Trace header and, for /resolve and
+// /candidates, a trace_id response field), its latency is observed into
+// semblock_http_request_duration_seconds{route,code}, error statuses feed
+// the 4xx/5xx counters, and — when the server has a logger — a structured
+// request line is emitted (WARN with a span breakdown past the slow-request
+// threshold).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/collections", s.handleCreate)
-	mux.HandleFunc("GET /v1/collections", s.handleList)
-	mux.HandleFunc("GET /v1/collections/{name}", s.withCollection(s.handleStats))
-	mux.HandleFunc("DELETE /v1/collections/{name}", s.handleDelete)
-	mux.HandleFunc("POST /v1/collections/{name}/records", s.withCollection(s.handleIngest))
-	mux.HandleFunc("GET /v1/collections/{name}/candidates", s.withCollection(s.handleCandidates))
-	mux.HandleFunc("GET /v1/collections/{name}/snapshot", s.withCollection(s.handleSnapshot))
-	mux.HandleFunc("POST /v1/collections/{name}/resolve", s.withCollection(s.handleResolve))
-	mux.HandleFunc("POST /v1/collections/{name}/checkpoint", s.withCollection(s.handleCheckpoint))
-	mux.HandleFunc("POST /v1/collections/{name}/compact", s.withCollection(s.handleCompact))
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /debug/traces", s.handleTraces)
+	handle("POST /v1/collections", s.handleCreate)
+	handle("GET /v1/collections", s.handleList)
+	handle("GET /v1/collections/{name}", s.withCollection(s.handleStats))
+	handle("DELETE /v1/collections/{name}", s.handleDelete)
+	handle("POST /v1/collections/{name}/records", s.withCollection(s.handleIngest))
+	handle("GET /v1/collections/{name}/candidates", s.withCollection(s.handleCandidates))
+	handle("GET /v1/collections/{name}/snapshot", s.withCollection(s.handleSnapshot))
+	handle("POST /v1/collections/{name}/resolve", s.withCollection(s.handleResolve))
+	handle("POST /v1/collections/{name}/checkpoint", s.withCollection(s.handleCheckpoint))
+	handle("POST /v1/collections/{name}/compact", s.withCollection(s.handleCompact))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// statusRecorder captures the response status for the instrumentation
+// middleware (200 when the handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with tracing, latency observation,
+// status-class error counting and structured request logging. route is the
+// registered mux pattern — the {route} label of
+// semblock_http_request_duration_seconds, bounded by the route table (never
+// the raw URL, which would explode the label cardinality).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, tr := s.tracer.StartTrace(r.Context(), route)
+		if tr != nil {
+			w.Header().Set("X-Semblock-Trace", tr.ID())
+			r = r.WithContext(ctx)
+		}
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(&rec, r)
+		dur := time.Since(start)
+		s.tracer.Finish(tr)
+		s.metrics.httpDur.With(route, strconv.Itoa(rec.status)).Observe(dur)
+		switch {
+		case rec.status >= 500:
+			s.metrics.errors5xx.Add(1)
+		case rec.status >= 400:
+			s.metrics.errors4xx.Add(1)
+		}
+		if s.logger == nil {
+			return
+		}
+		attrs := make([]any, 0, 12)
+		attrs = append(attrs,
+			"route", route,
+			"code", rec.status,
+			"duration_ms", float64(dur)/float64(time.Millisecond))
+		if name := r.PathValue("name"); name != "" {
+			attrs = append(attrs, "collection", name)
+		}
+		if id := tr.ID(); id != "" {
+			attrs = append(attrs, "trace_id", id)
+		}
+		if s.slowReq > 0 && dur >= s.slowReq {
+			attrs = append(attrs, "spans", spanBreakdown(tr))
+			s.logger.Warn("slow request", attrs...)
+			return
+		}
+		s.logger.Info("request", attrs...)
+	}
+}
+
+// spanBreakdown renders a trace's spans as "stage=duration" pairs for the
+// slow-request log line ("" without a trace or spans).
+func spanBreakdown(tr *obs.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Name, time.Duration(sp.DurNS))
+		if sp.Truncated {
+			b.WriteString("(truncated)")
+		}
+	}
+	return b.String()
+}
+
+// handleTraces serves the tracer's ring buffer of recently completed
+// request traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.tracer.Traces()
+	if traces == nil {
+		traces = []obs.TraceRecord{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": traces, "count": len(traces)})
 }
 
 // toRow normalises one wire record into an ingest row. The HTTP row shape
@@ -168,18 +268,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 			rows = []stream.Row{toRow(row)}
 		}
 	}
+	ingestStart := time.Now()
 	ids, err := c.Ingest(rows)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.metrics.ingestDur.Observe(time.Since(ingestStart))
 	s.metrics.ingestBatches.Add(1)
 	s.metrics.ingestedRecords.Add(int64(len(ids)))
 	s.writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "count": len(ids)})
 }
 
-func (s *Server) handleCandidates(w http.ResponseWriter, _ *http.Request, c *Collection) {
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request, c *Collection) {
 	s.metrics.candidateQueries.Add(1)
+	traceID := obs.From(r.Context()).ID()
+	drainStart := time.Now()
 	// A drain is destructive, so it runs through DrainCandidates: if the
 	// response write dies mid-stream the pairs are requeued for the next
 	// drain, and while the write is in flight they are excluded from the
@@ -198,9 +302,13 @@ func (s *Server) handleCandidates(w http.ResponseWriter, _ *http.Request, c *Col
 			out[i] = [2]record.ID{p.Left(), p.Right()}
 		}
 		delivered = len(pairs)
-		return s.writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"pairs": out, "count": len(out), "emitted_total": c.PairCount(),
-		})
+		}
+		if traceID != "" {
+			resp["trace_id"] = traceID
+		}
+		return s.writeJSON(w, http.StatusOK, resp)
 	})
 	if errors.Is(err, ErrDrainBusy) {
 		// Another drain's response write is still in flight; its pairs are
@@ -214,11 +322,16 @@ func (s *Server) handleCandidates(w http.ResponseWriter, _ *http.Request, c *Col
 	}
 	if delivered == 0 {
 		// Empty queue: DrainCandidates skips the callback; still answer.
-		s.writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"pairs": [][2]record.ID{}, "count": 0, "emitted_total": c.PairCount(),
-		})
+		}
+		if traceID != "" {
+			resp["trace_id"] = traceID
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	s.metrics.drainDur.Observe(time.Since(drainStart))
 	s.metrics.drainedPairs.Add(int64(delivered))
 }
 
@@ -275,6 +388,9 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collec
 	}
 	if res.Resolution != nil {
 		out["num_clusters"] = res.Resolution.NumClusters
+	}
+	if id := obs.From(ctx).ID(); id != "" {
+		out["trace_id"] = id
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

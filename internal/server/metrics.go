@@ -5,14 +5,18 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+
+	"semblock/internal/obs"
 )
 
-// metrics holds the server's monotonic counters, exposed in Prometheus text
-// format by GET /metrics. Hand-rolled atomics keep the repository
-// dependency-free.
+// metrics holds the server's monotonic counters and latency histograms,
+// exposed in Prometheus text format by GET /metrics. Hand-rolled atomics
+// plus the obs package keep the repository dependency-free.
 type metrics struct {
 	requests         atomic.Int64 // every HTTP request routed
 	errors           atomic.Int64 // requests answered with a 4xx/5xx
+	errors4xx        atomic.Int64 // requests answered with a client error
+	errors5xx        atomic.Int64 // requests answered with a server error
 	ingestedRecords  atomic.Int64 // records accepted across all collections
 	ingestBatches    atomic.Int64 // ingest requests accepted
 	drainedPairs     atomic.Int64 // candidate pairs handed out by /candidates
@@ -24,17 +28,44 @@ type metrics struct {
 	compactedBytes   atomic.Int64 // segment bytes written by compactions
 
 	lastCompactionNanos atomic.Int64 // duration of the most recent compaction
+
+	// Latency histograms (see metrics.init). httpDur and stageDur are
+	// labelled families; the rest are single series.
+	httpDur    *obs.DurationVec // semblock_http_request_duration_seconds{route,code}
+	stageDur   *obs.DurationVec // semblock_pipeline_stage_duration_seconds{stage}
+	ingestDur  *obs.Histogram   // semblock_ingest_batch_duration_seconds
+	drainDur   *obs.Histogram   // semblock_drain_duration_seconds
+	stagingDur *obs.Histogram   // semblock_signature_staging_duration_seconds
 }
 
-// writeMetrics renders the Prometheus text exposition: server-wide counters
-// plus per-collection gauges.
+// init allocates the histogram families. Called once by New, before the
+// server serves anything.
+func (m *metrics) init() {
+	m.httpDur = obs.NewDurationVec("semblock_http_request_duration_seconds",
+		"HTTP request latency by route pattern and status code.", "route", "code")
+	m.stageDur = obs.NewDurationVec("semblock_pipeline_stage_duration_seconds",
+		"Pipeline stage latency by stage (sign, block, graph, rank, match).", "stage")
+	m.ingestDur = obs.NewHistogram()
+	m.drainDur = obs.NewHistogram()
+	m.stagingDur = obs.NewHistogram()
+}
+
+// writeMetrics renders the Prometheus text exposition: server-wide counters,
+// latency histograms, per-collection gauges, and process runtime gauges.
+// Every family carries its # HELP and # TYPE header exactly once.
 func (s *Server) writeMetrics(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	m := &s.metrics
 	counter("semblock_http_requests_total", "HTTP requests routed.", m.requests.Load())
-	counter("semblock_http_errors_total", "HTTP requests answered with an error status.", m.errors.Load())
+	// The error total keeps its historical unlabelled series (every JSON
+	// error response) and adds the status-class split observed by the
+	// instrumentation middleware.
+	fmt.Fprintf(w, "# HELP semblock_http_errors_total HTTP requests answered with an error status.\n# TYPE semblock_http_errors_total counter\n")
+	fmt.Fprintf(w, "semblock_http_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "semblock_http_errors_total{code_class=\"4xx\"} %d\n", m.errors4xx.Load())
+	fmt.Fprintf(w, "semblock_http_errors_total{code_class=\"5xx\"} %d\n", m.errors5xx.Load())
 	counter("semblock_ingested_records_total", "Records accepted across all collections.", m.ingestedRecords.Load())
 	counter("semblock_ingest_batches_total", "Ingest requests accepted.", m.ingestBatches.Load())
 	counter("semblock_drained_pairs_total", "Candidate pairs handed out by the incremental drain.", m.drainedPairs.Load())
@@ -46,6 +77,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("semblock_compacted_bytes_total", "Segment bytes written by compactions.", m.compactedBytes.Load())
 	fmt.Fprintf(w, "# HELP semblock_last_compaction_seconds Duration of the most recent compaction.\n# TYPE semblock_last_compaction_seconds gauge\nsemblock_last_compaction_seconds %g\n",
 		float64(m.lastCompactionNanos.Load())/1e9)
+
+	m.httpDur.WriteProm(w)
+	m.stageDur.WriteProm(w)
+	if m.ingestDur != nil {
+		m.ingestDur.WriteProm(w, "semblock_ingest_batch_duration_seconds", "Ingest request batch latency (parse + index + merge).")
+	}
+	if m.drainDur != nil {
+		m.drainDur.WriteProm(w, "semblock_drain_duration_seconds", "Candidate drain latency (pop + response write).")
+	}
+	if m.stagingDur != nil {
+		m.stagingDur.WriteProm(w, "semblock_signature_staging_duration_seconds", "Once-per-record signature staging latency per ingest batch.")
+	}
 
 	// Snapshot the registry under s.mu, then gather per-collection stats
 	// without it: Stats() takes each collection's mutex, which a bulk
@@ -84,4 +127,6 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, st := range stats {
 		fmt.Fprintf(w, "semblock_collection_generation{collection=%q} %d\n", st.Name, st.Generation)
 	}
+
+	obs.WriteRuntimeMetrics(w)
 }

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -56,9 +56,16 @@ const (
 // manifestFile is the manifest's file name inside a collection directory.
 const manifestFile = "manifest.json"
 
+// slogWarnf routes a printf-style diagnostic through the process's
+// structured logger (slog.Default — the serve subcommand installs the
+// configured handler there).
+func slogWarnf(format string, args ...any) {
+	slog.Warn(fmt.Sprintf(format, args...))
+}
+
 // warnf reports non-fatal restore diagnostics. Package-level so tests can
 // capture it.
-var warnf = log.Printf
+var warnf = slogWarnf
 
 // manifest is the versioned on-disk description of a collection.
 type manifest struct {

@@ -3,7 +3,6 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -299,7 +298,7 @@ func TestManifestV1Compat(t *testing.T) {
 	warnf = func(format string, args ...any) {
 		warnings = append(warnings, fmt.Sprintf(format, args...))
 	}
-	defer func() { warnf = log.Printf }()
+	defer func() { warnf = slogWarnf }()
 
 	restored, err := LoadCollection(dir)
 	if err != nil {

@@ -32,11 +32,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"semblock/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps to status codes with errors.Is —
@@ -68,6 +71,31 @@ func WithDefaultShards(n int) Option {
 			s.defaultShards = n
 		}
 	}
+}
+
+// WithLogger installs a structured request logger: every routed request is
+// logged at INFO (WARN when it crosses the slow-request threshold) with
+// route, status, duration, collection and trace ID. Nil — the default —
+// disables request logging entirely.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithTraceBuffer sets how many completed request traces GET /debug/traces
+// retains (default obs.DefaultTraceBuffer).
+func WithTraceBuffer(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.traceBuffer = n
+		}
+	}
+}
+
+// WithSlowRequestThreshold promotes requests slower than d to WARN-level
+// log lines carrying a per-stage span breakdown (0 — the default — never
+// promotes). Only meaningful together with WithLogger.
+func WithSlowRequestThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slowReq = d }
 }
 
 // WithCompaction enables automatic background segment compaction: on each
@@ -102,6 +130,15 @@ type Server struct {
 	defaultShards int
 	compaction    CompactionPolicy
 	metrics       metrics
+
+	// Observability (see internal/obs): the tracer mints one trace per
+	// routed request and retains the most recent completed ones for
+	// GET /debug/traces; completed span durations feed the per-stage
+	// latency histogram. logger/slowReq drive structured request logging.
+	tracer      *obs.Tracer
+	traceBuffer int
+	logger      *slog.Logger
+	slowReq     time.Duration
 }
 
 // New builds a server. With WithDataDir, collections previously saved under
@@ -114,9 +151,11 @@ func New(opts ...Option) (*Server, error) {
 		persistLocks:  make(map[string]*persistLock),
 		defaultShards: 1,
 	}
+	s.metrics.init()
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.tracer = obs.NewTracer(s.traceBuffer, s.metrics.stageDur)
 	if s.dataDir == "" {
 		return s, nil
 	}
@@ -142,6 +181,7 @@ func New(opts ...Option) (*Server, error) {
 		if c.Name() != e.Name() {
 			return nil, fmt.Errorf("server: directory %s holds collection %q", e.Name(), c.Name())
 		}
+		c.log.SetStageHistogram(s.metrics.stagingDur)
 		s.collections[c.Name()] = c
 	}
 	return s, nil
@@ -166,6 +206,7 @@ func (s *Server) Create(spec CollectionSpec) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.log.SetStageHistogram(s.metrics.stagingDur)
 	s.mu.Lock()
 	if _, exists := s.collections[c.Name()]; exists {
 		s.mu.Unlock()

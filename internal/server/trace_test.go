@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"semblock/internal/obs"
+	"semblock/internal/record"
+)
+
+// tracesPage is the GET /debug/traces response shape — decoding it straight
+// into obs.TraceRecord is the JSON round-trip the satellite demands.
+type tracesPage struct {
+	Count  int               `json:"count"`
+	Traces []obs.TraceRecord `json:"traces"`
+}
+
+// TestResolveTracePropagation drives a budgeted, deadlined /resolve and
+// follows its trace end to end: the trace id must appear in the response
+// body and the X-Semblock-Trace header, and the /debug/traces entry must
+// carry every pipeline stage as a span whose durations sum to no more than
+// the request wall time. The budget is far below the candidate count, so
+// the match stage — and therefore the whole trace — must be truncated.
+func TestResolveTracePropagation(t *testing.T) {
+	_, rows := coraFixture(t, 120)
+	s, err := New(WithDefaultShards(2), WithTraceBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code := postJSON(t, ts, "POST", ts.URL+"/v1/collections", baseSpec("traced", 2)); code != 201 {
+		t.Fatalf("create status %d", code)
+	}
+	base := ts.URL + "/v1/collections/traced"
+	wire := make([]record.JSONLRecord, 0, len(rows))
+	for _, row := range rows {
+		e := row.Entity
+		wire = append(wire, record.JSONLRecord{Entity: &e, Attrs: row.Attrs})
+	}
+	if code := postJSON(t, ts, "POST", base+"/records", wire); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+
+	resolveReq := map[string]any{
+		"match":       []map[string]any{{"attr": "title"}, {"attr": "authors"}},
+		"threshold":   0.5,
+		"pruning":     map[string]any{"scheme": "CBS", "algo": "WEP"},
+		"budget":      10, // far below the candidate count → truncation
+		"deadline_ms": 30_000,
+	}
+	raw, err := json.Marshal(resolveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(base+"/resolve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceID         string `json:"trace_id"`
+		BudgetTruncated bool   `json:"budget_truncated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve status %d", resp.StatusCode)
+	}
+	if out.TraceID == "" {
+		t.Fatal("resolve response has no trace_id")
+	}
+	if hdr := resp.Header.Get("X-Semblock-Trace"); hdr != out.TraceID {
+		t.Fatalf("X-Semblock-Trace %q != body trace_id %q", hdr, out.TraceID)
+	}
+	if !out.BudgetTruncated {
+		t.Fatal("budget 10 did not truncate the resolve")
+	}
+
+	var page tracesPage
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/debug/traces", nil, "", &page); code != 200 {
+		t.Fatalf("debug/traces status %d", code)
+	}
+	if page.Count != len(page.Traces) || page.Count == 0 {
+		t.Fatalf("count %d != len(traces) %d (or empty)", page.Count, len(page.Traces))
+	}
+	var rec *obs.TraceRecord
+	for i := range page.Traces {
+		if page.Traces[i].TraceID == out.TraceID {
+			rec = &page.Traces[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("trace %s not in /debug/traces", out.TraceID)
+	}
+	if rec.Name != "POST /v1/collections/{name}/resolve" {
+		t.Fatalf("trace name %q", rec.Name)
+	}
+	if !rec.Truncated {
+		t.Fatal("truncated resolve's trace not marked truncated")
+	}
+
+	// Every pipeline stage must have recorded a span; the stages run
+	// sequentially, so their durations sum to at most the request wall time.
+	seen := map[string]bool{}
+	var sum int64
+	for _, sp := range rec.Spans {
+		if sp.StartNS < 0 || sp.DurNS < 0 {
+			t.Fatalf("span %s has negative timing: %+v", sp.Name, sp)
+		}
+		if sp.StartNS+sp.DurNS > rec.DurationNS {
+			t.Fatalf("span %s ends after the trace: %+v (trace %d ns)", sp.Name, sp, rec.DurationNS)
+		}
+		seen[sp.Name] = true
+		sum += sp.DurNS
+		if sp.Name == obs.StageMatch && !sp.Truncated {
+			t.Fatal("match span of a budget-truncated resolve not marked truncated")
+		}
+	}
+	for _, stage := range []string{
+		obs.StageSign, obs.StageBlock, obs.StageGraph, obs.StageRank, obs.StageMatch,
+	} {
+		if !seen[stage] {
+			t.Errorf("trace missing a %q span (got %v)", stage, seen)
+		}
+	}
+	if sum > rec.DurationNS {
+		t.Fatalf("span durations sum to %d ns > trace wall %d ns", sum, rec.DurationNS)
+	}
+}
+
+// TestUntruncatedResolveTrace is the complement: an unbudgeted resolve's
+// trace must NOT be marked truncated, and its eager sign stage still spans.
+func TestUntruncatedResolveTrace(t *testing.T) {
+	_, rows := coraFixture(t, 60)
+	s, err := New(WithDefaultShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code := postJSON(t, ts, "POST", ts.URL+"/v1/collections", baseSpec("plain", 2)); code != 201 {
+		t.Fatalf("create status %d", code)
+	}
+	base := ts.URL + "/v1/collections/plain"
+	wire := make([]record.JSONLRecord, 0, len(rows))
+	for _, row := range rows {
+		e := row.Entity
+		wire = append(wire, record.JSONLRecord{Entity: &e, Attrs: row.Attrs})
+	}
+	if code := postJSON(t, ts, "POST", base+"/records", wire); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+	var out struct {
+		TraceID         string `json:"trace_id"`
+		BudgetTruncated bool   `json:"budget_truncated"`
+	}
+	resolveReq := map[string]any{
+		"match":     []map[string]any{{"attr": "title"}, {"attr": "authors"}},
+		"threshold": 0.5,
+		"pruning":   map[string]any{"scheme": "CBS", "algo": "WEP"},
+	}
+	raw, err := json.Marshal(resolveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := doJSON(t, ts.Client(), "POST", base+"/resolve", bytes.NewReader(raw), "application/json", &out); code != 200 {
+		t.Fatalf("resolve status %d", code)
+	}
+	if out.BudgetTruncated {
+		t.Fatal("unbudgeted resolve reported truncation")
+	}
+	var page tracesPage
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/debug/traces", nil, "", &page); code != 200 {
+		t.Fatalf("debug/traces status %d", code)
+	}
+	for _, rec := range page.Traces {
+		if rec.TraceID != out.TraceID {
+			continue
+		}
+		if rec.Truncated {
+			t.Fatal("unbudgeted resolve's trace marked truncated")
+		}
+		seen := map[string]bool{}
+		for _, sp := range rec.Spans {
+			seen[sp.Name] = true
+			if sp.Truncated {
+				t.Fatalf("span %s marked truncated on an unbudgeted run", sp.Name)
+			}
+		}
+		for _, stage := range []string{obs.StageSign, obs.StageBlock, obs.StageGraph, obs.StageMatch} {
+			if !seen[stage] {
+				t.Errorf("trace missing a %q span (got %v)", stage, seen)
+			}
+		}
+		return
+	}
+	t.Fatalf("trace %s not in /debug/traces", out.TraceID)
+}

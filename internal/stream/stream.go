@@ -35,10 +35,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"semblock/internal/blocking"
 	"semblock/internal/engine"
 	"semblock/internal/lsh"
+	"semblock/internal/obs"
 	"semblock/internal/record"
 	"semblock/internal/semantic"
 )
@@ -74,9 +76,19 @@ type SharedLog struct {
 	signer  *lsh.Signer
 	workers int
 
+	// stageHist, when set, observes the wall time of each Append's staging
+	// pass (the once-per-record q-gram + semhash work). Nil — the default —
+	// keeps Append free of any instrumentation cost beyond one pointer test.
+	stageHist *obs.Histogram
+
 	mu      sync.Mutex
 	dataset *record.Dataset
 }
+
+// SetStageHistogram installs the latency histogram the staging pass of
+// every subsequent Append observes into (nil disables). Call before the
+// log is shared across goroutines; the field is not synchronised.
+func (l *SharedLog) SetStageHistogram(h *obs.Histogram) { l.stageHist = h }
 
 // NewSharedLog builds an empty shared record log for the given (SA-)LSH
 // configuration. Indexers attach with WithSharedLog; their configuration
@@ -118,6 +130,10 @@ func (l *SharedLog) Append(rows []Row) StagedBatch {
 	for i, r := range recs {
 		ids[i] = r.ID
 	}
+	var stageStart time.Time
+	if l.stageHist != nil {
+		stageStart = time.Now()
+	}
 	stages := make([]lsh.Stage, len(recs))
 	parallelChunks(len(recs), l.workers, func(lo, hi int) {
 		var arena []uint64
@@ -125,6 +141,9 @@ func (l *SharedLog) Append(rows []Row) StagedBatch {
 			stages[i], arena = l.signer.StageAppend(recs[i], arena)
 		}
 	})
+	if l.stageHist != nil {
+		l.stageHist.Observe(time.Since(stageStart))
+	}
 	return StagedBatch{IDs: ids, stages: stages}
 }
 

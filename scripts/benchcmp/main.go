@@ -14,12 +14,14 @@
 //     per benchmark): a coarse wall-time gate that catches catastrophic
 //     slowdowns while tolerating runner noise. Per-benchmark overrides let
 //     noisy benchmarks carry a wider band without loosening the rest.
-//   - intra-run ratio gates (-min-speedup, -alloc-flat): compare two
-//     benchmarks *within the current file*, so they are hardware-independent
-//     — the committed baseline's machine does not matter. -min-speedup
-//     enforces the parallel/serial speedup floor (only when the run had
-//     GOMAXPROCS >= 4; a 1-core runner cannot exhibit parallel speedup) and
-//     -alloc-flat enforces that sharding stays allocation-flat.
+//   - intra-run ratio gates (-min-speedup, -alloc-flat, -ns-overhead):
+//     compare two benchmarks *within the current file*, so they are
+//     hardware-independent — the committed baseline's machine does not
+//     matter. -min-speedup enforces the parallel/serial speedup floor (only
+//     when the run had GOMAXPROCS >= 4; a 1-core runner cannot exhibit
+//     parallel speedup), -alloc-flat enforces that sharding stays
+//     allocation-flat, and -ns-overhead bounds the wall-time cost of an
+//     optional feature (tracing on vs off) as a same-machine ratio.
 //
 // Usage:
 //
@@ -30,6 +32,8 @@
 //	    [-speedup-parallel BenchmarkPipelineBlock/parallel] \
 //	    [-alloc-flat 'BenchmarkCollectionIngest/shards=8:BenchmarkCollectionIngest/shards=1'] \
 //	    [-flat-tolerance 10] \
+//	    [-ns-overhead 'BenchmarkPipelineEndToEndTraced:BenchmarkPipelineEndToEnd'] \
+//	    [-overhead-tolerance 10] \
 //	    baseline.json current.json
 //
 // Exit status 1 when any gate fails. Benchmarks missing from either side
@@ -112,6 +116,9 @@ func main() {
 	flatTolerance := flag.Float64("flat-tolerance", 10, "allowed allocs/op excess of an -alloc-flat target over its base, in percent")
 	allocCeiling := flag.String("alloc-ceiling", "BenchmarkPipelineEndToEnd=90000",
 		"absolute allocs/op ceilings 'name=max,...' checked against the current file — hardware-independent hard caps ('' disables)")
+	nsOverhead := flag.String("ns-overhead", "BenchmarkPipelineEndToEndTraced:BenchmarkPipelineEndToEnd",
+		"intra-run ns/op overhead pairs 'target:base,...': target ns/op must stay within -overhead-tolerance of base, in the current file ('' disables)")
+	overheadTolerance := flag.Float64("overhead-tolerance", 10, "allowed ns/op excess of an -ns-overhead target over its base, in percent")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] baseline.json current.json\n")
 		flag.PrintDefaults()
@@ -245,6 +252,36 @@ func main() {
 			if cb.AllocsPerOp > max {
 				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds the %.0f ceiling",
 					name, cb.AllocsPerOp, max))
+			}
+		}
+	}
+
+	// Gate 6: intra-run ns/op overhead between two benchmarks of the same
+	// workload (e.g. tracing on vs off). Both sides ran in the same process
+	// on the same machine, so the ratio is hardware-independent even though
+	// absolute ns/op is not — it bounds the cost of an optional feature.
+	if *nsOverhead != "" {
+		for _, part := range strings.Split(*nsOverhead, ",") {
+			target, baseName, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchcmp: bad -ns-overhead entry %q (want target:base)\n", part)
+				os.Exit(2)
+			}
+			tb, okT := cur[target]
+			bb, okB := cur[baseName]
+			if !okT || !okB {
+				fmt.Printf("ns-overhead gate: %s or %s not in current file, skipped\n", target, baseName)
+				continue
+			}
+			if bb.NsPerOp <= 0 {
+				continue
+			}
+			excess := (tb.NsPerOp - bb.NsPerOp) / bb.NsPerOp * 100
+			fmt.Printf("ns-overhead gate: %s ns/op is %+.1f%% vs %s (tolerance %.0f%%)\n",
+				target, excess, baseName, *overheadTolerance)
+			if excess > *overheadTolerance {
+				failures = append(failures, fmt.Sprintf("%s ns/op %+.1f%% over %s exceeds %.0f%%",
+					target, excess, baseName, *overheadTolerance))
 			}
 		}
 	}

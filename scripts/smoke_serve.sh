@@ -47,7 +47,38 @@ curl -fsS -X POST "$BASE/v1/collections/smoke/records" \
 curl -fsS "$BASE/v1/collections/smoke/candidates" | grep -q '"pairs"'
 curl -fsS "$BASE/v1/collections/smoke/snapshot" | grep -q '"technique":"lsh"'
 curl -fsS "$BASE/v1/collections/smoke" | grep -q '"records":3'
-curl -fsS "$BASE/metrics" | grep -q '^semblock_ingested_records_total 3'
+# The exposition is large now (histogram families); grab it once — piping
+# straight into `grep -q` makes curl fail with EPIPE under pipefail.
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^semblock_ingested_records_total 3'
+
+# Observability: every request carries a trace id (header + /debug/traces),
+# and the latency histograms exported on /metrics must have observed the
+# traffic above — non-zero _count series with HELP/TYPE metadata.
+TRACE_ID="$(curl -fsS -D - -o /dev/null "$BASE/v1/collections/smoke" | tr -d '\r' | awk 'tolower($1)=="x-semblock-trace:" {print $2}')"
+test -n "$TRACE_ID" || { echo "missing X-Semblock-Trace header"; exit 1; }
+curl -fsS "$BASE/debug/traces" | grep -q "\"$TRACE_ID\""
+METRICS="$(curl -fsS "$BASE/metrics")"
+for family in \
+    semblock_http_request_duration_seconds \
+    semblock_ingest_batch_duration_seconds \
+    semblock_drain_duration_seconds \
+    semblock_signature_staging_duration_seconds \
+    semblock_gc_pause_seconds; do
+    echo "$METRICS" | grep -q "^# TYPE $family histogram" \
+        || { echo "missing histogram family $family"; exit 1; }
+done
+# The traffic above must actually have been observed (gc_pause is exempt:
+# a short-lived server may legitimately not have GC'd yet).
+for family in \
+    semblock_http_request_duration_seconds \
+    semblock_ingest_batch_duration_seconds \
+    semblock_drain_duration_seconds \
+    semblock_signature_staging_duration_seconds; do
+    echo "$METRICS" | grep "^${family}_count" | grep -qv ' 0$' \
+        || { echo "histogram $family never observed"; exit 1; }
+done
+echo "$METRICS" | grep -q '^semblock_goroutines [1-9]' || { echo "missing goroutine gauge"; exit 1; }
 
 # Checkpoint, then compact the chain through the endpoint: the response
 # carries the compaction summary and the collection must land on
@@ -56,7 +87,7 @@ curl -fsS -X POST "$BASE/v1/collections/smoke/checkpoint" >/dev/null
 COMPACT="$(curl -fsS -X POST "$BASE/v1/collections/smoke/compact")"
 echo "$COMPACT" | grep -q '"generation":1'
 echo "$COMPACT" | grep -q '"segments_after":1'
-curl -fsS "$BASE/metrics" | grep -q '^semblock_compactions_total 1'
+curl -fsS "$BASE/metrics" | grep '^semblock_compactions_total 1' >/dev/null
 test -f "$DATA/smoke/segment-g001-000001.jsonl" || { echo "missing compacted segment"; ls -R "$DATA"; exit 1; }
 test ! -f "$DATA/smoke/segment-000001.jsonl" || { echo "old generation not swept"; ls -R "$DATA"; exit 1; }
 

@@ -427,6 +427,14 @@ var (
 	WithDataDir       = server.WithDataDir
 	WithDefaultShards = server.WithDefaultShards
 	WithCompaction    = server.WithCompaction
+	// WithServerLogger installs a structured (log/slog) request logger.
+	WithServerLogger = server.WithLogger
+	// WithSlowRequestThreshold promotes requests slower than the threshold
+	// to WARN log lines with a per-stage span breakdown.
+	WithSlowRequestThreshold = server.WithSlowRequestThreshold
+	// WithTraceBuffer sets how many completed request traces GET
+	// /debug/traces retains.
+	WithTraceBuffer = server.WithTraceBuffer
 )
 
 // Serving-layer sentinel errors (match with errors.Is).
