@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same targets.
 
-.PHONY: build test race vet lint bench benchcmp serve smoke
+.PHONY: build test race vet lint semlint bench benchcmp serve smoke
 
 build:
 	go build ./...
@@ -14,14 +14,23 @@ race:
 vet:
 	go vet ./...
 
-# Mirrors the CI lint job: formatting, vet, and (when installed on the
-# developer machine) staticcheck.
-lint:
-	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
-		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+# Mirrors the CI lint job: formatting (simplified), vet, the project
+# analyzer suite, and (when installed on the developer machine) staticcheck.
+lint: semlint
+	@unformatted="$$(gofmt -s -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt -s needed on:"; echo "$$unformatted"; exit 1; fi
 	go vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Builds the project multichecker from its nested module (tools/semlint, so
+# the root module keeps zero dependencies) and runs the whole suite —
+# hotpathalloc, nilreceiver, ctxflow, metriclint, lockdiscipline — over the
+# repository. Any diagnostic fails the build; suppress a justified one with
+# `//semblock:allow <analyzer> <reason>` (see docs/ARCHITECTURE.md).
+semlint:
+	go -C tools/semlint build -o ../../bin/semlint .
+	./bin/semlint ./...
 
 # Compares the current BENCH_pipeline.json against the committed baseline —
 # the same gates the CI bench job applies after every run: >25% allocs/op

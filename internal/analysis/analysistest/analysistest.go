@@ -1,0 +1,144 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations embedded in the fixture
+// source — the same contract as golang.org/x/tools' analysistest, scoped
+// down to what the semlint suite needs and built on the repository's own
+// zero-dependency analysis framework.
+//
+// Fixture layout: <testdata>/src/<pkgpath>/*.go. An expectation is an
+// end-of-line comment of one or more quoted regular expressions:
+//
+//	fmt.Sprintf("x") // want `fmt symbol .* used in hot path`
+//	bad()            // want "first diagnostic" "second diagnostic"
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must match a diagnostic; mismatches fail the test with the full list.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"semblock/internal/analysis"
+)
+
+// expectation is one `// want` pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages under testdata and applies the analyzer,
+// comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixtures(testdata, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			ws, err := collectWants(pkg, f)
+			if err != nil {
+				t.Fatalf("parsing want comments: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)",
+				d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches, and reports whether one was found.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the want expectations of one fixture file.
+func collectWants(pkg *analysis.Package, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+			for rest != "" {
+				var lit string
+				var err error
+				switch rest[0] {
+				case '"':
+					lit, rest, err = cutGoString(rest)
+				case '`':
+					end := strings.IndexByte(rest[1:], '`')
+					if end < 0 {
+						err = fmt.Errorf("unterminated raw string")
+					} else {
+						lit = rest[1 : 1+end]
+						rest = strings.TrimSpace(rest[end+2:])
+					}
+				default:
+					err = fmt.Errorf("want pattern must be a quoted string, got %q", rest)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutGoString unquotes the leading double-quoted Go string literal of s and
+// returns the remainder (trimmed).
+func cutGoString(s string) (lit, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			lit, err = strconv.Unquote(s[:i+1])
+			return lit, strings.TrimSpace(s[i+1:]), err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want comment")
+}

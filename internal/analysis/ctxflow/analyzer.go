@@ -1,0 +1,117 @@
+// Package ctxflow keeps the budget/deadline plumbing intact: the
+// progressive pipeline's bounded-latency guarantees (WithBudget, deadline_ms
+// on /resolve) only hold if every layer threads the request context through.
+// The analyzer enforces the two mechanical halves of that discipline:
+//
+//  1. any declared function taking a context.Context must take it as its
+//     first parameter (receivers aside), repo-wide — mispositioned contexts
+//     are how cancellation gets forgotten at call sites; and
+//  2. inside the serving packages (internal/pipeline, internal/server,
+//     internal/stream), context.Background()/context.TODO() are forbidden
+//     outside package main and tests: minting a fresh root context is
+//     exactly the "drop the caller's deadline" bug. Deliberate compat
+//     shims (e.g. Run delegating to RunContext) carry a
+//     `//semblock:allow ctxflow <reason>` suppression.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"semblock/internal/analysis"
+)
+
+// scopedPkgs are the package-path suffixes in which minting root contexts
+// is forbidden (half 2). The ctx-first rule (half 1) applies everywhere.
+var scopedPkgs = []string{
+	"internal/pipeline",
+	"internal/server",
+	"internal/stream",
+}
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context parameters must come first, and the serving packages " +
+		"(pipeline, server, stream) must not mint root contexts with " +
+		"context.Background/TODO outside main and tests — dropping the caller's " +
+		"context silently discards /resolve budgets and deadlines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	scoped := false
+	for _, s := range scopedPkgs {
+		if analysis.PathWithin(pass.PkgPath, s) {
+			scoped = true
+			break
+		}
+	}
+	isMain := pass.Pkg.Name() == "main"
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Name.Name, n.Type)
+			case *ast.CallExpr:
+				if scoped && !isMain {
+					checkRootContext(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst reports a context.Context parameter that is not the first.
+func checkCtxFirst(pass *analysis.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting each name in a shared field once
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && pos != 0 {
+			pass.Reportf(field.Pos(),
+				"%s takes a context.Context as parameter %d; context must be the first parameter",
+				name, pos+1)
+		}
+		pos += n
+	}
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkRootContext reports calls to context.Background / context.TODO.
+func checkRootContext(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(),
+			"context.%s() mints a root context inside a serving package, discarding the caller's budget/deadline; thread the request context through instead",
+			name)
+	}
+}

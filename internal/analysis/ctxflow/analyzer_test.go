@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"semblock/internal/analysis/analysistest"
+	"semblock/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"semblock/internal/pipeline", "example.com/lib", "example.com/internal/stream")
+}

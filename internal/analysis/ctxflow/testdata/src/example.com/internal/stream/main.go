@@ -1,0 +1,7 @@
+// Command main sits inside a serving package path but is package main:
+// mains own their root context, so Background is allowed.
+package main
+
+import "context"
+
+func main() { _ = context.Background() }

@@ -1,0 +1,9 @@
+// Package lib is outside the serving packages: minting a root context is
+// allowed, but the ctx-first rule still applies repo-wide.
+package lib
+
+import "context"
+
+func Mint() { _ = context.Background() }
+
+func Bad(n int, ctx context.Context) {} // want `Bad takes a context.Context as parameter 2`

@@ -1,0 +1,39 @@
+// Package pipeline is a serving-package fixture: root contexts are
+// forbidden here and context parameters must come first.
+package pipeline
+
+import "context"
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {} // want `Bad takes a context.Context as parameter 2`
+
+type P struct{}
+
+// Methods count parameters after the receiver.
+func (p *P) RunContext(ctx context.Context, n int) {}
+
+func (p *P) BadMethod(n int, ctx context.Context) {} // want `BadMethod takes a context.Context as parameter 2`
+
+func sharedNames(a, b int, ctx context.Context) {} // want `sharedNames takes a context.Context as parameter 3`
+
+func MintRoot() {
+	ctx := context.Background() // want `context.Background\(\) mints a root context`
+	_ = ctx
+}
+
+func MintTODO() {
+	_ = context.TODO() // want `context.TODO\(\) mints a root context`
+}
+
+// Run is the documented compat-shim shape: delegate with a suppression.
+func (p *P) Run(n int) {
+	p.RunContext(context.Background(), n) //semblock:allow ctxflow compat shim: Run keeps the pre-context API
+}
+
+// WithCancel and friends derive, not mint; fine.
+func Derive(ctx context.Context) context.Context {
+	out, cancel := context.WithCancel(ctx)
+	cancel()
+	return out
+}

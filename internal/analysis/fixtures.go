@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixtures loads analyzer test fixtures: each pkgPath names a package
+// rooted at <root>/src/<pkgPath> (the analysistest layout). Fixture
+// packages may import each other — such imports resolve from source under
+// the same root, so a fixture can ship a stub of, say, the obs package
+// under src/semblock/internal/obs — while standard-library imports resolve
+// through compiler export data exactly like Load.
+func LoadFixtures(root string, pkgPaths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	fl := &fixtureLoader{
+		root:   root,
+		fset:   fset,
+		loaded: make(map[string]*Package),
+	}
+	fl.exp = newExportImporter(fset, root)
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		pkg, err := fl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// fixtureLoader resolves fixture imports from source, memoised so diamond
+// imports type-check once and share one *types.Package identity.
+type fixtureLoader struct {
+	root   string
+	fset   *token.FileSet
+	exp    *exportImporter
+	loaded map[string]*Package
+}
+
+func (fl *fixtureLoader) load(pkgPath string) (*Package, error) {
+	if pkg, ok := fl.loaded[pkgPath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fl.root, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture package %s: %w", pkgPath, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: fixture package %s: no Go files in %s", pkgPath, dir)
+	}
+	pkg, err := checkPackage(fl.fset, (*fixtureImporter)(fl), pkgPath, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	fl.loaded[pkgPath] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer: fixture-rooted
+// paths load from source, everything else falls through to export data.
+type fixtureImporter fixtureLoader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	fl := (*fixtureLoader)(fi)
+	if dir := filepath.Join(fl.root, "src", filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := fl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fl.exp.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

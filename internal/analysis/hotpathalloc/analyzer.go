@@ -1,0 +1,201 @@
+// Package hotpathalloc audits the functions the benchcmp allocation
+// ceilings measure. Six PRs of flat bucket stores, arena-backed staging and
+// the zero-alloc match kernel hold BenchmarkPipelineEndToEnd under its
+// allocs/op ceiling; those wins erode one innocent-looking line at a time.
+// Functions marked `//semblock:hotpath` (or all functions of a file marked
+// in its header) may not:
+//
+//   - touch package fmt (every fmt call allocates, and Sprintf in a kernel
+//     is the canonical regression);
+//   - allocate maps (make(map...) or map literals) — the flat stores exist
+//     precisely to keep per-op map allocation out of these functions;
+//   - convert to interface types, or pass concrete values into
+//     ...interface{} variadics (boxing allocates);
+//   - append to package-level slices (escaping, unbounded growth the arena
+//     allocators cannot see); or
+//   - build closures that capture enclosing variables without being
+//     invoked on the spot (each capture set is a heap allocation).
+//
+// The marker is intentionally per-function: it annotates exactly the
+// functions the alloc-ceiling benchmarks drive (engine.Table.Insert, the
+// minhash signature kernels, er.Kernel.Score, lsh.Signer.StageAppend, the
+// stream commit path), so the static gate and the dynamic gate guard the
+// same code.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"semblock/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions marked //semblock:hotpath may not use fmt, allocate maps, box into " +
+		"interfaces, append to package-level slices, or build escaping closures — the " +
+		"static half of the benchcmp allocs/op ceiling",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		fileMarked := analysis.FileHotpath(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fileMarked || analysis.FuncHotpath(fn) {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Closures invoked on the spot (`func(){...}()`) run before the
+	// enclosing function returns and — unlike stored or passed closures —
+	// are the one capture form the inliner reliably keeps off the heap.
+	immediate := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				immediate[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pkg, ok := pass.Info.Uses[n].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "fmt used in //semblock:hotpath function %s: every fmt call allocates; precompute the message outside the hot path or drop it", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			if isMapType(pass.Info.Types[n].Type) {
+				pass.Reportf(n.Pos(), "map literal allocated in //semblock:hotpath function %s: use the flat slice-backed stores instead", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		case *ast.FuncLit:
+			if !immediate[n] && capturesEnclosing(pass, fn, n) {
+				pass.Reportf(n.Pos(), "closure in //semblock:hotpath function %s captures enclosing variables and escapes: each capture set heap-allocates; hoist the closure or pass state explicitly", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags make(map...), interface conversions, boxing variadics and
+// appends to package-level slices.
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Type conversion to an interface?
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if argT := pass.Info.Types[call.Args[0]].Type; argT != nil && !types.IsInterface(argT) && !isUntypedNil(argT) {
+				pass.Reportf(call.Pos(), "conversion to interface type %s in //semblock:hotpath function %s boxes its operand (heap allocation)", types.ExprString(call.Fun), fn.Name.Name)
+			}
+		}
+		return
+	}
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := pass.Info.Types[call.Args[0]]; ok && isMapType(tv.Type) {
+						pass.Reportf(call.Pos(), "make(map) in //semblock:hotpath function %s: per-op map allocation is what the flat bucket stores eliminated", fn.Name.Name)
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 && isPackageLevelVar(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "append to package-level slice %s in //semblock:hotpath function %s: escaping, unbounded growth the arenas cannot manage", types.ExprString(call.Args[0]), fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Concrete values flowing into a ...interface{} variadic box exactly
+	// like fmt arguments do, whatever the callee is called.
+	sig := callSignature(pass, call)
+	if sig == nil || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok || !types.IsInterface(slice.Elem()) {
+		return
+	}
+	for _, arg := range call.Args[sig.Params().Len()-1:] {
+		if argT := pass.Info.Types[arg].Type; argT != nil && !types.IsInterface(argT) && !isUntypedNil(argT) {
+			pass.Reportf(arg.Pos(), "argument boxes into %s variadic in //semblock:hotpath function %s (heap allocation)", types.ExprString(call.Fun), fn.Name.Name)
+		}
+	}
+}
+
+// callSignature returns the callee's signature, or nil for non-function
+// calls (conversions, builtins).
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPackageLevelVar reports whether the expression is a direct reference to
+// a package-level variable.
+func isPackageLevelVar(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == pass.Pkg.Scope()
+}
+
+// capturesEnclosing reports whether the literal references a variable
+// declared in the enclosing function but outside the literal itself.
+func capturesEnclosing(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal?
+		if v.Pos() >= fn.Pos() && v.Pos() <= fn.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}

@@ -1,0 +1,13 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"semblock/internal/analysis/analysistest"
+	"semblock/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer,
+		"example.com/hot", "example.com/hotfile")
+}

@@ -1,0 +1,74 @@
+package hot
+
+import "fmt"
+
+var global []int
+
+//semblock:hotpath
+func UsesFmt(id int) {
+	fmt.Println(id) // want `fmt used in //semblock:hotpath function UsesFmt` `argument boxes into fmt.Println variadic`
+}
+
+//semblock:hotpath
+func MakesMap() map[string]int {
+	m := make(map[int]int) // want `make\(map\) in //semblock:hotpath function MakesMap`
+	_ = m
+	return map[string]int{} // want `map literal allocated in //semblock:hotpath function MakesMap`
+}
+
+//semblock:hotpath
+func Boxes(n int) any {
+	v := any(n) // want `conversion to interface type any in //semblock:hotpath function Boxes boxes its operand`
+	return v
+}
+
+//semblock:hotpath
+func AppendsGlobal(x int) {
+	global = append(global, x) // want `append to package-level slice global`
+}
+
+//semblock:hotpath
+func LocalAppendOK(xs []int, x int) []int {
+	return append(xs, x)
+}
+
+//semblock:hotpath
+func FieldAppendOK(t *T, x int) {
+	// Amortised growth of an owned field (the Table.Insert shape) is the
+	// arena allocators' job, not the linter's.
+	t.ids = append(t.ids, x)
+}
+
+type T struct{ ids []int }
+
+//semblock:hotpath
+func EscapingClosure(n int) func() int {
+	f := func() int { return n } // want `closure in //semblock:hotpath function EscapingClosure captures enclosing variables`
+	return f
+}
+
+//semblock:hotpath
+func ImmediateClosureOK(n int) int {
+	return func() int { return n }()
+}
+
+//semblock:hotpath
+func CaptureFreeClosureOK() func() int {
+	return func() int { return 42 }
+}
+
+// Unmarked functions may do whatever they like.
+func Unmarked() string { return fmt.Sprintf("%d", 1) }
+
+//semblock:hotpath
+func Suppressed() {
+	fmt.Println() //semblock:allow hotpathalloc cold error path, measured free at the benchmark
+}
+
+//semblock:hotpath
+func InterfaceArgPassThroughOK(err error) error {
+	// Already-interface values do not box again.
+	return wrap(err)
+}
+
+func wrap(args ...any) error { return nil }

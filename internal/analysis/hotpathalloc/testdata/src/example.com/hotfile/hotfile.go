@@ -1,0 +1,11 @@
+//semblock:hotpath file-wide marker: every function in this file is hot
+
+package hotfile
+
+func F() map[int]int {
+	return make(map[int]int) // want `make\(map\) in //semblock:hotpath function F`
+}
+
+func G(xs []int, x int) []int {
+	return append(xs, x)
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package — the unit every
+// analyzer pass runs over.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns under dir (typically the
+// repository root and "./..."), then parses and type-checks every matched
+// package from source. Imports — the standard library and already-listed
+// dependencies alike — resolve through compiler export data produced by
+// `go list -export`, so loading works offline, needs no GOPATH layout, and
+// costs one child process for the whole run.
+//
+// Analyzers need compiling code: any list or type error fails the load.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, dir)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			imp.exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -deps -json` and decodes the package
+// stream. -deps pulls in every transitive dependency so the export map
+// covers all imports the type checker will resolve; -export compiles (or
+// reuses from the build cache) each dependency's export data.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// checkPackage parses the given files and type-checks them as one package.
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", pkgPath, typeErrs[0])
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		Fset:    fset,
+		Syntax:  files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// exportImporter resolves imports from compiler export data. Paths already
+// present in exports resolve directly; unknown paths (the analysistest
+// fixtures' stdlib imports, whose closure was never go-listed) fall back to
+// one `go list -export` child invocation each, memoised.
+type exportImporter struct {
+	dir     string
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // stateful stdlib gc importer, shares our fset
+}
+
+func newExportImporter(fset *token.FileSet, dir string) *exportImporter {
+	e := &exportImporter{dir: dir, exports: make(map[string]string)}
+	e.gc = importer.ForCompiler(fset, "gc", e.lookup)
+	return e
+}
+
+// Import implements types.Importer.
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := e.exports[path]
+	if !ok {
+		listed, err := goList(e.dir, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				e.exports[lp.ImportPath] = lp.Export
+			}
+		}
+		if file, ok = e.exports[path]; !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}

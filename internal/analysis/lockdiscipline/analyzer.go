@@ -1,0 +1,279 @@
+// Package lockdiscipline guards the engine's two locking invariants:
+//
+//  1. Pairing — a function that calls Lock/RLock/TryLock on a sync.Mutex or
+//     sync.RWMutex must contain a matching Unlock/RUnlock (inline or
+//     deferred, closures included). Lock-here-unlock-elsewhere protocols
+//     exist (Server.acquirePersist hands a locked lock to its caller) but
+//     they are rare enough that each one carries an explicit
+//     `//semblock:allow lockdiscipline <reason>` at the acquisition site.
+//
+//  2. Ordering — the declared lock order of the ingest/persist machinery,
+//     collection persist lock → indexer pending ledger → pair-set stripe,
+//     is never inverted within a function, and no two locks of the same
+//     class nest. Rank classification is by (package, struct, field), so
+//     renaming a field out from under the table fails the build here
+//     rather than deadlocking under load.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"semblock/internal/analysis"
+)
+
+// lockClass ranks one known lock field. Lower ranks must be acquired first.
+type lockClass struct {
+	pkgSuffix string
+	typeName  string
+	field     string
+	rank      int
+	label     string
+}
+
+// ranks is the declared lock order (see docs/ARCHITECTURE.md, "Static
+// analysis"): a collection's persist lock is the outermost, the streaming
+// indexer's pending ledger next, and a StripedPairSet stripe innermost.
+var ranks = []lockClass{
+	{"internal/server", "persistLock", "mu", 1, "collection persist lock"},
+	{"internal/stream", "Indexer", "pendingMu", 2, "indexer pending ledger"},
+	{"internal/record", "pairStripe", "mu", 3, "pair-set stripe"},
+}
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "every mutex Lock must have a same-function Unlock (inline or deferred), and the " +
+		"declared lock order — collection persist lock, then indexer pending ledger, then " +
+		"pair-set stripe — is never inverted or self-nested within a function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPairing(pass, fn)
+			var held []heldLock
+			orderWalk(pass, fn.Body.List, &held)
+		}
+	}
+	return nil
+}
+
+// lockOp is one mutex method call site.
+type lockOp struct {
+	key    string // rendered receiver expression, e.g. "c.mu"
+	method string // Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
+	pos    ast.Node
+	class  *lockClass // nil when the lock is not one of the ranked classes
+}
+
+// mutexOp classifies a call expression as a mutex operation, or nil.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil
+	}
+	return &lockOp{
+		key:    types.ExprString(sel.X),
+		method: fn.Name(),
+		pos:    call,
+		class:  classify(pass, sel.X),
+	}
+}
+
+// classify maps the mutex-valued expression (e.g. `st.mu`) onto a ranked
+// lock class via the owning struct's package, type and field name.
+func classify(pass *analysis.Pass, x ast.Expr) *lockClass {
+	fieldSel, ok := x.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := pass.Info.Selections[fieldSel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	owner := selection.Recv()
+	if ptr, ok := owner.(*types.Pointer); ok {
+		owner = ptr.Elem()
+	}
+	named, ok := owner.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	for i := range ranks {
+		c := &ranks[i]
+		if named.Obj().Name() == c.typeName &&
+			selection.Obj().Name() == c.field &&
+			analysis.PathWithin(named.Obj().Pkg().Path(), c.pkgSuffix) {
+			return c
+		}
+	}
+	return nil
+}
+
+// checkPairing verifies every acquired key also has a release of the right
+// flavour somewhere in the function (nested closures and defers count: a
+// lock released on any path is intentional, and conditional-path accuracy
+// is the race detector's job, not a linter's).
+func checkPairing(pass *analysis.Pass, fn *ast.FuncDecl) {
+	type sides struct {
+		lockAt, rlockAt ast.Node
+		unlock, runlock bool
+	}
+	keys := map[string]*sides{}
+	get := func(k string) *sides {
+		s := keys[k]
+		if s == nil {
+			s = &sides{}
+			keys[k] = s
+		}
+		return s
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op := mutexOp(pass, call)
+		if op == nil {
+			return true
+		}
+		s := get(op.key)
+		switch op.method {
+		case "Lock", "TryLock":
+			if s.lockAt == nil {
+				s.lockAt = op.pos
+			}
+		case "RLock", "TryRLock":
+			if s.rlockAt == nil {
+				s.rlockAt = op.pos
+			}
+		case "Unlock":
+			s.unlock = true
+		case "RUnlock":
+			s.runlock = true
+		}
+		return true
+	})
+	for key, s := range keys {
+		if s.lockAt != nil && !s.unlock {
+			pass.Reportf(s.lockAt.Pos(),
+				"%s locks %s but the function has no matching %s.Unlock (inline or deferred); release it here or suppress with a justified //semblock:allow",
+				fn.Name.Name, key, key)
+		}
+		if s.rlockAt != nil && !s.runlock {
+			pass.Reportf(s.rlockAt.Pos(),
+				"%s read-locks %s but the function has no matching %s.RUnlock (inline or deferred); release it here or suppress with a justified //semblock:allow",
+				fn.Name.Name, key, key)
+		}
+	}
+}
+
+// heldLock is one ranked lock the sequential walk believes is held.
+type heldLock struct {
+	key   string
+	class *lockClass
+}
+
+// orderWalk walks statements in source order, maintaining the set of held
+// ranked locks, and reports acquisitions that invert the declared order.
+// Branch bodies walk on a copy of the held set (conservative: an acquire or
+// release inside a branch does not leak past it); deferred releases do not
+// release for ordering purposes — the lock stays held to the end.
+func orderWalk(pass *analysis.Pass, stmts []ast.Stmt, held *[]heldLock) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			orderWalk(pass, s.List, held)
+		case *ast.IfStmt:
+			branchWalk(pass, held, s.Body.List)
+			if s.Else != nil {
+				branchWalk(pass, held, []ast.Stmt{s.Else})
+			}
+		case *ast.ForStmt:
+			branchWalk(pass, held, s.Body.List)
+		case *ast.RangeStmt:
+			branchWalk(pass, held, s.Body.List)
+		case *ast.SwitchStmt:
+			branchWalk(pass, held, s.Body.List)
+		case *ast.TypeSwitchStmt:
+			branchWalk(pass, held, s.Body.List)
+		case *ast.SelectStmt:
+			branchWalk(pass, held, s.Body.List)
+		case *ast.CaseClause:
+			branchWalk(pass, held, s.Body)
+		case *ast.CommClause:
+			branchWalk(pass, held, s.Body)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred releases keep the lock held for ordering; goroutine
+			// bodies are their own sequential world (approximated as
+			// unordered relative to this function).
+		default:
+			// Leaf statement: apply its mutex operations in source order,
+			// ignoring nested function literals (separate worlds).
+			applyOps(pass, stmt, held)
+		}
+	}
+}
+
+// branchWalk runs orderWalk over a branch with a copy of the held set.
+func branchWalk(pass *analysis.Pass, held *[]heldLock, stmts []ast.Stmt) {
+	branch := append([]heldLock(nil), *held...)
+	orderWalk(pass, stmts, &branch)
+}
+
+// applyOps finds mutex calls inside one leaf statement and updates held,
+// reporting order inversions.
+func applyOps(pass *analysis.Pass, stmt ast.Stmt, held *[]heldLock) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op := mutexOp(pass, call)
+		if op == nil {
+			return true
+		}
+		switch op.method {
+		case "Lock", "RLock":
+			if op.class != nil {
+				for _, h := range *held {
+					if h.class.rank >= op.class.rank {
+						pass.Reportf(call.Pos(),
+							"acquiring %s (%s, rank %d) while holding %s (%s, rank %d) inverts the declared lock order: persist lock -> pending ledger -> pair-set stripe",
+							op.key, op.class.label, op.class.rank,
+							h.key, h.class.label, h.class.rank)
+					}
+				}
+				*held = append(*held, heldLock{key: op.key, class: op.class})
+			}
+		case "Unlock", "RUnlock":
+			if op.class != nil {
+				for i := len(*held) - 1; i >= 0; i-- {
+					if (*held)[i].key == op.key {
+						*held = append((*held)[:i], (*held)[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"semblock/internal/analysis/analysistest"
+	"semblock/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer,
+		"example.com/locks", "semblock/internal/record", "semblock/internal/server")
+}

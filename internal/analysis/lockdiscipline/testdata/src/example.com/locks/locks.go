@@ -1,0 +1,76 @@
+package locks
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (t *T) Good() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+}
+
+func (t *T) GoodInline() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *T) Leak() {
+	t.mu.Lock() // want `Leak locks t.mu but the function has no matching t.mu.Unlock`
+	t.n++
+}
+
+func (t *T) ReadLeak() {
+	t.rw.RLock() // want `ReadLeak read-locks t.rw but the function has no matching t.rw.RUnlock`
+	_ = t.n
+}
+
+func (t *T) WrongFlavour() {
+	t.rw.RLock() // want `WrongFlavour read-locks t.rw but the function has no matching t.rw.RUnlock`
+	t.rw.Unlock()
+}
+
+func (t *T) TryGood() bool {
+	if !t.mu.TryLock() {
+		return false
+	}
+	defer t.mu.Unlock()
+	t.n++
+	return true
+}
+
+func (t *T) TryLeak() {
+	if t.mu.TryLock() { // want `TryLeak locks t.mu but the function has no matching t.mu.Unlock`
+		t.n++
+	}
+}
+
+// ClosureUnlock releases through a deferred closure; that counts.
+func (t *T) ClosureUnlock() {
+	t.mu.Lock()
+	defer func() { t.mu.Unlock() }()
+	t.n++
+}
+
+// BranchUnlock releases on every path, one of them early; pairing is
+// presence-based, so this is fine.
+func (t *T) BranchUnlock(early bool) {
+	t.mu.Lock()
+	if early {
+		t.mu.Unlock()
+		return
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// HandOff is the documented lock-here-unlock-elsewhere protocol shape.
+func (t *T) HandOff() *T {
+	t.mu.Lock() //semblock:allow lockdiscipline handed to the caller locked; the caller releases
+	return t
+}

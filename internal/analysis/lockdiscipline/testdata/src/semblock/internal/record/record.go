@@ -1,0 +1,47 @@
+// Package record stubs the striped pair set: stripe locks are the
+// innermost rank and must never nest.
+package record
+
+import "sync"
+
+type pairStripe struct {
+	mu  sync.Mutex
+	set map[uint64]struct{}
+}
+
+type StripedPairSet struct {
+	stripes [2]pairStripe
+}
+
+// Add is the conforming shape: one stripe at a time.
+func (s *StripedPairSet) Add(p uint64) {
+	st := &s.stripes[p&1]
+	st.mu.Lock()
+	if st.set == nil {
+		st.set = make(map[uint64]struct{})
+	}
+	st.set[p] = struct{}{}
+	st.mu.Unlock()
+}
+
+// Len locks stripes sequentially, never nested; fine.
+func (s *StripedPairSet) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.set)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// NestedStripes holds one stripe while taking another: same rank nesting
+// is a deadlock waiting for the right pair of goroutines.
+func (s *StripedPairSet) NestedStripes() {
+	a, b := &s.stripes[0], &s.stripes[1]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `inverts the declared lock order`
+	b.mu.Unlock()
+}

@@ -1,0 +1,173 @@
+// Package metriclint keeps the Prometheus exposition stable and bounded:
+// every metric family name handed to the obs constructors must be a
+// compile-time constant carrying the `semblock_` prefix (one namespace, one
+// grep), label names must be compile-time constants (a label set is schema,
+// not data), and label *values* observed through DurationVec.With must not
+// be derived from request objects — request-derived values are how metric
+// cardinality explodes under real traffic.
+package metriclint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"semblock/internal/analysis"
+)
+
+// namePrefix is the mandatory metric-family namespace.
+const namePrefix = "semblock_"
+
+// Analyzer is the metriclint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclint",
+	Doc: "metric family names passed to obs.NewDurationVec / Histogram.WriteProm must be " +
+		"semblock_-prefixed compile-time constants, label names must be constants, and " +
+		"DurationVec.With label values must not derive from request data (unbounded cardinality)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case isObsFunc(fn, "NewDurationVec"):
+				if len(call.Args) >= 1 {
+					checkFamilyName(pass, call.Args[0], "obs.NewDurationVec")
+				}
+				for _, arg := range call.Args[2:] {
+					if constString(pass, arg) == nil {
+						pass.Reportf(arg.Pos(),
+							"label name passed to obs.NewDurationVec must be a compile-time constant: a metric's label set is schema, not data")
+					}
+				}
+			case isObsMethod(fn, "Histogram", "WriteProm"):
+				if len(call.Args) >= 2 {
+					checkFamilyName(pass, call.Args[1], "Histogram.WriteProm")
+				}
+			case isObsMethod(fn, "DurationVec", "With"):
+				for _, arg := range call.Args {
+					if src := requestDerived(pass, arg); src != "" {
+						pass.Reportf(arg.Pos(),
+							"label value derives from %s: request-derived label values are unbounded cardinality; use a fixed vocabulary (route pattern, code class, stage name)", src)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFamilyName requires arg to be a constant string with the semblock_
+// prefix.
+func checkFamilyName(pass *analysis.Pass, arg ast.Expr, callee string) {
+	v := constString(pass, arg)
+	if v == nil {
+		pass.Reportf(arg.Pos(),
+			"metric family name passed to %s must be a compile-time constant so the exposition is statically known", callee)
+		return
+	}
+	if !strings.HasPrefix(*v, namePrefix) {
+		pass.Reportf(arg.Pos(),
+			"metric family name %q must carry the %q prefix", *v, namePrefix)
+	}
+}
+
+// constString returns the compile-time string value of e, or nil.
+func constString(pass *analysis.Pass, e ast.Expr) *string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	s := constant.StringVal(tv.Value)
+	return &s
+}
+
+// isObsFunc reports whether fn is the named package-level function of
+// internal/obs.
+func isObsFunc(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || !analysis.PathWithin(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isObsMethod reports whether fn is the named method on the named
+// internal/obs type.
+func isObsMethod(fn *types.Func, typeName, method string) bool {
+	if fn.Name() != method || fn.Pkg() == nil || !analysis.PathWithin(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// requestDerived reports (as a short description) whether the expression
+// reads from an HTTP request object; "" means clean. The heuristic is
+// type-based: any identifier in the expression whose type involves
+// *http.Request, http.Header or url.Values taints it.
+func requestDerived(pass *analysis.Pass, e ast.Expr) string {
+	var src string
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || src != "" {
+			return src == ""
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if name := requestType(obj.Type()); name != "" {
+			src = name
+		}
+		return src == ""
+	})
+	return src
+}
+
+// requestType names the request-ish type t involves, or "".
+func requestType(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "net/http" && obj.Name() == "Request":
+		return "*http.Request"
+	case obj.Pkg().Path() == "net/http" && obj.Name() == "Header":
+		return "http.Header"
+	case obj.Pkg().Path() == "net/url" && obj.Name() == "Values":
+		return "url.Values"
+	}
+	return ""
+}

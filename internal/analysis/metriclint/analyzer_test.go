@@ -1,0 +1,13 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"semblock/internal/analysis/analysistest"
+	"semblock/internal/analysis/metriclint"
+)
+
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclint.Analyzer,
+		"example.com/metrics", "semblock/internal/obs")
+}

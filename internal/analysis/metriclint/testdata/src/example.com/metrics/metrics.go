@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"net/http"
+	"net/url"
+	"os"
+
+	"semblock/internal/obs"
+)
+
+// goodName is the compile-time-constant, namespaced shape.
+const goodName = "semblock_http_request_duration_seconds"
+
+var good = obs.NewDurationVec(goodName, "Request latency.", "route", "code")
+
+var badPrefix = obs.NewDurationVec("http_request_duration_seconds", "Missing namespace.") // want `must carry the "semblock_" prefix`
+
+func dynamicName(name string) {
+	obs.NewDurationVec(name, "help") // want `must be a compile-time constant`
+}
+
+func dynamicLabel(l string) {
+	obs.NewDurationVec("semblock_x_seconds", "help", "route", l) // want `label name passed to obs.NewDurationVec must be a compile-time constant`
+}
+
+func writeProm(h *obs.Histogram, name string) {
+	h.WriteProm(os.Stdout, "semblock_ingest_batch_duration_seconds", "Ingest latency.")
+	h.WriteProm(os.Stdout, name, "help")            // want `must be a compile-time constant`
+	h.WriteProm(os.Stdout, "drain_seconds", "help") // want `must carry the "semblock_" prefix`
+}
+
+func with(v *obs.DurationVec, r *http.Request, hdr http.Header, q url.Values, route string) {
+	v.With("static", "2xx")
+	v.With(route, "2xx")               // bounded vocabulary threaded by the caller: fine
+	v.With(r.URL.Path)                 // want `label value derives from \*http.Request`
+	v.With(hdr.Get("X-Tenant"))        // want `label value derives from http.Header`
+	v.With(q.Get("collection"))        // want `label value derives from url.Values`
+	v.With("prefix-" + r.URL.RawQuery) // want `label value derives from \*http.Request`
+}

@@ -1,0 +1,115 @@
+// Package nilreceiver enforces the observability core's no-op contract:
+// every exported pointer-receiver method in internal/obs must begin with a
+// nil-receiver guard, because the whole instrumentation scheme rests on
+// `obs.From(ctx).Start(...)` and friends being safe — and free — when no
+// tracer, trace, histogram or vec is installed. A single unguarded method
+// turns every uninstrumented caller into a panic.
+package nilreceiver
+
+import (
+	"go/ast"
+	"go/token"
+
+	"semblock/internal/analysis"
+)
+
+// Analyzer is the nilreceiver pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilreceiver",
+	Doc: "exported pointer-receiver methods in internal/obs (Tracer, Trace, Histogram, " +
+		"DurationVec, ...) must start with a nil-receiver guard that returns, preserving " +
+		"the documented nil-is-a-no-op contract",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathWithin(pass.PkgPath, "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			if _, ptr := recv.Type.(*ast.StarExpr); !ptr {
+				continue // value receivers cannot be nil
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				pass.Reportf(fn.Pos(),
+					"exported method %s has an unnamed pointer receiver and so cannot nil-guard it; name the receiver and guard it",
+					fn.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(fn.Body, recv.Names[0].Name) {
+				pass.Reportf(fn.Pos(),
+					"exported method (%s).%s must begin with a nil-receiver guard (`if %s == nil { return ... }`) to preserve the obs no-op contract",
+					recvTypeName(recv.Type), fn.Name.Name, recv.Names[0].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition compares the receiver against nil (possibly as one
+// operand of an || chain) and whose block ends in a return.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condChecksNil(ifStmt.Cond, recv) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, ret := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return ret
+}
+
+// condChecksNil matches `recv == nil` anywhere in a top-level || chain —
+// `if tr == nil || t == nil` guards tr just as well as a lone comparison.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(e.X, recv)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condChecksNil(e.X, recv) || condChecksNil(e.Y, recv)
+		case token.EQL:
+			return isIdent(e.X, recv) && isNil(e.Y) || isNil(e.X) && isIdent(e.Y, recv)
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool { return isIdent(e, "nil") }
+
+// recvTypeName renders the receiver's type for diagnostics (*T -> T).
+func recvTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return "*" + e.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "*?"
+}

@@ -1,0 +1,13 @@
+package nilreceiver_test
+
+import (
+	"testing"
+
+	"semblock/internal/analysis/analysistest"
+	"semblock/internal/analysis/nilreceiver"
+)
+
+func TestNilReceiver(t *testing.T) {
+	analysistest.Run(t, "testdata", nilreceiver.Analyzer,
+		"semblock/internal/obs", "example.com/notobs")
+}

@@ -1,0 +1,7 @@
+// Package notobs is outside internal/obs: the no-op contract does not
+// apply, so unguarded pointer methods are fine here.
+package notobs
+
+type Thing struct{ n int }
+
+func (t *Thing) Unguarded() int { return t.n }

@@ -1,0 +1,73 @@
+package obs
+
+import "io"
+
+type Histogram struct{ n int }
+
+// WriteProm is the regression shape of the real miss fixed alongside this
+// analyzer: a rendering method that forgot the guard and panicked on the
+// nil (uninstrumented) fast path.
+func (h *Histogram) WriteProm(w io.Writer, name, help string) { // want `must begin with a nil-receiver guard`
+	w.Write([]byte(name))
+}
+
+// WritePromFixed is the corrected form.
+func (h *Histogram) WritePromFixed(w io.Writer, name string) {
+	if h == nil {
+		return
+	}
+	w.Write([]byte(name))
+}
+
+// Guarded is the contract-conforming shape.
+func (h *Histogram) Guarded() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+func (h *Histogram) Unguarded() int { // want `must begin with a nil-receiver guard`
+	return h.n
+}
+
+// OrGuard chains the receiver check with other operands; still a guard.
+func (h *Histogram) OrGuard(x *Histogram) {
+	if h == nil || x == nil {
+		return
+	}
+	h.n++
+}
+
+// ReversedGuard writes the comparison nil-first; still a guard.
+func (h *Histogram) ReversedGuard() int {
+	if nil == h {
+		return 0
+	}
+	return h.n
+}
+
+func (h *Histogram) GuardNotFirst() { // want `must begin with a nil-receiver guard`
+	h.n++
+	if h == nil {
+		return
+	}
+}
+
+func (h *Histogram) GuardWithoutReturn() int { // want `must begin with a nil-receiver guard`
+	if h == nil {
+		h = &Histogram{}
+	}
+	return h.n
+}
+
+func (*Histogram) NoName() {} // want `unnamed pointer receiver`
+
+// Value receivers cannot be nil; exempt.
+func (h Histogram) Value() int { return h.n }
+
+// Unexported methods are outside the exported no-op contract; exempt.
+func (h *Histogram) internal() int { return h.n }
+
+//semblock:allow nilreceiver constructor-returned only, callers never hold a nil
+func (h *Histogram) Suppressed() int { return h.n }

@@ -1,0 +1,35 @@
+package semlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"semblock/internal/analysis"
+	"semblock/internal/analysis/semlint"
+)
+
+// TestSemlintSelf runs the whole suite over the real repository and
+// requires zero diagnostics — the same gate `make lint` and CI apply
+// through the tools/semlint multichecker. A finding here means either the
+// tree regressed an enforced invariant or an analyzer got too eager; both
+// must be settled (fix, or a justified //semblock:allow) before merging.
+func TestSemlintSelf(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatalf("resolving repo root: %v", err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the repository root")
+	}
+	diags, err := analysis.Run(pkgs, semlint.All())
+	if err != nil {
+		t.Fatalf("running semlint suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

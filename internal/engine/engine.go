@@ -75,6 +75,8 @@ const (
 )
 
 // alloc carves a zero-length slice with the given capacity from the arena.
+//
+//semblock:hotpath
 func (a *idArena) alloc(capacity int) []record.ID {
 	if cap(a.chunk)-len(a.chunk) < capacity {
 		size := a.chunkSize * 2
@@ -103,6 +105,8 @@ func (a *idArena) reset() {
 
 // mix64 is the SplitMix64 finalizer, applied to keys before probing so the
 // slot distribution does not depend on callers pre-mixing their keys.
+//
+//semblock:hotpath
 func mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -156,6 +160,8 @@ func (t *Table) grow() {
 // Insert files id under key and returns the bucket's previous members —
 // the records id now collides with. The returned slice is shared with the
 // table; callers must only read it, and only until the next Insert.
+//
+//semblock:hotpath
 func (t *Table) Insert(key uint64, id record.ID) []record.ID {
 	j := mix64(key) & t.mask
 	for {

@@ -49,6 +49,8 @@ const (
 
 // save copies src into the arena and returns the stable copy (nil for an
 // empty set — the similarity routines treat nil and empty alike).
+//
+//semblock:hotpath
 func (a *hashArena) save(src []uint64) []uint64 {
 	if len(src) == 0 {
 		return nil
@@ -74,6 +76,8 @@ func (a *hashArena) save(src []uint64) []uint64 {
 
 // dedupeSorted removes adjacent duplicates in place, returning the
 // shortened slice. The input must be sorted.
+//
+//semblock:hotpath
 func dedupeSorted(h []uint64) []uint64 {
 	if len(h) < 2 {
 		return h
@@ -89,6 +93,8 @@ func dedupeSorted(h []uint64) []uint64 {
 
 // intersectSorted counts the common elements of two sorted distinct
 // slices by a single merge pass.
+//
+//semblock:hotpath
 func intersectSorted(a, b []uint64) int {
 	i, j, n := 0, 0, 0
 	for i < len(a) && j < len(b) {
@@ -109,6 +115,8 @@ func intersectSorted(a, b []uint64) int {
 // setSim computes Jaccard (or, when dice is set, Dice) over two sorted
 // distinct gram-hash sets, with exactly textual.JaccardSets' edge
 // semantics: two empty sets are identical (1), one empty set is 0.
+//
+//semblock:hotpath
 func setSim(a, b []uint64, dice bool) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
@@ -140,6 +148,8 @@ var scratchPool = sync.Pool{New: func() any {
 
 // gramSim hashes both values' distinct bigrams into the scratch buffers
 // and computes their set similarity.
+//
+//semblock:hotpath
 func (sc *scoreScratch) gramSim(va, vb string, dice bool) float64 {
 	sc.a, sc.b = sc.a[:0], sc.b[:0]
 	textual.VisitQGrams(va, 2, sc.visitA)
@@ -220,6 +230,8 @@ func (k *Kernel) Featurize(r *record.Record) {
 // Score computes the weighted similarity of two featurized records —
 // exactly Matcher.Score's value, with zero allocations. Both IDs must have
 // been featurized.
+//
+//semblock:hotpath
 func (k *Kernel) Score(a, b record.ID) float64 {
 	var s float64
 	for i := range k.m.attrs {

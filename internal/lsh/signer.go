@@ -187,6 +187,8 @@ func (s *Signer) Stage(r *record.Record) *Stage {
 // one hash buffer plus one semhash vector per record; a stage's views stay
 // valid even when a later append reallocates the arena (the abandoned
 // backing array is untouched).
+//
+//semblock:hotpath
 func (s *Signer) StageAppend(r *record.Record, arena []uint64) (Stage, []uint64) {
 	off := len(arena)
 	arena = s.AppendKeyHashes(r, arena)
@@ -211,6 +213,8 @@ func (s *Signer) SignStaged(st *Stage, components []int) []uint64 {
 // SignStagedInto is SignStaged into a caller-owned buffer of length
 // fam.Size(), for arena-backed batch signing (stream.Indexer.InsertStaged
 // carves all of a batch's signatures from one backing array).
+//
+//semblock:hotpath
 func (s *Signer) SignStagedInto(st *Stage, components []int, sig []uint64) {
 	if components == nil {
 		s.fam.SignatureFromHashesInto(st.hashes, sig)
@@ -315,6 +319,8 @@ func (s *Signer) TableBits(table int) []int {
 // mode yields one mixed key per selected set bit. Two records collide in a
 // table iff they share a key, so this single method defines block
 // membership for both batch and streaming construction.
+//
+//semblock:hotpath
 func (s *Signer) BucketKeys(table int, sig []uint64, sem semantic.BitVec, dst []uint64) []uint64 {
 	key := minhash.BandKey(table, s.Band(table, sig))
 	opt := s.cfg.Semantic

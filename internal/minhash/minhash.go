@@ -39,6 +39,8 @@ func (f *Family) Size() int { return len(f.seeds) }
 // derived from it by seeded mixing so each shingle is string-hashed once.
 // FNV-64a, written out so hashing a gram neither allocates a hasher nor
 // copies the string to bytes (hash/fnv does both).
+//
+//semblock:hotpath
 func baseHash(gram string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -60,6 +62,8 @@ func BaseHash(gram string) uint64 { return baseHash(gram) }
 
 // splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
 // high-quality 64-bit mixer.
+//
+//semblock:hotpath
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -83,6 +87,8 @@ func (f *Family) Signature(grams []string) []uint64 {
 
 // SignatureInto computes the signature into the provided slice, which must
 // have length Size().
+//
+//semblock:hotpath
 func (f *Family) SignatureInto(grams []string, sig []uint64) {
 	for i := range sig {
 		sig[i] = emptyMin
@@ -105,6 +111,8 @@ func (f *Family) SignatureInto(grams []string, sig []uint64) {
 // shared-log serving layer (internal/stream.SharedLog) hashes each record's
 // q-grams exactly once while every table shard derives only its own
 // signature components from them.
+//
+//semblock:hotpath
 func ShingleHashes(grams []string) []uint64 {
 	hashes := make([]uint64, len(grams))
 	for i, g := range grams {
@@ -116,6 +124,8 @@ func ShingleHashes(grams []string) []uint64 {
 // SignatureFromHashesInto computes the signature from precomputed shingle
 // base hashes (ShingleHashes) into sig, which must have length Size(). It is
 // equivalent to SignatureInto over the shingles the hashes came from.
+//
+//semblock:hotpath
 func (f *Family) SignatureFromHashesInto(hashes []uint64, sig []uint64) {
 	for i := range sig {
 		sig[i] = emptyMin
@@ -134,6 +144,8 @@ func (f *Family) SignatureFromHashesInto(hashes []uint64, sig []uint64) {
 // unselected components are left at the empty-set sentinel and must not be
 // read. Selected components equal the corresponding components of a full
 // SignatureInto run over the originating shingles.
+//
+//semblock:hotpath
 func (f *Family) SignatureSubsetFromHashesInto(hashes []uint64, components []int, sig []uint64) {
 	for i := range sig {
 		sig[i] = emptyMin
@@ -155,6 +167,8 @@ func (f *Family) SignatureSubsetFromHashesInto(hashes []uint64, components []int
 // wherever only the selected components are consumed — the property the
 // table-sharded serving layer relies on. Cost is proportional to
 // len(grams)·len(components) instead of len(grams)·Size().
+//
+//semblock:hotpath
 func (f *Family) SignatureSubsetInto(grams []string, components []int, sig []uint64) {
 	for i := range sig {
 		sig[i] = emptyMin
@@ -175,6 +189,8 @@ func (f *Family) SignatureSubsetInto(grams []string, components []int, sig []uin
 // minimum would take if the minimising shingle were absent. For shingle
 // sets with fewer than two distinct hashes the second minimum is emptyMin.
 // Both slices must have length Size().
+//
+//semblock:hotpath
 func (f *Family) Signature2Into(grams []string, sig, sig2 []uint64) {
 	for i := range sig {
 		sig[i] = emptyMin
@@ -198,6 +214,8 @@ func (f *Family) Signature2Into(grams []string, sig, sig2 []uint64) {
 // Agreement returns the fraction of signature components on which the two
 // signatures agree — an unbiased estimator of the Jaccard similarity of
 // the underlying shingle sets.
+//
+//semblock:hotpath
 func Agreement(a, b []uint64) float64 {
 	if len(a) == 0 || len(a) != len(b) {
 		return 0
@@ -214,6 +232,8 @@ func Agreement(a, b []uint64) float64 {
 // BandKey hashes one band (a k-slice of a signature) into a single bucket
 // key. The band index participates so that equal slices in different bands
 // do not collide across tables.
+//
+//semblock:hotpath
 func BandKey(band int, slice []uint64) uint64 {
 	h := splitmix64(uint64(band) ^ 0xabcdef1234567890)
 	for _, v := range slice {

@@ -48,6 +48,8 @@ func NewHistogramBuckets(bounds []float64) *Histogram {
 
 // Observe records one duration. Nil receiver no-ops; negative durations
 // clamp to zero. Allocation-free.
+//
+//semblock:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
@@ -61,6 +63,8 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // bucket returns the index of the first bound >= v (len(bounds) = +Inf).
+//
+//semblock:hotpath
 func (h *Histogram) bucket(v float64) int {
 	// The bucket count is small and fixed; a linear scan beats binary
 	// search's branch misses and keeps the common (fast) case — small
@@ -133,8 +137,12 @@ func secondsToDuration(s float64) time.Duration {
 // WriteProm renders the histogram as one Prometheus histogram family:
 // HELP/TYPE header plus cumulative buckets, _sum and _count. labels is the
 // rendered label set without braces ("" for none), e.g.
-// `stage="match"`.
+// `stage="match"`. A nil histogram writes nothing — the series is absent,
+// not a panic, matching every other nil-receiver no-op in this package.
 func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	if h == nil {
+		return
+	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	h.writePromSeries(w, name, "")
 }

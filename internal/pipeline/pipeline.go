@@ -217,7 +217,7 @@ func New(b blocking.Blocker, opts ...Option) (*Pipeline, error) {
 
 // Run executes the pipeline in batch mode over the dataset.
 func (p *Pipeline) Run(d *record.Dataset) (*Result, error) {
-	return p.RunContext(context.Background(), d)
+	return p.RunContext(context.Background(), d) //semblock:allow ctxflow compat shim: Run is the documented no-budget batch API; budget callers use RunContext
 }
 
 // RunContext is Run with a context: cancellation (or a context deadline)
@@ -376,7 +376,7 @@ func (p *Pipeline) matchFinal(ctx context.Context, start time.Time, res *Result,
 // and the pipeline's blocker is not used. RunStream returns after the rows
 // channel closes and all stages drain.
 func (p *Pipeline) RunStream(ix *stream.Indexer, rows <-chan stream.Row) (*Result, error) {
-	return p.RunStreamContext(context.Background(), ix, rows)
+	return p.RunStreamContext(context.Background(), ix, rows) //semblock:allow ctxflow compat shim: RunStream is the documented no-budget streaming API; budget callers use RunStreamContext
 }
 
 // RunStreamContext is RunStream with a context for the matching stage (see

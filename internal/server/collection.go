@@ -495,7 +495,7 @@ type ResolveRequest struct {
 // same records. Ingestion may continue concurrently; it does not affect the
 // running resolve.
 func (c *Collection) Resolve(req ResolveRequest) (*pipeline.Result, error) {
-	return c.ResolveContext(context.Background(), req)
+	return c.ResolveContext(context.Background(), req) //semblock:allow ctxflow compat shim: Resolve is the facade's no-deadline API; HTTP /resolve threads its request context via ResolveContext
 }
 
 // ResolveContext is Resolve under a context: cancellation (the HTTP client

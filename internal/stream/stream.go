@@ -665,6 +665,8 @@ func (ix *Indexer) ReplayStaged(b StagedBatch) {
 // replay files the record into every table of the shard, discarding the
 // collision pairs (see ReplayStaged). It returns the key scratch slice so
 // the caller can reuse its capacity across records.
+//
+//semblock:hotpath
 func (sh *shard) replay(signer *lsh.Signer, id record.ID, sig []uint64, sem semantic.BitVec, keys []uint64) []uint64 {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -679,6 +681,8 @@ func (sh *shard) replay(signer *lsh.Signer, id record.ID, sig []uint64, sem sema
 
 // insert files the record into every table of the shard and appends the
 // (not yet deduplicated) collision pairs to found.
+//
+//semblock:hotpath
 func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem semantic.BitVec, keys []uint64, found []record.Pair) []record.Pair {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -699,6 +703,8 @@ func (sh *shard) insert(signer *lsh.Signer, id record.ID, sig []uint64, sem sema
 // lock is taken once per commit for a bulk append — concurrent inserters no
 // longer serialise per pair on one mutex. found is filtered in place; the
 // caller must not reuse it.
+//
+//semblock:hotpath
 func (ix *Indexer) commit(found []record.Pair) {
 	if len(found) == 0 {
 		return

@@ -1,0 +1,7 @@
+module semblock/tools/semlint
+
+go 1.22
+
+require semblock v0.0.0
+
+replace semblock => ../..

@@ -1,0 +1,73 @@
+// Command semlint is the project multichecker: it runs every analyzer in
+// semblock/internal/analysis/semlint over the packages matched by the given
+// patterns and exits nonzero on any diagnostic.
+//
+// It lives in its own nested module so the root module keeps zero
+// dependencies and `go build ./...` at the root never compiles the linter.
+// The import of semblock/internal/analysis is legal because this module's
+// path, semblock/tools/semlint, sits under the internal tree's parent.
+//
+// Usage:
+//
+//	semlint [-C dir] [-list] [patterns...]
+//
+// Patterns default to ./... relative to dir (default: current directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semblock/internal/analysis"
+	"semblock/internal/analysis/semlint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to run `go list` from (the module root to lint)")
+	list := flag.Bool("list", false, "print the analyzer names and docs, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: semlint [-C dir] [-list] [patterns...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the semblock analyzer suite over the matched packages.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range semlint.All() {
+			fmt.Printf("%s: %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, semlint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
