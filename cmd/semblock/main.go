@@ -57,7 +57,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -91,6 +93,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "compact":
 		err = runCompact(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "tail":
+		err = runTail(os.Args[2:])
 	case len(os.Args) > 2 && os.Args[1] == "bench" && os.Args[2] == "serve":
 		err = runBenchServe(os.Args[3:])
 	default:
@@ -154,6 +158,9 @@ func runServe(args []string) error {
 		slowMS       = fs.Int64("slow-request-ms", 0, "log requests slower than this at WARN with a span breakdown (0 = never)")
 		debugAddr    = fs.String("debug-addr", "", "separate pprof/debug listener address, e.g. localhost:6060 (empty = disabled)")
 		traceBuf     = fs.Int("trace-buffer", 0, "completed request traces retained for GET /debug/traces (0 = default 64)")
+		hookTimeout  = fs.Duration("webhook-timeout", 0, "webhook delivery attempt timeout (0 = default 10s)")
+		hookRetries  = fs.Int("webhook-retries", 0, "webhook redelivery attempts per batch beyond the first (0 = default 5)")
+		hookBackoff  = fs.Duration("webhook-backoff", 0, "first webhook retry delay, doubling per retry (0 = default 100ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,6 +189,11 @@ func runServe(args []string) error {
 	}
 	if *traceBuf > 0 {
 		opts = append(opts, semblock.WithTraceBuffer(*traceBuf))
+	}
+	if *hookTimeout > 0 || *hookRetries > 0 || *hookBackoff > 0 {
+		opts = append(opts, semblock.WithWebhookDefaults(semblock.WebhookDefaults{
+			Timeout: *hookTimeout, MaxRetries: *hookRetries, Backoff: *hookBackoff,
+		}))
 	}
 	srv, err := semblock.NewServer(opts...)
 	if err != nil {
@@ -253,6 +265,11 @@ func runServe(args []string) error {
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
+	// Stop push delivery first: webhook workers finish their in-flight
+	// attempt (the final checkpoint below captures their last acknowledged
+	// cursors) and SSE/long-poll consumers are released, so the HTTP
+	// drain below is not held open by intentionally-infinite streams.
+	srv.StopDelivery()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
@@ -316,6 +333,102 @@ func runCompact(args []string) error {
 	}
 	if compacted == 0 {
 		fmt.Printf("no collections under %s\n", *dataDir)
+	}
+	return nil
+}
+
+// runTail implements the "tail" subcommand: a terminal SSE client for a
+// consumer group's candidate stream. Each delivered pair is printed as
+// "left,right" on its own line; the stream's delivery is acknowledged
+// server-side as it is written, so re-running tail resumes at the group's
+// durable cursor:
+//
+//	semblock tail -addr http://localhost:8080 -collection pubs -group etl -create
+func runTail(args []string) error {
+	fs := flag.NewFlagSet("semblock tail", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "http://localhost:8080", "server base URL")
+		collection = fs.String("collection", "", "collection to tail (required)")
+		group      = fs.String("group", "default", "consumer group to drain")
+		create     = fs.Bool("create", false, "create the group first if it does not exist")
+		from       = fs.String("from", "start", "where a -create'd group starts: 'start' replays everything, 'end' tails new pairs only")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *collection == "" {
+		return errors.New("tail: -collection is required")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	base := strings.TrimRight(*addr, "/") + "/v1/collections/" + *collection + "/consumers"
+
+	if *create {
+		body := strings.NewReader(fmt.Sprintf(`{"group":%q,"from":%q}`, *group, *from))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base, body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return fmt.Errorf("tail: create group: %w", err)
+		}
+		resp.Body.Close()
+		// 409 means the group already exists — exactly what -create wants.
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("tail: create group: server answered %s", resp.Status)
+		}
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/"+*group+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("tail: connect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tail: server answered %s", resp.Status)
+	}
+
+	// Minimal SSE parse: accumulate "event:"/"data:" until the blank
+	// frame terminator, print pairs, note cursor handshakes on stderr.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	event, data := "", ""
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "cursor":
+				fmt.Fprintf(os.Stderr, "tail: subscribed %s/%s %s\n", *collection, *group, data)
+			case "pairs":
+				var batch struct {
+					Pairs [][2]record.ID `json:"pairs"`
+				}
+				if err := json.Unmarshal([]byte(data), &batch); err != nil {
+					return fmt.Errorf("tail: decode pairs event: %w", err)
+				}
+				for _, p := range batch.Pairs {
+					fmt.Fprintf(out, "%d,%d\n", p[0], p[1])
+				}
+				out.Flush()
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("tail: stream: %w", err)
 	}
 	return nil
 }

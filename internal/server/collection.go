@@ -35,13 +35,14 @@ import (
 // batch Block set — by construction; sharding buys write parallelism, never
 // changes results.
 //
-// Candidate pairs enter the pending queue in canonical emission order —
+// Candidate pairs enter the emission log in canonical emission order —
 // record-major (a record's pairs are queued when its ingest completes),
 // deduplicated against everything emitted before, sorted within one
 // record's freshly discovered group. The order depends only on the record
 // sequence, never on ingest batch boundaries, shard count, or worker
-// count; persistence relies on this to resume the candidate drain from a
-// durable cursor after a restore (see persist.go).
+// count; persistence relies on this to resume candidate delivery from
+// durable per-consumer-group cursors after a restore (see persist.go,
+// consumer.go).
 //
 // All methods are safe for concurrent use. Ingest order is serialised per
 // collection (the ID-assignment mutex), while the shards of one ingest
@@ -57,11 +58,24 @@ type Collection struct {
 	// from the shards. It is striped (independently locked shards of the
 	// pair space) so the canonical merge can deduplicate one batch's records
 	// in parallel instead of serialising every pair through c.mu.
-	seen     record.StripedPairSet
-	pending  []record.Pair // emitted but not yet drained, canonical order
-	inflight int           // popped by DrainCandidates, outcome not yet known
+	seen record.StripedPairSet
 
-	drainMu sync.Mutex // serialises DrainCandidates deliveries (prefix invariant)
+	// emitted is the retained tail of the canonical emission sequence:
+	// emitted[i] is sequence position emitBase+i, and emitBase+len(emitted)
+	// always equals seen.Len(). The prefix every consumer group has
+	// acknowledged is trimmed away (see trimLocked); a group created from
+	// the start reconstructs it from the tables. Appended under mu; popped
+	// windows are read-only views, never mutated in place.
+	emitted  []record.Pair
+	emitBase int
+
+	// groups are the named durable cursors into the emission sequence (see
+	// consumer.go). The default group always exists. Guarded by mu.
+	groups map[string]*consumerGroup
+	// signal is the emission broadcast: closed and replaced under mu
+	// whenever new pairs are appended (or a group is deleted), waking every
+	// blocked long-poll, SSE stream and webhook worker at once.
+	signal chan struct{}
 
 	shards []*stream.Indexer
 
@@ -110,6 +124,8 @@ func newCollection(spec CollectionSpec) (*Collection, error) {
 		cfg:         cfg,
 		technique:   technique,
 		log:         log,
+		groups:      map[string]*consumerGroup{DefaultConsumer: {name: DefaultConsumer}},
+		signal:      make(chan struct{}),
 		ingestHist:  obs.NewHistogram(),
 		resolveHist: obs.NewHistogram(),
 	}
@@ -212,8 +228,15 @@ func (c *Collection) Ingest(rows []stream.Row) ([]record.ID, error) {
 			fresh[i] = g
 		}
 	})
+	added := 0
 	for _, g := range fresh {
-		c.pending = append(c.pending, g...)
+		c.emitted = append(c.emitted, g...)
+		added += len(g)
+	}
+	if added > 0 {
+		// Wake blocked consumers (long-polls, SSE streams, webhook workers):
+		// new positions exist past their cursors.
+		c.broadcastLocked()
 	}
 	return batch.IDs, nil
 }
@@ -281,19 +304,18 @@ func (c *Collection) replayRows(rows []stream.Row) {
 	wg.Wait()
 }
 
-// rebuildLedger reconstructs the candidate-pair ledger from the current
-// table contents and positions the drain at the given cursor. It relies on
-// two structural facts of the ingest path: the set of pairs ever emitted
-// equals the set of co-bucketed pairs (a pair is emitted exactly when its
-// records first share a bucket), and the canonical emission order is the
-// pair set sorted by (higher ID, lower ID) — a pair is always discovered
-// when its higher-ID record is ingested, record groups are queued in
-// record order, and each group is sorted by the lower ID. Together they
-// make the ledger a pure function of the final snapshot, which is what
-// lets restore replay records through the pair-free fast path.
-func (c *Collection) rebuildLedger(drained int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// canonicalSeqLocked reconstructs the full canonical emission sequence from
+// the current table contents (caller holds c.mu). It relies on two
+// structural facts of the ingest path: the set of pairs ever emitted equals
+// the set of co-bucketed pairs (a pair is emitted exactly when its records
+// first share a bucket), and the canonical emission order is the pair set
+// sorted by (higher ID, lower ID) — a pair is always discovered when its
+// higher-ID record is ingested, record groups are queued in record order,
+// and each group is sorted by the lower ID. Together they make the sequence
+// a pure function of the final snapshot, which is what lets restore replay
+// records through the pair-free fast path and lets a from-start consumer
+// group recover a prefix other groups already released.
+func (c *Collection) canonicalSeqLocked() []record.Pair {
 	seen := c.snapshotLocked().CandidatePairs()
 	seq := make([]record.Pair, 0, seen.Len())
 	for p := range seen {
@@ -305,17 +327,40 @@ func (c *Collection) rebuildLedger(drained int) error {
 		}
 		return seq[i].Left() < seq[j].Left()
 	})
-	if drained < 0 || drained > len(seq) {
-		return fmt.Errorf("server: collection %s drain cursor %d outside the %d replayed pairs",
-			c.spec.Name, drained, len(seq))
+	return seq
+}
+
+// rebuildLedger reconstructs the candidate-pair ledger from the current
+// table contents and installs the manifest's consumer groups at their
+// durable cursors (see canonicalSeqLocked for why the sequence is
+// recoverable at all). The default group is created at cursor 0 if the
+// manifest does not name it; the acknowledged common prefix is trimmed
+// immediately so a restore never pins already-delivered pairs.
+func (c *Collection) rebuildLedger(consumers []consumerManifest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.canonicalSeqLocked()
+	groups := make(map[string]*consumerGroup, len(consumers)+1)
+	for _, cm := range consumers {
+		if cm.Cursor < 0 || cm.Cursor > len(seq) {
+			return fmt.Errorf("server: collection %s consumer %q cursor %d outside the %d replayed pairs",
+				c.spec.Name, cm.Name, cm.Cursor, len(seq))
+		}
+		groups[cm.Name] = &consumerGroup{name: cm.Name, cursor: cm.Cursor, webhook: cm.Webhook}
+	}
+	if _, ok := groups[DefaultConsumer]; !ok {
+		groups[DefaultConsumer] = &consumerGroup{name: DefaultConsumer}
 	}
 	c.seen.Reset()
 	for _, p := range seq {
 		c.seen.AddPair(p)
 	}
-	// Copy the undelivered tail so the drained prefix's backing array is
-	// released instead of pinned behind the re-slice.
-	c.pending = append([]record.Pair(nil), seq[drained:]...)
+	c.emitted = seq
+	c.emitBase = 0
+	c.groups = groups
+	// Release the prefix every group has acknowledged so the restored
+	// collection does not pin already-delivered pairs.
+	c.trimLocked()
 	return nil
 }
 
@@ -334,91 +379,50 @@ func (c *Collection) rebuildLedger(drained int) error {
 // cursor's reach; a consumer needing end-to-end exactly-once must
 // deduplicate or drive the drain through an acknowledged protocol.
 func (c *Collection) Candidates() []record.Pair {
-	// The drain mutex keeps this pop ordered against DrainCandidates
-	// hand-offs: popping around an in-flight fallible delivery would let
-	// later pairs count as delivered while earlier ones are still
-	// undecided, breaking the cursor's prefix invariant.
-	c.drainMu.Lock()
-	defer c.drainMu.Unlock()
+	// Blocking on the default group's busy mutex keeps this pop ordered
+	// against fallible hand-offs: popping around an in-flight delivery
+	// would let later pairs count as delivered while earlier ones are still
+	// undecided, breaking the cursor's prefix invariant. The default group
+	// always exists and is never deleted, so the pointer cannot go stale.
+	g, _ := c.lookupGroup(DefaultConsumer)
+	g.busy.Lock()
+	defer g.busy.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := c.pending
-	c.pending = nil
+	out := c.emitted[g.cursor-c.emitBase:]
+	if len(out) == 0 {
+		return nil
+	}
+	g.cursor += len(out)
+	c.trimLocked()
 	return out
 }
 
-// ErrDrainBusy reports a DrainCandidates call while another fallible
-// hand-off is still in flight; the caller should retry after it settles.
+// ErrDrainBusy reports a fallible hand-off against a consumer group whose
+// delivery slot is already taken (another drain's response write, or a
+// connected stream); the caller should retry after it settles. Busy-ness is
+// per group: two different groups never contend.
 var ErrDrainBusy = errors.New("a candidate drain is already in flight")
 
-// DrainCandidates pops the pending queue and hands it to deliver (nil is
-// not called on an empty queue); if deliver fails, the pairs are requeued
-// at the front, so the next drain delivers them again. Unlike a bare
-// Candidates call, the popped pairs do not count as delivered — the
-// durable drain cursor a concurrent Save captures excludes them — until
+// DrainCandidates pops the default group's undelivered window and hands it
+// to deliver (nil is not called on an empty window); if deliver fails, the
+// cursor does not move, so the next drain delivers the same pairs again.
+// Unlike a bare Candidates call, the popped pairs do not count as delivered
+// — the durable cursor a concurrent Save captures excludes them — until
 // deliver returns nil: a checkpoint racing an in-flight delivery can only
 // under-count (redeliver after a crash), never lose a pair whose delivery
-// failed. Deliveries are serialised, which keeps the delivered pairs a
-// prefix of the canonical emission order even when a failed delivery is
-// requeued between two others — the invariant the count-based cursor
-// depends on; rather than queueing behind a slow delivery (deliver may
-// block on a client socket), a concurrent call fails fast with
-// ErrDrainBusy. Use this for hand-offs that can fail mid-way (the HTTP
-// candidates endpoint does); use Candidates when delivery cannot fail.
+// failed. Deliveries of one group are serialised, which keeps its delivered
+// pairs a prefix of the canonical emission order — the invariant the
+// count-based cursor depends on; rather than queueing behind a slow
+// delivery (deliver may block on a client socket), a concurrent call fails
+// fast with ErrDrainBusy. Use this for hand-offs that can fail mid-way (the
+// HTTP candidates endpoint does); use Candidates when delivery cannot fail.
+// DrainConsumer is the named-group generalisation.
 func (c *Collection) DrainCandidates(deliver func([]record.Pair) error) error {
-	if !c.drainMu.TryLock() {
-		return ErrDrainBusy
-	}
-	defer c.drainMu.Unlock()
-	c.mu.Lock()
-	pairs := c.pending
-	c.pending = nil
-	c.inflight += len(pairs)
-	c.mu.Unlock()
-	if len(pairs) == 0 {
-		return nil
-	}
-	// The requeue-on-failure runs in a defer so a panicking deliver (which
-	// net/http swallows per request, keeping the process alive) counts as
-	// a failed delivery too: without it the popped pairs would be lost for
-	// the life of the process and the leaked inflight count would
-	// understate every later checkpoint's drain cursor.
-	delivered := false
-	defer func() {
-		c.mu.Lock()
-		c.inflight -= len(pairs)
-		if !delivered {
-			c.requeueLocked(pairs)
-		}
-		c.mu.Unlock()
-	}()
-	if err := deliver(pairs); err != nil {
-		return err
-	}
-	delivered = true
-	return nil
-}
-
-// Requeue returns undelivered pairs to the front of the pending queue, in
-// order, so a failed hand-off does not lose them: the next drain delivers
-// them again. Callers that can observe a delivery failure should prefer
-// DrainCandidates, which additionally keeps the in-flight pairs out of the
-// durable drain cursor and serialises deliveries; with bare
-// Candidates+Requeue, a checkpoint taken between the drain and the requeue
-// records the pairs as delivered.
-func (c *Collection) Requeue(pairs []record.Pair) {
-	if len(pairs) == 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.requeueLocked(pairs)
-}
-
-func (c *Collection) requeueLocked(pairs []record.Pair) {
-	merged := make([]record.Pair, 0, len(pairs)+len(c.pending))
-	merged = append(merged, pairs...)
-	c.pending = append(merged, c.pending...)
+	_, err := c.DrainConsumer(DefaultConsumer, func(b ConsumerBatch) error {
+		return deliver(b.Pairs)
+	})
+	return err
 }
 
 // Snapshot materialises the current index as a batch-style block result:
@@ -598,14 +602,18 @@ func parsePruning(spec PruneSpec) (metablocking.WeightScheme, metablocking.Prune
 
 // Stats summarises a collection for the HTTP API.
 type Stats struct {
-	Name             string `json:"name"`
-	Technique        string `json:"technique"`
-	Shards           int    `json:"shards"`
-	Records          int    `json:"records"`
-	Pairs            int    `json:"pairs"`
-	PendingPairs     int    `json:"pending_pairs"`
-	DrainedPairs     int    `json:"drained_pairs"`
-	PersistedRecords int    `json:"persisted_records"`
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+	Shards    int    `json:"shards"`
+	Records   int    `json:"records"`
+	Pairs     int    `json:"pairs"`
+	// PendingPairs/DrainedPairs describe the default consumer group — the
+	// legacy single-cursor view. Consumers carries every group, the default
+	// included.
+	PendingPairs     int             `json:"pending_pairs"`
+	DrainedPairs     int             `json:"drained_pairs"`
+	Consumers        []ConsumerStats `json:"consumers"`
+	PersistedRecords int             `json:"persisted_records"`
 	// Segments/SegmentBytes describe the on-disk checkpoint chain;
 	// Generation is the compaction generation serving it (0 = never
 	// compacted). They are the observables the compaction thresholds act on.
@@ -648,14 +656,16 @@ func (c *Collection) Stats() Stats {
 	for _, seg := range c.segments {
 		bytes += seg.Bytes
 	}
+	def := c.groups[DefaultConsumer]
 	return Stats{
 		Name:             c.spec.Name,
 		Technique:        c.technique,
 		Shards:           len(c.shards),
 		Records:          c.log.Len(),
 		Pairs:            c.seen.Len(),
-		PendingPairs:     len(c.pending),
-		DrainedPairs:     c.seen.Len() - len(c.pending) - c.inflight,
+		PendingPairs:     c.totalLocked() - def.cursor - def.inflight,
+		DrainedPairs:     def.cursor,
+		Consumers:        c.consumersLocked(),
 		PersistedRecords: c.persisted,
 		Segments:         len(c.segments),
 		SegmentBytes:     bytes,

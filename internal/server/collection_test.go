@@ -183,32 +183,43 @@ func TestSharedLogMemory(t *testing.T) {
 	t.Logf("retained heap: shards=1 %dB, shards=8 %dB", one, eight)
 }
 
-// TestCollectionRequeue checks that requeued pairs come back at the front
-// of the next drain, before any newly discovered ones, with nothing lost.
-func TestCollectionRequeue(t *testing.T) {
+// TestCollectionFailedDeliveryRedelivers checks that a failed delivery
+// leaves the cursor unmoved: the next drain redelivers the same pairs, in
+// the same order, ahead of any newly discovered ones, with nothing lost.
+func TestCollectionFailedDeliveryRedelivers(t *testing.T) {
 	_, rows := coraFixture(t, 120)
-	c, err := newCollection(baseSpec("requeue", 2))
+	c, err := newCollection(baseSpec("redeliver", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Ingest(rows[:60]); err != nil {
 		t.Fatal(err)
 	}
-	first := c.Candidates()
-	if len(first) == 0 {
-		t.Fatal("no pairs to requeue")
+	var first []record.Pair
+	failed := errors.New("delivery failed")
+	err = c.DrainCandidates(func(pairs []record.Pair) error {
+		first = append([]record.Pair(nil), pairs...)
+		return failed
+	})
+	if !errors.Is(err, failed) {
+		t.Fatalf("failing drain returned %v, want the delivery error", err)
 	}
-	c.Requeue(first)
+	if len(first) == 0 {
+		t.Fatal("no pairs handed to the failing delivery")
+	}
+	if got := c.Stats().DrainedPairs; got != 0 {
+		t.Fatalf("failed delivery advanced the cursor to %d", got)
+	}
 	if _, err := c.Ingest(rows[60:]); err != nil {
 		t.Fatal(err)
 	}
 	second := c.Candidates()
 	if len(second) < len(first) {
-		t.Fatalf("drain after requeue returned %d pairs, requeued %d", len(second), len(first))
+		t.Fatalf("drain after the failure returned %d pairs, undelivered window had %d", len(second), len(first))
 	}
 	for i, p := range first {
 		if second[i] != p {
-			t.Fatalf("requeued pair %d is %v, want %v (requeue must prepend in order)", i, second[i], p)
+			t.Fatalf("redelivered pair %d is %v, want %v (the unacknowledged window must come back first, in order)", i, second[i], p)
 		}
 	}
 	if c.PairCount() != len(second) {

@@ -127,13 +127,14 @@ func (c *Collection) Compact(dir string) (CompactionResult, error) {
 		return CompactionResult{}, fmt.Errorf("server: create collection dir: %w", err)
 	}
 
-	// Capture a consistent (records, cursor) snapshot exactly like Save:
+	// Capture a consistent (records, cursors) snapshot exactly like Save:
 	// records are immutable once appended, so the slice stays valid outside
-	// the mutex, and the cursor excludes in-flight DrainCandidates
-	// hand-offs whose outcome is unknown.
+	// the mutex, and every group cursor excludes in-flight hand-offs whose
+	// outcome is unknown (a cursor only moves on acknowledged delivery).
 	c.mu.Lock()
 	n := c.log.Len()
-	drained := c.seen.Len() - len(c.pending) - c.inflight
+	consumers := c.consumerManifestsLocked()
+	drained := c.minCursorLocked()
 	oldSegs := append([]segmentInfo(nil), c.segments...)
 	newGen := c.generation + 1 // generation only moves under saveMu, which we hold
 	var recs []*record.Record
@@ -170,7 +171,7 @@ func (c *Collection) Compact(dir string) (CompactionResult, error) {
 	// collection, before it the old one still is.
 	m := manifest{
 		Version: manifestVersion, Spec: c.spec,
-		Records: n, Drained: drained,
+		Records: n, Drained: drained, Consumers: consumers,
 		Generation: newGen, Segments: newSegs,
 	}
 	if err := writeManifest(dir, m); err != nil {

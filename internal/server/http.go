@@ -29,14 +29,40 @@ import (
 //	                                           array of rows, or JSONL bulk
 //	                                           (Content-Type: application/x-ndjson)
 //	GET    /v1/collections/{name}/candidates   incremental candidate drain
+//	                                           (the default consumer group)
 //	GET    /v1/collections/{name}/snapshot     batch-parity block collection
 //	POST   /v1/collections/{name}/resolve      pruning+matching pipeline run
 //	POST   /v1/collections/{name}/checkpoint   force a persistence checkpoint
 //	POST   /v1/collections/{name}/compact      compact the segment chain
 //	GET    /debug/traces                       recent request traces (JSON)
 //
+// Consumer groups (named durable cursors, see consumer.go) and push
+// delivery:
+//
+//	POST   /v1/collections/{name}/consumers                    create group
+//	                                           (body: {"group","from":"start|end"})
+//	GET    /v1/collections/{name}/consumers                    list groups
+//	GET    /v1/collections/{name}/consumers/{group}            group stats
+//	DELETE /v1/collections/{name}/consumers/{group}            delete group
+//	GET    /v1/collections/{name}/consumers/{group}/drain      drain the group
+//	                                           (?peek=true non-destructive,
+//	                                           ?wait=5s long-poll)
+//	POST   /v1/collections/{name}/consumers/{group}/ack        commit a cursor
+//	                                           (body: {"cursor":N})
+//	GET    /v1/collections/{name}/consumers/{group}/stream     SSE pair stream
+//	PUT    /v1/collections/{name}/consumers/{group}/webhook    register sink
+//	                                           (body: WebhookSpec)
+//	DELETE /v1/collections/{name}/consumers/{group}/webhook    remove sink
+//
 // A row is {"entity":ID,"attrs":{...}} — the same wire format as
 // record.ReadJSONL/WriteJSONL, so a dataset file can be POSTed verbatim.
+//
+// Every error response uses one JSON envelope,
+//
+//	{"error": {"code": "<stable machine code>", "message": "...", "trace_id": "..."}}
+//
+// with the codes listed at apiCode below; trace_id is present whenever the
+// request carries a trace.
 //
 // Every route runs through the instrumentation middleware: the request gets
 // a trace (ID echoed in the X-Semblock-Trace header and, for /resolve and
@@ -63,6 +89,15 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/collections/{name}/resolve", s.withCollection(s.handleResolve))
 	handle("POST /v1/collections/{name}/checkpoint", s.withCollection(s.handleCheckpoint))
 	handle("POST /v1/collections/{name}/compact", s.withCollection(s.handleCompact))
+	handle("POST /v1/collections/{name}/consumers", s.withCollection(s.handleConsumerCreate))
+	handle("GET /v1/collections/{name}/consumers", s.withCollection(s.handleConsumerList))
+	handle("GET /v1/collections/{name}/consumers/{group}", s.withCollection(s.handleConsumerGet))
+	handle("DELETE /v1/collections/{name}/consumers/{group}", s.withCollection(s.handleConsumerDelete))
+	handle("GET /v1/collections/{name}/consumers/{group}/drain", s.withCollection(s.handleConsumerDrain))
+	handle("POST /v1/collections/{name}/consumers/{group}/ack", s.withCollection(s.handleConsumerAck))
+	handle("GET /v1/collections/{name}/consumers/{group}/stream", s.withCollection(s.handleConsumerStream))
+	handle("PUT /v1/collections/{name}/consumers/{group}/webhook", s.withCollection(s.handleWebhookPut))
+	handle("DELETE /v1/collections/{name}/consumers/{group}/webhook", s.withCollection(s.handleWebhookDelete))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -79,6 +114,15 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming works through
+// the instrumentation middleware (a no-op when the transport cannot flush;
+// the stream handler probes the capability itself).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps one route's handler with tracing, latency observation,
@@ -168,7 +212,7 @@ func (s *Server) withCollection(h func(http.ResponseWriter, *http.Request, *Coll
 		name := r.PathValue("name")
 		c, ok := s.Collection(name)
 		if !ok {
-			s.httpError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
+			s.httpError(w, r, http.StatusNotFound, codeUnknownCollection, fmt.Errorf("no collection %q", name))
 			return
 		}
 		h(w, r, c)
@@ -187,19 +231,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec CollectionSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse spec: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse spec: %w", err))
 		return
 	}
 	c, err := s.Create(spec)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeInvalidRequest
 		switch {
 		case errors.Is(err, ErrExists):
-			status = http.StatusConflict
+			status, code = http.StatusConflict, codeCollectionExists
 		case errors.Is(err, ErrPersist):
-			status = http.StatusInternalServerError
+			status, code = http.StatusInternalServerError, codePersistFailed
 		}
-		s.httpError(w, status, err)
+		s.httpError(w, r, status, code, err)
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, c.Stats())
@@ -215,11 +259,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, c *Collecti
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.Delete(r.PathValue("name")); err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, codeInternal
 		if errors.Is(err, ErrNotFound) {
-			status = http.StatusNotFound
+			status, code = http.StatusNotFound, codeUnknownCollection
 		}
-		s.httpError(w, status, err)
+		s.httpError(w, r, status, code, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"deleted": r.PathValue("name")})
@@ -235,7 +279,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 	if strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl") {
 		d, err := record.ReadJSONL(r.Body, c.Name())
 		if err != nil {
-			s.httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, err)
 			return
 		}
 		rows = make([]stream.Row, 0, d.Len())
@@ -245,14 +289,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 	} else {
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
-			s.httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, err)
 			return
 		}
 		trimmed := bytes.TrimSpace(body)
 		if len(trimmed) > 0 && trimmed[0] == '[' {
 			var batch []record.JSONLRecord
 			if err := json.Unmarshal(trimmed, &batch); err != nil {
-				s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse row array: %w", err))
+				s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse row array: %w", err))
 				return
 			}
 			rows = make([]stream.Row, 0, len(batch))
@@ -262,7 +306,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 		} else {
 			var row record.JSONLRecord
 			if err := json.Unmarshal(trimmed, &row); err != nil {
-				s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse row: %w", err))
+				s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse row: %w", err))
 				return
 			}
 			rows = []stream.Row{toRow(row)}
@@ -271,7 +315,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, c *Collect
 	ingestStart := time.Now()
 	ids, err := c.Ingest(rows)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	s.metrics.ingestDur.Observe(time.Since(ingestStart))
@@ -314,7 +358,7 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request, c *Col
 		// Another drain's response write is still in flight; its pairs are
 		// spoken for, so queueing behind it would only tie up a handler.
 		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusServiceUnavailable, err)
+		s.httpError(w, r, http.StatusServiceUnavailable, codeDrainBusy, err)
 		return
 	}
 	if err != nil {
@@ -351,7 +395,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request, c *Colle
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collection) {
 	var req ResolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("parse resolve request: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse resolve request: %w", err))
 		return
 	}
 	// The deadline rides the request context, so a tripped deadline (or the
@@ -366,7 +410,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collec
 	}
 	res, err := c.ResolveContext(ctx, req)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	s.metrics.resolveRuns.Add(1)
@@ -395,13 +439,13 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request, c *Collec
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, c *Collection) {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, c *Collection) {
 	if s.dataDir == "" {
-		s.httpError(w, http.StatusConflict, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
+		s.httpError(w, r, http.StatusConflict, codeNoDataDir, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
 		return
 	}
 	if err := s.saveCollection(c); err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, codePersistFailed, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, c.Stats())
@@ -411,18 +455,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, c *Col
 // compacted generation (subsuming a checkpoint) and reports the result plus
 // the post-compaction stats. Compaction is idempotent from the client's
 // point of view: repeating it only burns a generation number.
-func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request, c *Collection) {
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request, c *Collection) {
 	if s.dataDir == "" {
-		s.httpError(w, http.StatusConflict, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
+		s.httpError(w, r, http.StatusConflict, codeNoDataDir, fmt.Errorf("server has no data dir; start with -data-dir to enable persistence"))
 		return
 	}
 	res, err := s.CompactCollection(c)
 	if err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, codePersistFailed
 		if errors.Is(err, ErrNotFound) {
-			status = http.StatusNotFound
+			status, code = http.StatusNotFound, codeUnknownCollection
 		}
-		s.httpError(w, status, err)
+		s.httpError(w, r, status, code, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"compaction": res, "stats": c.Stats()})
@@ -430,16 +474,381 @@ func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request, c *Collec
 
 // writeJSON renders a JSON response. The returned error reports a write
 // that died mid-stream (headers are gone by then, so it cannot change the
-// status); most handlers ignore it, the destructive candidate drain uses
-// it to requeue.
+// status); most handlers ignore it, the destructive drains use it to leave
+// the cursor unmoved.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	return json.NewEncoder(w).Encode(v)
 }
 
-// httpError renders the JSON error shape and counts it.
-func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+// apiCode is a stable machine-readable error code: the contract clients
+// switch on, independent of error-message wording and HTTP-status reuse.
+type apiCode string
+
+const (
+	codeInvalidRequest       apiCode = "invalid_request"       // 400: malformed body, params or spec
+	codeCursorOutOfRange     apiCode = "cursor_out_of_range"   // 400: ack beyond the emitted sequence
+	codeUnknownCollection    apiCode = "unknown_collection"    // 404
+	codeUnknownConsumer      apiCode = "unknown_consumer"      // 404
+	codeCollectionExists     apiCode = "collection_exists"     // 409
+	codeConsumerExists       apiCode = "consumer_exists"       // 409
+	codeConsumerProtected    apiCode = "consumer_protected"    // 409: default group cannot be deleted
+	codeNoDataDir            apiCode = "no_data_dir"           // 409: persistence op without -data-dir
+	codeDrainBusy            apiCode = "drain_busy"            // 503 + Retry-After: the group's delivery slot is taken
+	codePersistFailed        apiCode = "persist_failed"        // 500
+	codeStreamingUnsupported apiCode = "streaming_unsupported" // 500: transport cannot flush SSE
+	codeInternal             apiCode = "internal"              // 500
+)
+
+// httpError renders the error envelope
+// {"error": {"code", "message", "trace_id"}} and counts it.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, code apiCode, err error) {
 	s.metrics.errors.Add(1)
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]any{"code": code, "message": err.Error()}
+	if r != nil {
+		if id := obs.From(r.Context()).ID(); id != "" {
+			body["trace_id"] = id
+		}
+	}
+	s.writeJSON(w, status, map[string]any{"error": body})
+}
+
+// consumerError maps the consumer-group sentinel errors onto the envelope.
+// Busy answers carry Retry-After: the slot holder is mid-delivery, so the
+// pairs a retry would want are spoken for right now but not for long.
+func (s *Server) consumerError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownConsumer):
+		s.httpError(w, r, http.StatusNotFound, codeUnknownConsumer, err)
+	case errors.Is(err, ErrConsumerExists):
+		s.httpError(w, r, http.StatusConflict, codeConsumerExists, err)
+	case errors.Is(err, ErrConsumerProtected):
+		s.httpError(w, r, http.StatusConflict, codeConsumerProtected, err)
+	case errors.Is(err, ErrDrainBusy):
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, r, http.StatusServiceUnavailable, codeDrainBusy, err)
+	case errors.Is(err, ErrCursorOutOfRange):
+		s.httpError(w, r, http.StatusBadRequest, codeCursorOutOfRange, err)
+	default:
+		s.httpError(w, r, http.StatusInternalServerError, codeInternal, err)
+	}
+}
+
+// consumerBatchBody renders one drained batch as the drain/stream wire shape.
+func consumerBatchBody(b ConsumerBatch, traceID string) map[string]any {
+	out := make([][2]record.ID, len(b.Pairs))
+	for i, p := range b.Pairs {
+		out[i] = [2]record.ID{p.Left(), p.Right()}
+	}
+	body := map[string]any{
+		"group": b.Group, "pairs": out, "count": len(out),
+		"cursor": b.Cursor, "next_cursor": b.Next, "emitted_total": b.Total,
+	}
+	if traceID != "" {
+		body["trace_id"] = traceID
+	}
+	return body
+}
+
+// emptyBatchBody is the drain answer when the group has nothing pending: the
+// same shape as a real batch, with cursor == next_cursor and no pairs.
+func emptyBatchBody(st ConsumerStats, traceID string) map[string]any {
+	body := map[string]any{
+		"group": st.Group, "pairs": [][2]record.ID{}, "count": 0,
+		"cursor": st.Cursor, "next_cursor": st.Cursor, "emitted_total": st.EmittedTotal,
+	}
+	if traceID != "" {
+		body["trace_id"] = traceID
+	}
+	return body
+}
+
+// writeSSE renders one server-sent event frame (the caller flushes).
+func writeSSE(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// handleConsumerCreate registers a named consumer group. "from" picks the
+// starting cursor: "start" (default) replays the full emitted sequence,
+// "end" subscribes to new pairs only.
+func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request, c *Collection) {
+	var req struct {
+		Group string `json:"group"`
+		From  string `json:"from"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse consumer request: %w", err))
+		return
+	}
+	if req.From != "" && req.From != "start" && req.From != "end" {
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf(`"from" must be "start" or "end", got %q`, req.From))
+		return
+	}
+	st, err := c.CreateConsumer(req.Group, req.From == "end")
+	if err != nil {
+		if errors.Is(err, ErrConsumerExists) {
+			s.consumerError(w, r, err)
+		} else {
+			s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, err)
+		}
+		return
+	}
+	if s.dataDir != "" {
+		if err := s.saveCollection(c); err != nil {
+			// The group never became durable; undo so a retry starts clean.
+			_ = c.DeleteConsumer(req.Group)
+			s.httpError(w, r, http.StatusInternalServerError, codePersistFailed, err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleConsumerList(w http.ResponseWriter, _ *http.Request, c *Collection) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"collection": c.Name(), "consumers": c.Consumers(),
+	})
+}
+
+func (s *Server) handleConsumerGet(w http.ResponseWriter, r *http.Request, c *Collection) {
+	st, err := c.ConsumerStat(r.PathValue("group"))
+	if err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleConsumerDelete(w http.ResponseWriter, r *http.Request, c *Collection) {
+	group := r.PathValue("group")
+	if err := c.DeleteConsumer(group); err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.stopSink(c.Name(), group)
+	if s.dataDir != "" {
+		if err := s.saveCollection(c); err != nil {
+			s.httpError(w, r, http.StatusInternalServerError, codePersistFailed, err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"deleted": group})
+}
+
+// handleConsumerAck commits an explicit cursor for the group. Acks are
+// monotonic and idempotent: re-acking an older cursor is a no-op, acking
+// beyond the emitted sequence is cursor_out_of_range.
+func (s *Server) handleConsumerAck(w http.ResponseWriter, r *http.Request, c *Collection) {
+	var req struct {
+		Cursor *int `json:"cursor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Cursor == nil {
+		if err == nil {
+			err = fmt.Errorf(`missing "cursor"`)
+		}
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse ack request: %w", err))
+		return
+	}
+	st, err := c.AckConsumer(r.PathValue("group"), *req.Cursor)
+	if err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleConsumerDrain hands the group's pending window to the caller.
+// ?peek=true reads without advancing the cursor; ?wait=5s long-polls for up
+// to that long (capped at a minute) before answering an empty batch. Like
+// /candidates, a destructive drain only advances the cursor when the
+// response write completes.
+func (s *Server) handleConsumerDrain(w http.ResponseWriter, r *http.Request, c *Collection) {
+	group := r.PathValue("group")
+	traceID := obs.From(r.Context()).ID()
+	q := r.URL.Query()
+	if v := q.Get("peek"); v == "true" || v == "1" {
+		b, err := c.PeekConsumer(group)
+		if err != nil {
+			s.consumerError(w, r, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, consumerBatchBody(b, traceID))
+		return
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Errorf("bad wait %q: want a non-negative duration like 5s", v))
+			return
+		}
+		if d > time.Minute {
+			d = time.Minute
+		}
+		wait = d
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		drainStart := time.Now()
+		delivered, err := c.DrainConsumer(group, func(b ConsumerBatch) error {
+			return s.writeJSON(w, http.StatusOK, consumerBatchBody(b, traceID))
+		})
+		if err != nil {
+			if delivered > 0 {
+				return // response write died mid-stream; headers are gone
+			}
+			s.consumerError(w, r, err)
+			return
+		}
+		if delivered > 0 {
+			s.metrics.drainDur.Observe(time.Since(drainStart))
+			s.metrics.drainedPairs.Add(int64(delivered))
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			st, serr := c.ConsumerStat(group)
+			if serr != nil {
+				s.consumerError(w, r, serr)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, emptyBatchBody(st, traceID))
+			return
+		}
+		ok, werr := c.WaitPending(group, remaining, r.Context().Done(), s.pushStop)
+		if werr != nil {
+			s.consumerError(w, r, werr)
+			return
+		}
+		if !ok {
+			// Client gone, shutdown, or timeout: one final drain, then the
+			// empty answer.
+			deadline = time.Now()
+		}
+	}
+}
+
+// handleConsumerStream serves the group as a server-sent-event stream: a
+// "cursor" event on subscribe, a "pairs" event per acknowledged batch, and
+// keepalive comments while idle. The stream holds the group's delivery slot
+// for its whole life — concurrent drains of the same group answer 503.
+func (s *Server) handleConsumerStream(w http.ResponseWriter, r *http.Request, c *Collection) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.httpError(w, r, http.StatusInternalServerError, codeStreamingUnsupported,
+			fmt.Errorf("transport cannot stream server-sent events"))
+		return
+	}
+	group := r.PathValue("group")
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() { // release the stream on graceful shutdown
+		select {
+		case <-s.pushStop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	s.metrics.streamsActive.Add(1)
+	defer s.metrics.streamsActive.Add(-1)
+	headersSent := false
+	err := c.StreamConsumer(ctx, group, StreamHandlers{
+		Heartbeat: 15 * time.Second,
+		Ready: func(st ConsumerStats) error {
+			h := w.Header()
+			h.Set("Content-Type", "text/event-stream")
+			h.Set("Cache-Control", "no-cache")
+			h.Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+			headersSent = true
+			if err := writeSSE(w, "cursor", map[string]any{
+				"group": st.Group, "cursor": st.Cursor, "emitted_total": st.EmittedTotal,
+			}); err != nil {
+				return err
+			}
+			fl.Flush()
+			return nil
+		},
+		Batch: func(b ConsumerBatch) error {
+			if err := writeSSE(w, "pairs", consumerBatchBody(b, "")); err != nil {
+				return err
+			}
+			fl.Flush()
+			s.metrics.drainedPairs.Add(int64(len(b.Pairs)))
+			return nil
+		},
+		Idle: func() error {
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return err
+			}
+			fl.Flush()
+			return nil
+		},
+	})
+	if err != nil && !headersSent {
+		s.consumerError(w, r, err)
+	}
+}
+
+// handleWebhookPut registers (or replaces) the group's webhook sink and
+// starts its delivery worker.
+func (s *Server) handleWebhookPut(w http.ResponseWriter, r *http.Request, c *Collection) {
+	var spec WebhookSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("parse webhook spec: %w", err))
+		return
+	}
+	if err := validateWebhookSpec(spec); err != nil {
+		s.httpError(w, r, http.StatusBadRequest, codeInvalidRequest, err)
+		return
+	}
+	group := r.PathValue("group")
+	if err := c.SetWebhook(group, &spec); err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	if s.dataDir != "" {
+		if err := s.saveCollection(c); err != nil {
+			s.httpError(w, r, http.StatusInternalServerError, codePersistFailed, err)
+			return
+		}
+	}
+	s.startSink(c, group)
+	st, err := c.ConsumerStat(group)
+	if err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleWebhookDelete removes the group's webhook sink and stops its worker;
+// the cursor keeps its last acknowledged position.
+func (s *Server) handleWebhookDelete(w http.ResponseWriter, r *http.Request, c *Collection) {
+	group := r.PathValue("group")
+	if err := c.SetWebhook(group, nil); err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.stopSink(c.Name(), group)
+	if s.dataDir != "" {
+		if err := s.saveCollection(c); err != nil {
+			s.httpError(w, r, http.StatusInternalServerError, codePersistFailed, err)
+			return
+		}
+	}
+	st, err := c.ConsumerStat(group)
+	if err != nil {
+		s.consumerError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }

@@ -27,6 +27,14 @@ type metrics struct {
 	compactions      atomic.Int64 // segment-chain compactions completed
 	compactedBytes   atomic.Int64 // segment bytes written by compactions
 
+	// Push delivery (consumer groups, see webhook.go and the stream
+	// handlers in http.go).
+	webhookDeliveries atomic.Int64 // batches acknowledged by webhook sinks
+	webhookPairs      atomic.Int64 // pairs acknowledged by webhook sinks
+	webhookRetries    atomic.Int64 // webhook attempts beyond a batch's first
+	webhookFailures   atomic.Int64 // batches that exhausted their bounded retries
+	streamsActive     atomic.Int64 // connected SSE stream consumers
+
 	lastCompactionNanos atomic.Int64 // duration of the most recent compaction
 
 	// Latency histograms (see metrics.init). httpDur and stageDur are
@@ -36,6 +44,7 @@ type metrics struct {
 	ingestDur  *obs.Histogram   // semblock_ingest_batch_duration_seconds
 	drainDur   *obs.Histogram   // semblock_drain_duration_seconds
 	stagingDur *obs.Histogram   // semblock_signature_staging_duration_seconds
+	webhookDur *obs.Histogram   // semblock_webhook_delivery_duration_seconds
 }
 
 // init allocates the histogram families. Called once by New, before the
@@ -48,6 +57,7 @@ func (m *metrics) init() {
 	m.ingestDur = obs.NewHistogram()
 	m.drainDur = obs.NewHistogram()
 	m.stagingDur = obs.NewHistogram()
+	m.webhookDur = obs.NewHistogram()
 }
 
 // writeMetrics renders the Prometheus text exposition: server-wide counters,
@@ -72,6 +82,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("semblock_candidate_queries_total", "GET /candidates requests.", m.candidateQueries.Load())
 	counter("semblock_snapshot_queries_total", "GET /snapshot requests.", m.snapshotQueries.Load())
 	counter("semblock_resolve_runs_total", "POST /resolve pipeline runs.", m.resolveRuns.Load())
+	counter("semblock_webhook_deliveries_total", "Webhook batches acknowledged by their sink.", m.webhookDeliveries.Load())
+	counter("semblock_webhook_pairs_total", "Candidate pairs acknowledged by webhook sinks.", m.webhookPairs.Load())
+	counter("semblock_webhook_retries_total", "Webhook delivery attempts beyond a batch's first.", m.webhookRetries.Load())
+	counter("semblock_webhook_failures_total", "Webhook batches that exhausted their bounded retries.", m.webhookFailures.Load())
+	fmt.Fprintf(w, "# HELP semblock_stream_consumers Connected SSE stream consumers.\n# TYPE semblock_stream_consumers gauge\nsemblock_stream_consumers %d\n",
+		m.streamsActive.Load())
 	counter("semblock_checkpoints_total", "Collection checkpoints written.", m.checkpoints.Load())
 	counter("semblock_compactions_total", "Segment-chain compactions completed.", m.compactions.Load())
 	counter("semblock_compacted_bytes_total", "Segment bytes written by compactions.", m.compactedBytes.Load())
@@ -88,6 +104,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	}
 	if m.stagingDur != nil {
 		m.stagingDur.WriteProm(w, "semblock_signature_staging_duration_seconds", "Once-per-record signature staging latency per ingest batch.")
+	}
+	if m.webhookDur != nil {
+		m.webhookDur.WriteProm(w, "semblock_webhook_delivery_duration_seconds", "Webhook batch delivery latency (drain + POST + acknowledgment).")
 	}
 
 	// Snapshot the registry under s.mu, then gather per-collection stats
@@ -126,6 +145,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP semblock_collection_generation Compaction generation per collection.\n# TYPE semblock_collection_generation gauge\n")
 	for _, st := range stats {
 		fmt.Fprintf(w, "semblock_collection_generation{collection=%q} %d\n", st.Name, st.Generation)
+	}
+	// Per-group lag: emitted pairs not yet acknowledged by the group
+	// (in-flight windows count as lag until their delivery settles). Label
+	// values come from registry state, never from request input.
+	fmt.Fprintf(w, "# HELP semblock_consumer_lag Candidate pairs emitted but not yet acknowledged, per consumer group.\n# TYPE semblock_consumer_lag gauge\n")
+	for _, st := range stats {
+		for _, g := range st.Consumers {
+			fmt.Fprintf(w, "semblock_consumer_lag{collection=%q,group=%q} %d\n",
+				st.Name, g.Group, g.EmittedTotal-g.Cursor)
+		}
 	}
 
 	obs.WriteRuntimeMetrics(w)

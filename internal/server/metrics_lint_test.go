@@ -240,6 +240,11 @@ func TestMetricsExpositionLint(t *testing.T) {
 	if code := postJSON(t, ts, "GET", ts.URL+"/v1/collections/absent", nil); code != 404 {
 		t.Fatalf("missing-collection status %d", code)
 	}
+	// A named consumer group with a drained prefix, so the per-group lag
+	// gauge has one series at zero (default) and one lagging (etl).
+	if code := postJSON(t, ts, "POST", base+"/consumers", map[string]any{"group": "etl"}); code != 201 {
+		t.Fatalf("create consumer status %d", code)
+	}
 
 	resp, err := ts.Client().Get(ts.URL + "/metrics")
 	if err != nil {
@@ -267,6 +272,13 @@ func TestMetricsExpositionLint(t *testing.T) {
 		{"semblock_http_errors_total", "counter"},
 		{"semblock_goroutines", "gauge"},
 		{"semblock_heap_bytes", "gauge"},
+		{"semblock_webhook_delivery_duration_seconds", "histogram"},
+		{"semblock_webhook_deliveries_total", "counter"},
+		{"semblock_webhook_pairs_total", "counter"},
+		{"semblock_webhook_retries_total", "counter"},
+		{"semblock_webhook_failures_total", "counter"},
+		{"semblock_stream_consumers", "gauge"},
+		{"semblock_consumer_lag", "gauge"},
 	} {
 		f, ok := families[want.family]
 		if !ok {
@@ -290,6 +302,7 @@ func TestMetricsExpositionLint(t *testing.T) {
 		`semblock_ingest_batch_duration_seconds_count 1`,
 		`semblock_drain_duration_seconds_count 1`,
 		`semblock_signature_staging_duration_seconds_count 1`,
+		`semblock_consumer_lag{collection="lint",group="default"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

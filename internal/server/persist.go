@@ -44,12 +44,17 @@ const (
 	// v1: spec + record segments. v2: + durable drain cursor (manifest
 	// `drained`, per-segment cumulative `drained` epoch marks). v3: +
 	// compaction generations (manifest `generation`, per-segment `bytes`,
-	// generation-scoped segment names) — see compact.go.
-	manifestVersion = 3
+	// generation-scoped segment names) — see compact.go. v4: + named
+	// consumer groups (manifest `consumers`: per-group durable cursors and
+	// webhook sinks) — see consumer.go; `drained` becomes the derived
+	// minimum cursor across groups, kept for diagnostics and downgrades.
+	manifestVersion = 4
 	// oldestManifestVersion is the oldest layout LoadCollection still
 	// reads. v1 directories load with a zero cursor — the drain restarts
 	// from the full candidate set, with a logged warning. v2 directories
 	// load as generation 0 with unknown segment sizes (filled by stat).
+	// v2/v3 directories migrate their single drain cursor into the
+	// `default` consumer group.
 	oldestManifestVersion = 1
 )
 
@@ -72,12 +77,18 @@ type manifest struct {
 	Version int            `json:"version"`
 	Spec    CollectionSpec `json:"spec"`
 	Records int            `json:"records"`
-	// Drained is the durable drain cursor: how many candidate pairs had
-	// been delivered to consumers (in the collection's canonical emission
-	// order) when this checkpoint was taken. LoadCollection discards that
-	// long a prefix of the replayed pair sequence, so restore never
-	// redelivers a pair drained before the checkpoint.
+	// Drained is the durable drain cursor of pre-v4 manifests: how many
+	// candidate pairs had been delivered (in the collection's canonical
+	// emission order) when the checkpoint was taken. Since v4 the
+	// per-group cursors in Consumers are authoritative and Drained is
+	// written as their minimum — the sequence prefix every group has
+	// acknowledged — so older readers and humans still see a meaningful
+	// single cursor.
 	Drained int `json:"drained,omitempty"`
+	// Consumers are the named consumer groups and their durable cursors
+	// (v4+). A pre-v4 manifest loads as a single `default` group at
+	// Drained; a v4 manifest missing the default group gets it at zero.
+	Consumers []consumerManifest `json:"consumers,omitempty"`
 	// Generation is the compaction generation of the segment chain: 0 until
 	// the first compaction, then incremented by every Compact. Segment file
 	// names embed the generation (see segmentName), so the files of two
@@ -86,6 +97,18 @@ type manifest struct {
 	// next (see compact.go).
 	Generation int           `json:"generation,omitempty"`
 	Segments   []segmentInfo `json:"segments"`
+}
+
+// consumerManifest is one consumer group's durable state: its acknowledged
+// cursor into the canonical emission sequence and, when push delivery is
+// configured, its webhook sink. Cursors are captured under the collection
+// mutex and only ever count acknowledged deliveries (in-flight windows are
+// excluded by construction — a group cursor moves after deliver succeeds),
+// so persisting one can never lose an unacknowledged pair.
+type consumerManifest struct {
+	Name    string       `json:"name"`
+	Cursor  int          `json:"cursor"`
+	Webhook *WebhookSpec `json:"webhook,omitempty"`
 }
 
 // segmentInfo names one immutable record segment.
@@ -141,17 +164,19 @@ func (c *Collection) Save(dir string) error {
 		return fmt.Errorf("server: create collection dir: %w", err)
 	}
 
-	// Capture the un-persisted span and the drain cursor under the index
-	// mutex; records are immutable once appended, so the pointers stay
-	// valid outside it. The cursor counts pairs delivered to consumers —
-	// everything ever emitted minus the still-pending queue and minus any
-	// in-flight DrainCandidates hand-off whose outcome is unknown (counting
-	// those as delivered would lose them if the hand-off fails and the
-	// process dies before the requeue lands). It is consistent with the
-	// record count because ingest commits both under the same mutex.
+	// Capture the un-persisted span and the consumer cursors under the
+	// index mutex; records are immutable once appended, so the pointers
+	// stay valid outside it. Each group cursor counts only acknowledged
+	// deliveries — a window popped by an in-flight hand-off whose outcome
+	// is unknown has not advanced it (counting those as delivered would
+	// lose them if the hand-off fails and the process dies). The capture is
+	// consistent with the record count because ingest commits both under
+	// the same mutex. The legacy manifest-level cursor is the minimum
+	// across groups — the prefix everyone has acknowledged.
 	c.mu.Lock()
 	n := c.log.Len()
-	drained := c.seen.Len() - len(c.pending) - c.inflight
+	consumers := c.consumerManifestsLocked()
+	drained := c.minCursorLocked()
 	persisted := c.persisted
 	generation := c.generation
 	segments := append([]segmentInfo(nil), c.segments...)
@@ -176,7 +201,7 @@ func (c *Collection) Save(dir string) error {
 	}
 	m := manifest{
 		Version: manifestVersion, Spec: c.spec,
-		Records: persisted, Drained: drained,
+		Records: persisted, Drained: drained, Consumers: consumers,
 		Generation: generation, Segments: segments,
 	}
 	if err := writeManifest(dir, m); err != nil {
@@ -235,6 +260,13 @@ func LoadCollection(dir string) (*Collection, error) {
 		warnf("server: collection %s: manifest v%d predates the drain cursor; the candidate drain restarts from the full set (consumers may see redelivered pairs once)",
 			m.Spec.Name, m.Version)
 	}
+	if m.Version < 4 {
+		// Pre-consumer-group manifest: its single drain cursor is, by
+		// definition, the default group's cursor. Any `consumers` field a
+		// newer writer left behind in a downgraded manifest is ignored —
+		// the declared version decides the layout.
+		m.Consumers = []consumerManifest{{Name: DefaultConsumer, Cursor: m.Drained}}
+	}
 	if m.Generation < 0 {
 		return nil, fmt.Errorf("server: manifest %s has negative generation %d", dir, m.Generation)
 	}
@@ -284,11 +316,11 @@ func LoadCollection(dir string) (*Collection, error) {
 		return nil, fmt.Errorf("server: collection %s replayed %d records, manifest says %d",
 			m.Spec.Name, c.Len(), m.Records)
 	}
-	// Rebuild the pair ledger from the replayed tables and resume the drain
-	// at the durable cursor: the canonical emission sequence is a pure
-	// function of the table contents, of which the first Drained pairs were
-	// already delivered before the checkpoint.
-	if err := c.rebuildLedger(m.Drained); err != nil {
+	// Rebuild the pair ledger from the replayed tables and resume every
+	// consumer group at its durable cursor: the canonical emission sequence
+	// is a pure function of the table contents, of which each group's first
+	// Cursor pairs were already delivered before the checkpoint.
+	if err := c.rebuildLedger(m.Consumers); err != nil {
 		return nil, err
 	}
 	c.segments = m.Segments

@@ -437,3 +437,86 @@ func TestServerRestoreOnBoot(t *testing.T) {
 		t.Error("beta still listed after Delete")
 	}
 }
+
+// TestManifestV3Compat mirrors TestManifestV1Compat for the v3 -> v4
+// transition: a v3 manifest has a single "drained" cursor and no
+// "consumers" array. Loading one must migrate the cursor onto the default
+// consumer group — the drained prefix is never redelivered — and must not
+// invent any named groups.
+func TestManifestV3Compat(t *testing.T) {
+	_, rows := coraFixture(t, 120)
+	dir := t.TempDir()
+	c, err := newCollection(baseSpec("v3compat", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	drained := c.Candidates() // advance the default cursor past zero
+	if len(drained) == 0 {
+		t.Fatal("nothing drained; fixture too small")
+	}
+	// A named group the v3 downgrade below must erase: the declared version
+	// decides what fields mean, so a stale "consumers" array in an older
+	// manifest is ignored.
+	if _, err := c.CreateConsumer("lagging", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the manifest as v3: the scalar drained cursor carries the
+	// default group's position (in v4 it is the min across groups — zero
+	// here, because "lagging" never drained). The stale "consumers" field is
+	// left in place: the declared version decides what fields mean, so a v3
+	// loader must ignore it.
+	path := filepath.Join(dir, manifestFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = 3
+	m["drained"] = len(drained)
+	v3, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, v3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	defer func() { warnf = slogWarnf }()
+
+	restored, err := LoadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single v3 cursor became the default group's; no named groups.
+	stats := restored.Consumers()
+	if len(stats) != 1 || stats[0].Group != DefaultConsumer {
+		t.Fatalf("v3 restore has groups %+v, want only %q", stats, DefaultConsumer)
+	}
+	if stats[0].Cursor != len(drained) {
+		t.Fatalf("v3 restore put the default cursor at %d, checkpoint drained %d", stats[0].Cursor, len(drained))
+	}
+	// The remaining drain picks up exactly where v3's cursor left off.
+	rest := restored.Candidates()
+	if len(drained)+len(rest) != restored.PairCount() {
+		t.Fatalf("v3 restore redelivers: %d drained + %d after restore != %d emitted",
+			len(drained), len(rest), restored.PairCount())
+	}
+	// A clean v3 load is silent — the migration is lossless, unlike v1's.
+	if len(warnings) != 0 {
+		t.Errorf("v3 load produced warnings %q, want none", warnings)
+	}
+}

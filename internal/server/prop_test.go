@@ -30,6 +30,15 @@ import (
 // durable checkpoint), the uncommitted set U (deliveries since), and the
 // persisted row count; a crash rolls U and the unpersisted rows back,
 // exactly like the process dying would.
+//
+// Two named consumer groups ride along at independent paces — "fast" drains
+// on every drain op, "slow" only occasionally — through the same
+// checkpoints, compactions and restarts. Each group's cursor is durable and
+// advances only on acknowledged delivery, and the emission order is a pure
+// function of the record sequence, so each group must observe the exact
+// canonical pair sequence exactly once: a crash truncates a group's
+// observations back to its last durable cursor, and redelivery extends the
+// identical sequence from there.
 func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 	d, rows := coraFixture(t, 150)
 	for _, seed := range []int64{1, 2, 3, 7, 42} {
@@ -47,6 +56,31 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 			fed, persisted := 0, 0
 			checkpointed := false // a manifest exists on disk
 
+			// Named groups: the exact pair sequence each has observed, and
+			// the prefix length covered by the latest durable checkpoint.
+			type groupTrack struct {
+				seq       []record.Pair
+				committed int
+			}
+			groups := map[string]*groupTrack{"fast": {}, "slow": {}}
+			for name := range groups {
+				if _, err := c.CreateConsumer(name, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			drainGroup := func(name string) {
+				g := groups[name]
+				if _, err := c.DrainConsumer(name, func(b ConsumerBatch) error {
+					if b.Cursor != len(g.seq) {
+						t.Fatalf("group %s batch starts at cursor %d, observed %d pairs", name, b.Cursor, len(g.seq))
+					}
+					g.seq = append(g.seq, b.Pairs...)
+					return nil
+				}); err != nil {
+					t.Fatalf("drain group %s: %v", name, err)
+				}
+			}
+
 			deliver := func(pairs []record.Pair) {
 				for _, p := range pairs {
 					if _, dup := committed[p]; dup {
@@ -58,7 +92,13 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 					uncommitted.AddPair(p)
 				}
 			}
-			drain := func() { deliver(c.Candidates()) }
+			drain := func() {
+				deliver(c.Candidates())
+				drainGroup("fast") // the fast group keeps pace with every drain
+				if rng.Intn(4) == 0 {
+					drainGroup("slow") // the slow group lags several windows behind
+				}
+			}
 			commit := func() {
 				for p := range uncommitted {
 					committed.AddPair(p)
@@ -66,6 +106,9 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 				uncommitted = record.NewPairSet(0)
 				persisted = fed
 				checkpointed = true
+				for _, g := range groups {
+					g.committed = len(g.seq)
+				}
 			}
 
 			for op := 0; op < 70; op++ {
@@ -111,9 +154,14 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 					c = restored
 					// The crash rolls back everything the checkpoint did not
 					// cover: unpersisted rows are re-fed later, uncommitted
-					// deliveries may legally be redelivered.
+					// deliveries may legally be redelivered. Each named
+					// group's observations roll back to its durable cursor —
+					// redelivery must extend the same sequence from there.
 					fed = persisted
 					uncommitted = record.NewPairSet(0)
+					for _, g := range groups {
+						g.seq = g.seq[:g.committed]
+					}
 				case 6: // concurrent build + drains: Candidates races Ingest
 					n := 1 + rng.Intn(12)
 					if fed+n > len(rows) {
@@ -187,6 +235,31 @@ func TestRandomOpsExactlyOnceAndParity(t *testing.T) {
 			}
 			if got, want := canonical(c.Snapshot().Blocks), canonical(batch.Blocks); !sameCanonical(got, want) {
 				t.Fatal("final snapshot differs from the batch Block run")
+			}
+
+			// Named groups: drain each dry, then check every group observed
+			// the exact canonical emission sequence exactly once — the one a
+			// fresh collection fed the same records produces in one pass.
+			drainGroup("fast")
+			drainGroup("slow")
+			ref, err := newCollection(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.Ingest(rows); err != nil {
+				t.Fatal(err)
+			}
+			wantSeq := ref.Candidates()
+			for name, g := range groups {
+				if len(g.seq) != len(wantSeq) {
+					t.Fatalf("group %s observed %d pairs, canonical sequence has %d", name, len(g.seq), len(wantSeq))
+				}
+				for i, p := range wantSeq {
+					if g.seq[i] != p {
+						t.Fatalf("group %s pair %d is (%d,%d), canonical (%d,%d)",
+							name, i, g.seq[i].Left(), g.seq[i].Right(), p.Left(), p.Right())
+					}
+				}
 			}
 		})
 	}

@@ -98,6 +98,14 @@ func WithSlowRequestThreshold(d time.Duration) Option {
 	return func(s *Server) { s.slowReq = d }
 }
 
+// WithWebhookDefaults sets the server-wide webhook delivery policy a
+// WebhookSpec's zero fields inherit (attempt timeout, bounded retry count,
+// initial exponential-backoff delay). Zero fields of the defaults
+// themselves fall back to the built-in policy (10s / 5 retries / 100ms).
+func WithWebhookDefaults(d WebhookDefaults) Option {
+	return func(s *Server) { s.webhookDefaults = d }
+}
+
 // WithCompaction enables automatic background segment compaction: on each
 // checkpoint pass, a collection whose on-disk chain has crossed a policy
 // threshold is compacted in place instead of checkpointed — the compaction
@@ -131,6 +139,17 @@ type Server struct {
 	compaction    CompactionPolicy
 	metrics       metrics
 
+	// Push delivery (see webhook.go, the stream/long-poll handlers in
+	// http.go). sinks maps "collection/group" to its running webhook
+	// worker; pushStop is closed by StopDelivery to release connected
+	// SSE/long-poll consumers.
+	webhookDefaults WebhookDefaults
+	sinksMu         sync.Mutex
+	sinks           map[string]*sinkWorker
+	sinkWG          sync.WaitGroup
+	pushStop        chan struct{}
+	pushStopped     bool
+
 	// Observability (see internal/obs): the tracer mints one trace per
 	// routed request and retains the most recent completed ones for
 	// GET /debug/traces; completed span durations feed the per-stage
@@ -150,6 +169,8 @@ func New(opts ...Option) (*Server, error) {
 		collections:   make(map[string]*Collection),
 		persistLocks:  make(map[string]*persistLock),
 		defaultShards: 1,
+		sinks:         make(map[string]*sinkWorker),
+		pushStop:      make(chan struct{}),
 	}
 	s.metrics.init()
 	for _, opt := range opts {
@@ -183,6 +204,9 @@ func New(opts ...Option) (*Server, error) {
 		}
 		c.log.SetStageHistogram(s.metrics.stagingDur)
 		s.collections[c.Name()] = c
+		// Persisted webhook sinks resume delivery from their durable
+		// cursors as soon as the server is up.
+		s.startCollectionSinks(c)
 	}
 	return s, nil
 }
@@ -367,6 +391,7 @@ func (s *Server) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrNotFound, name)
 	}
+	s.stopCollectionSinks(name)
 	if s.dataDir != "" {
 		if err := os.RemoveAll(s.collectionDir(name)); err != nil {
 			return fmt.Errorf("server: delete collection data: %w", err)
@@ -451,10 +476,15 @@ func (s *Server) CheckpointEvery(interval time.Duration, stop <-chan struct{}, o
 	}
 }
 
-// Close takes a final checkpoint (without maintenance compaction, like the
-// shutdown path). The server has no other resources to release; HTTP
-// listener lifecycle belongs to the caller.
-func (s *Server) Close() error { return s.checkpointAll(false) }
+// Close stops push delivery (webhook workers wind down, streams are
+// released) and then takes a final checkpoint (without maintenance
+// compaction, like the shutdown path) — in that order, so the checkpoint
+// captures the workers' last acknowledged cursors. HTTP listener lifecycle
+// belongs to the caller.
+func (s *Server) Close() error {
+	s.StopDelivery()
+	return s.checkpointAll(false)
+}
 
 // collectionDir returns the persistence directory of a collection.
 func (s *Server) collectionDir(name string) string {

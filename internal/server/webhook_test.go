@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semblock/internal/record"
+)
+
+// failingSink is a webhook receiver that refuses deliveries while failing
+// is set and records every pair it acknowledged.
+type failingSink struct {
+	failing  atomic.Bool
+	attempts atomic.Int64
+
+	mu    sync.Mutex
+	pairs map[[2]record.ID]int // acknowledged pair -> delivery count
+}
+
+func newFailingSink() *failingSink {
+	s := &failingSink{pairs: make(map[[2]record.ID]int)}
+	s.failing.Store(true)
+	return s
+}
+
+func (f *failingSink) handler(w http.ResponseWriter, r *http.Request) {
+	f.attempts.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.failing.Load() {
+		http.Error(w, "sink down", http.StatusInternalServerError)
+		return
+	}
+	var payload struct {
+		Pairs [][2]record.ID `json:"pairs"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	for _, p := range payload.Pairs {
+		f.pairs[p]++
+	}
+	f.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *failingSink) acknowledged() map[[2]record.ID]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[[2]record.ID]int, len(f.pairs))
+	for p, n := range f.pairs {
+		out[p] = n
+	}
+	return out
+}
+
+// TestWebhookAtLeastOnce is the acceptance test for push delivery: with the
+// sink failing, the worker retries with backoff and the group cursor never
+// advances past the unacknowledged batch; once the sink recovers, every
+// pair arrives at least once and the cursor reaches the tip.
+func TestWebhookAtLeastOnce(t *testing.T) {
+	_, rows := coraFixture(t, 100)
+	sink := newFailingSink()
+	receiver := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer receiver.Close()
+
+	s, err := New(WithWebhookDefaults(WebhookDefaults{
+		Timeout: 2 * time.Second, MaxRetries: 2, Backoff: 2 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.StopDelivery()
+	c, err := s.Create(baseSpec("push", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateConsumer("sink", false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+
+	spec := fmt.Sprintf(`{"url":%q}`, receiver.URL)
+	var st ConsumerStats
+	if code := doJSON(t, cl, "PUT", ts.URL+"/v1/collections/push/consumers/sink/webhook",
+		strings.NewReader(spec), "application/json", &st); code != 200 {
+		t.Fatalf("webhook registration status %d", code)
+	}
+	if st.Webhook == nil || st.Webhook.URL != receiver.URL {
+		t.Fatalf("registered group reports webhook %+v", st.Webhook)
+	}
+	if code := doJSON(t, cl, "PUT", ts.URL+"/v1/collections/push/consumers/sink/webhook",
+		strings.NewReader(`{"url":"not a url"}`), "application/json", nil); code != 400 {
+		t.Errorf("bad webhook spec status %d, want 400", code)
+	}
+
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	total := c.PairCount()
+	if total == 0 {
+		t.Fatal("fixture emitted no pairs")
+	}
+
+	// While the sink refuses, attempts pile up but the cursor holds at 0 —
+	// delivery is acknowledged or it did not happen.
+	deadline := time.Now().Add(10 * time.Second)
+	for sink.attempts.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("webhook worker never attempted delivery")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st, err := c.ConsumerStat("sink"); err != nil || st.Cursor != 0 {
+		t.Fatalf("cursor advanced to %d (%v) with every delivery refused", st.Cursor, err)
+	}
+
+	sink.failing.Store(false)
+	for {
+		st, err := c.ConsumerStat("sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cursor == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor stuck at %d of %d after the sink recovered", st.Cursor, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// At-least-once: every emitted pair was acknowledged by the sink. The
+	// default group is untouched — its own drain still owes the full set.
+	acked := sink.acknowledged()
+	if left := c.Candidates(); len(left) != total {
+		t.Fatalf("default group drains %d pairs after webhook delivery, want the untouched %d", len(left), total)
+	}
+	if len(acked) != total {
+		t.Fatalf("sink acknowledged %d distinct pairs, want %d", len(acked), total)
+	}
+
+	// The refused attempts registered as retries/failures in the metrics.
+	var metrics strings.Builder
+	resp, err := cl.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(&metrics, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"semblock_webhook_deliveries_total",
+		"semblock_webhook_retries_total",
+		fmt.Sprintf("semblock_webhook_pairs_total %d", total),
+		fmt.Sprintf(`semblock_consumer_lag{collection="push",group="sink"} 0`),
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
+	}
+
+	// Removing the webhook stops the worker and keeps the cursor.
+	var after ConsumerStats
+	if code := doJSON(t, cl, "DELETE", ts.URL+"/v1/collections/push/consumers/sink/webhook", nil, "", &after); code != 200 {
+		t.Fatalf("webhook removal status %d", code)
+	}
+	if after.Webhook != nil || after.Cursor != total {
+		t.Fatalf("after removal the group reports %+v, want no webhook at cursor %d", after, total)
+	}
+}
+
+// TestWebhookSpecPersists checks a registered sink survives a restart: the
+// spec rides the manifest, and the restored server restarts the worker,
+// which resumes from the durable cursor.
+func TestWebhookSpecPersists(t *testing.T) {
+	_, rows := coraFixture(t, 80)
+	sink := newFailingSink()
+	sink.failing.Store(false)
+	receiver := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer receiver.Close()
+	dir := t.TempDir()
+
+	s1, err := New(WithDataDir(dir), WithWebhookDefaults(WebhookDefaults{Backoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s1.Create(baseSpec("durable", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateConsumer("sink", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWebhook("sink", &WebhookSpec{URL: receiver.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	total := c.PairCount()
+	if err := s1.Close(); err != nil { // checkpoint with the spec, workers down
+		t.Fatal(err)
+	}
+
+	s2, err := New(WithDataDir(dir), WithWebhookDefaults(WebhookDefaults{Backoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.StopDelivery()
+	c2, ok := s2.Collection("durable")
+	if !ok {
+		t.Fatal("restored server lost the collection")
+	}
+	st, err := c2.ConsumerStat("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Webhook == nil || st.Webhook.URL != receiver.URL {
+		t.Fatalf("restored group lost its webhook: %+v", st)
+	}
+	// The restored worker delivers the backlog without any new registration.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c2.ConsumerStat("sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cursor == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored worker stuck at cursor %d of %d", st.Cursor, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(sink.acknowledged()); got != total {
+		t.Fatalf("sink acknowledged %d distinct pairs, want %d", got, total)
+	}
+}

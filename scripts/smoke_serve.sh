@@ -2,29 +2,37 @@
 # End-to-end smoke test of the serving layer: build the CLI, start
 # `semblock serve` with persistence, drive the HTTP API (create a sharded
 # collection, bulk-ingest JSONL, drain candidates, snapshot, metrics),
+# register a consumer group with a webhook sink (a local receiver that
+# refuses the first delivery, proving bounded retries + at-least-once),
 # compact the segment chain through the new endpoint, shut down gracefully
 # with SIGTERM, assert the final checkpoint landed on disk, then restart
-# the server from the compacted data dir and check the collection came back
-# intact. CI runs this as the "serve-smoke" job; locally: make smoke.
+# the server from the compacted data dir and check the collection — and the
+# webhook worker, which must resume delivering from its durable cursor —
+# came back intact. CI runs this as the "serve-smoke" job; locally: make smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8726}"
 BASE="http://$ADDR"
+SINK_ADDR="127.0.0.1:${SMOKE_SINK_PORT:-8727}"
 BIN="$(mktemp -d)/semblock"
+SINKBIN="$(dirname "$BIN")/webhooksink"
 DATA="$(mktemp -d)"
 LOG="$(mktemp)"
+DELIVERIES="$(mktemp)"
 
 cleanup() {
     kill "$PID" 2>/dev/null || true
-    rm -rf "$(dirname "$BIN")" "$DATA" "$LOG"
+    kill "$SINKPID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$DATA" "$LOG" "$DELIVERIES"
 }
 trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/semblock
+go build -o "$SINKBIN" ./scripts/webhooksink
 
 start_server() {
-    "$BIN" serve -addr "$ADDR" -data-dir "$DATA" -shards 2 -checkpoint 1h >>"$LOG" 2>&1 &
+    "$BIN" serve -addr "$ADDR" -data-dir "$DATA" -shards 2 -checkpoint 1h -webhook-backoff 50ms >>"$LOG" 2>&1 &
     PID=$!
     for _ in $(seq 1 100); do
         curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
@@ -80,6 +88,44 @@ for family in \
 done
 echo "$METRICS" | grep -q '^semblock_goroutines [1-9]' || { echo "missing goroutine gauge"; exit 1; }
 
+# Consumer groups + push delivery: start a local webhook receiver that
+# refuses the first delivery (exercising a retry), register a group from the
+# start of the emitted sequence, and wait for the worker to push every pair.
+"$SINKBIN" -addr "$SINK_ADDR" -out "$DELIVERIES" -fail-first 1 >>"$LOG" 2>&1 &
+SINKPID=$!
+for _ in $(seq 1 50); do
+    # Probe with GET: the sink only serves POST, so readiness costs none of
+    # its -fail-first budget and writes nothing to the delivery file.
+    curl -s -o /dev/null "http://$SINK_ADDR/" 2>/dev/null && break
+    sleep 0.1
+done
+
+curl -fsS -X POST "$BASE/v1/collections/smoke/consumers" \
+    -d '{"group":"hook"}' | grep -q '"group":"hook"'
+curl -fsS -X PUT "$BASE/v1/collections/smoke/consumers/hook/webhook" \
+    -d "{\"url\":\"http://$SINK_ADDR/\"}" | grep -q '"webhook"'
+# The group listing shows both cursors; the error envelope is the one error
+# shape (stable machine code + message).
+curl -fsS "$BASE/v1/collections/smoke/consumers" | grep -q '"group":"default"'
+curl -s "$BASE/v1/collections/smoke/consumers/ghost" | grep -q '"code":"unknown_consumer"'
+
+# At-least-once through the refused first attempt: every emitted pair must
+# land in the sink file, and the group cursor must reach the emitted total.
+PAIRS="$(curl -fsS "$BASE/v1/collections/smoke" | grep -o '"pairs":[0-9]*' | head -1 | cut -d: -f2)"
+test "$PAIRS" -gt 0 || { echo "collection emitted no pairs"; exit 1; }
+for _ in $(seq 1 100); do
+    CURSOR="$(curl -fsS "$BASE/v1/collections/smoke/consumers/hook" | grep -o '"cursor":[0-9]*' | cut -d: -f2)"
+    [ "$CURSOR" = "$PAIRS" ] && break
+    sleep 0.1
+done
+test "$CURSOR" = "$PAIRS" || { echo "webhook cursor stuck at $CURSOR of $PAIRS"; cat "$LOG"; exit 1; }
+grep -q '"pairs":' "$DELIVERIES" || { echo "sink received no deliveries"; cat "$LOG"; exit 1; }
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^semblock_webhook_retries_total [1-9]' \
+    || { echo "refused delivery produced no retry"; exit 1; }
+echo "$METRICS" | grep -q "semblock_consumer_lag{collection=\"smoke\",group=\"hook\"} 0" \
+    || { echo "missing consumer lag gauge"; exit 1; }
+
 # Checkpoint, then compact the chain through the endpoint: the response
 # carries the compaction summary and the collection must land on
 # generation 1 with a single compacted segment.
@@ -101,11 +147,28 @@ grep -q '"records": 3' "$DATA/smoke/manifest.json"
 grep -q '"generation": 1' "$DATA/smoke/manifest.json"
 
 # Restart from the compacted data dir: restore-on-boot must replay only the
-# compacted generation and bring the collection back intact.
+# compacted generation and bring the collection back intact — including the
+# consumer group, whose webhook spec and acknowledged cursor rode the
+# manifest.
 start_server
 curl -fsS "$BASE/v1/collections/smoke" | grep -q '"records":3'
 curl -fsS "$BASE/v1/collections/smoke" | grep -q '"generation":1'
 curl -fsS "$BASE/v1/collections/smoke/snapshot" | grep -q '"technique":"lsh"'
+HOOK="$(curl -fsS "$BASE/v1/collections/smoke/consumers/hook")"
+echo "$HOOK" | grep -q "\"url\":\"http://$SINK_ADDR/\"" || { echo "webhook spec lost across restart: $HOOK"; exit 1; }
+echo "$HOOK" | grep -q "\"cursor\":$PAIRS" || { echo "webhook cursor lost across restart: $HOOK"; exit 1; }
+
+# The restored worker keeps delivering: new records whose pairs reach the
+# sink without re-registering anything.
+BEFORE="$(wc -l < "$DELIVERIES")"
+curl -fsS -X POST "$BASE/v1/collections/smoke/records" \
+    -d '{"attrs":{"name":"robert smythe"}}' | grep -q '"count":1'
+for _ in $(seq 1 100); do
+    AFTER="$(wc -l < "$DELIVERIES")"
+    [ "$AFTER" -gt "$BEFORE" ] && break
+    sleep 0.1
+done
+test "$AFTER" -gt "$BEFORE" || { echo "restored webhook worker never delivered"; cat "$LOG"; exit 1; }
 
 kill -TERM "$PID"
 wait "$PID" || { echo "server exited non-zero after restart:"; cat "$LOG"; exit 1; }

@@ -1,0 +1,59 @@
+// Command webhooksink is a tiny webhook receiver for smoke tests and local
+// development: it appends every delivered JSON body to a file (one body per
+// line) and can be told to refuse the first N deliveries, which exercises
+// the server's bounded-retry at-least-once path.
+//
+//	go run ./scripts/webhooksink -addr 127.0.0.1:8727 -out /tmp/deliveries.jsonl -fail-first 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8727", "listen address")
+		out       = flag.String("out", "", "append one JSON body per delivery to this file (empty = stdout)")
+		failFirst = flag.Int("fail-first", 0, "refuse the first N deliveries with a 500")
+	)
+	flag.Parse()
+
+	sink := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("webhooksink: %v", err)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	var mu sync.Mutex
+	seen := 0
+	http.HandleFunc("POST /", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if seen <= *failFirst {
+			http.Error(w, fmt.Sprintf("refusing delivery %d of the first %d", seen, *failFirst), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(sink, "%s\n", body)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := &http.Server{Addr: *addr, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("webhooksink: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

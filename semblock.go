@@ -417,7 +417,23 @@ type (
 	CompactionPolicy = server.CompactionPolicy
 	// CompactionResult summarises one Collection.Compact run.
 	CompactionResult = server.CompactionResult
+	// ConsumerStats summarises one named consumer group: its durable
+	// cursor, pending window, and optional webhook sink.
+	ConsumerStats = server.ConsumerStats
+	// ConsumerBatch is one acknowledged delivery window of a consumer group.
+	ConsumerBatch = server.ConsumerBatch
+	// WebhookSpec registers a push-delivery sink on a consumer group.
+	WebhookSpec = server.WebhookSpec
+	// WebhookDefaults are the server-wide webhook delivery knobs (timeout,
+	// bounded retries, exponential backoff) a spec's zero fields inherit.
+	WebhookDefaults = server.WebhookDefaults
+	// StreamHandlers are the callbacks Collection.StreamConsumer drives.
+	StreamHandlers = server.StreamHandlers
 )
+
+// DefaultConsumer is the consumer group behind the legacy GET /candidates
+// drain; it always exists and cannot be deleted.
+const DefaultConsumer = server.DefaultConsumer
 
 // NewServer builds a multi-tenant blocking service; see internal/server.
 func NewServer(opts ...ServerOption) (*Server, error) { return server.New(opts...) }
@@ -435,6 +451,8 @@ var (
 	// WithTraceBuffer sets how many completed request traces GET
 	// /debug/traces retains.
 	WithTraceBuffer = server.WithTraceBuffer
+	// WithWebhookDefaults sets the server-wide webhook delivery policy.
+	WithWebhookDefaults = server.WithWebhookDefaults
 )
 
 // Serving-layer sentinel errors (match with errors.Is).
@@ -446,6 +464,16 @@ var (
 	// directory (debris of an interrupted compaction), logged and skipped
 	// during restore.
 	ErrCollectionOrphanFile = server.ErrOrphanFile
+	// ErrConsumerNotFound marks operations on an unknown consumer group.
+	ErrConsumerNotFound = server.ErrUnknownConsumer
+	// ErrConsumerExists marks creation of a group that already exists.
+	ErrConsumerExists = server.ErrConsumerExists
+	// ErrConsumerProtected marks deletion of the default group.
+	ErrConsumerProtected = server.ErrConsumerProtected
+	// ErrConsumerCursor marks an acknowledgment beyond the emitted sequence.
+	ErrConsumerCursor = server.ErrCursorOutOfRange
+	// ErrDrainBusy marks a drain of a group whose delivery slot is held.
+	ErrDrainBusy = server.ErrDrainBusy
 )
 
 // LoadCollection restores one collection from its persistence directory.
